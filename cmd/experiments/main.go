@@ -1,0 +1,44 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp fig9              # one experiment at the default scale
+//	experiments -exp all -scale 0.05   # the whole evaluation, larger meshes
+//	experiments -list                  # show available experiment ids
+//
+// Scale 1.0 reproduces the paper's full mesh sizes (minutes of runtime on a
+// single core); the default 0.01 preserves every reported shape in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tempart/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (table1, fig5..fig13, all)")
+		scale = flag.Float64("scale", 0.01, "mesh scale relative to the paper's cell counts")
+		seed  = flag.Int64("seed", 1, "random seed")
+		width = flag.Int("width", 96, "Gantt chart width in characters")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	out, err := experiments.Run(*exp, experiments.Params{
+		Scale: *scale, Seed: *seed, GanttWidth: *width,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,105 @@
+// Command partbench compares every partitioning strategy on one mesh: cut,
+// balance, per-level balance, fragments, partitioning time, simulated
+// makespan and communication volume — the quality axes the paper discusses,
+// side by side, including the geometric baselines (RCB, Hilbert SFC) from
+// the related-work section and both k-way construction methods.
+//
+// Example:
+//
+//	partbench -mesh CYLINDER -scale 0.01 -domains 128 -procs 16 -workers 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tempart/internal/core"
+	"tempart/internal/flusim"
+	"tempart/internal/mesh"
+	"tempart/internal/metrics"
+	"tempart/internal/partition"
+	"tempart/internal/taskgraph"
+)
+
+func main() {
+	var (
+		meshName = flag.String("mesh", "CYLINDER", "mesh: CYLINDER, CUBE or PPRIME_NOZZLE")
+		scale    = flag.Float64("scale", 0.01, "mesh scale relative to the paper's cell counts")
+		domains  = flag.Int("domains", 128, "number of domains")
+		procs    = flag.Int("procs", 16, "emulated processes")
+		workers  = flag.Int("workers", 32, "cores per process")
+		seed     = flag.Int64("seed", 1, "random seed")
+		commLat  = flag.Int64("comm-latency", 0, "time units per cross-process dependency edge")
+		kway     = flag.Bool("kway", false, "also run SC_OC/MC_TL with the direct k-way method")
+	)
+	flag.Parse()
+
+	m, err := core.LoadMesh(*meshName, *scale)
+	check(err)
+	fmt.Printf("mesh %s: %d cells, census %v\n", m.Name, m.NumCells(), m.Census())
+	fmt.Printf("%d domains on %d procs × %d cores, comm latency %d\n\n", *domains, *procs, *workers, *commLat)
+
+	type job struct {
+		label string
+		strat partition.Strategy
+		opt   partition.Options
+	}
+	jobs := []job{
+		{"SC_OC(rb)", partition.SCOC, partition.Options{Seed: *seed}},
+		{"MC_TL(rb)", partition.MCTL, partition.Options{Seed: *seed}},
+		{"UNIT(rb)", partition.UnitCells, partition.Options{Seed: *seed}},
+		{"GEOM_RCB", partition.GeomRCB, partition.Options{}},
+		{"SFC", partition.SFC, partition.Options{}},
+	}
+	if *kway {
+		jobs = append(jobs,
+			job{"SC_OC(kway)", partition.SCOC, partition.Options{Seed: *seed, Method: partition.DirectKWay}},
+			job{"MC_TL(kway)", partition.MCTL, partition.Options{Seed: *seed, Method: partition.DirectKWay}},
+		)
+	}
+
+	fmt.Printf("%-12s %9s %10s %7s %7s %6s %10s %10s %7s\n",
+		"strategy", "time", "edge cut", "imb", "lvlimb", "frag", "makespan", "comm vol", "eff")
+	cluster := flusim.Cluster{NumProcs: *procs, WorkersPerProc: *workers}
+	for _, j := range jobs {
+		t0 := time.Now()
+		res, err := partition.PartitionMesh(m, *domains, j.strat, j.opt)
+		check(err)
+		elapsed := time.Since(t0)
+
+		q := metrics.EvaluatePartition(m, res, j.label)
+		tg, err := buildTG(m, res)
+		check(err)
+		procOf := flusim.BlockMap(*domains, *procs)
+		sim, err := flusim.Simulate(tg, procOf, flusim.Config{Cluster: cluster, CommLatency: *commLat})
+		check(err)
+
+		worstLvl := 0.0
+		for _, v := range q.LevelImbalance {
+			if v > worstLvl {
+				worstLvl = v
+			}
+		}
+		eff := 0.0
+		if *workers > 0 && sim.Makespan > 0 {
+			eff = float64(sim.TotalWork) / (float64(sim.Makespan) * float64(*procs**workers))
+		}
+		fmt.Printf("%-12s %9s %10d %7.2f %7.2f %6d %10d %10d %7.2f\n",
+			j.label, elapsed.Round(time.Millisecond), res.EdgeCut, res.MaxImbalance(),
+			worstLvl, q.MaxFragments(), sim.Makespan,
+			metrics.CommVolume(tg, procOf), eff)
+	}
+}
+
+func buildTG(m *mesh.Mesh, res *partition.Result) (*taskgraph.TaskGraph, error) {
+	return taskgraph.Build(m, res.Part, res.NumParts, taskgraph.Options{})
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "partbench:", err)
+		os.Exit(1)
+	}
+}

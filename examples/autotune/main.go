@@ -1,0 +1,49 @@
+// Autotune: the paper's §IX perspective — "automatically determine the best
+// domain granularity with respect to the target machine's number of cores".
+//
+// The tuner sweeps domain counts (doubling from one per process), simulates
+// each candidate's schedule, and picks the best. Run twice: once with free
+// communication (the paper's FLUSIM assumption) and once charging a latency
+// per cross-process dependency, which pushes the optimum toward coarser
+// domains — quantifying the granularity/communication trade-off that the
+// dual-phase strategy then resolves.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tempart/internal/core"
+	"tempart/internal/flusim"
+	"tempart/internal/partition"
+	"tempart/internal/tuner"
+)
+
+func main() {
+	m, err := core.LoadMesh("CYLINDER", 0.005)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster := flusim.Cluster{NumProcs: 8, WorkersPerProc: 8}
+	fmt.Printf("mesh %s: %d cells; target machine %d procs × %d cores\n",
+		m.Name, m.NumCells(), cluster.NumProcs, cluster.WorkersPerProc)
+
+	for _, strat := range []partition.Strategy{partition.SCOC, partition.MCTL} {
+		for _, lat := range []int64{0, 500} {
+			res, err := tuner.Tune(m, tuner.Config{
+				Cluster:     cluster,
+				Strategy:    strat,
+				PartOpts:    partition.Options{Seed: 11},
+				CommLatency: lat,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n=== %s, comm latency %d ===\n%s", strat, lat, res)
+			fmt.Printf("best: %d domains (%.2fx over 1 domain/proc)\n",
+				res.Best.Domains, res.SpeedupOverSinglePerProc())
+		}
+	}
+}

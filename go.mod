@@ -1,0 +1,3 @@
+module tempart
+
+go 1.22

@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"tempart/internal/fv"
+	"tempart/internal/mesh"
+	"tempart/internal/partition"
+	"tempart/internal/temporal"
+)
+
+func setup(t *testing.T, m *mesh.Mesh, k int) (*Solver, *fv.State) {
+	t.Helper()
+	r, err := partition.PartitionMesh(m, k, partition.MCTL, partition.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(m, r.Part, k, fv.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := fv.NewState(m, fv.DefaultParams())
+	return s, ref
+}
+
+func TestDistributedMatchesGlobalSerial(t *testing.T) {
+	m := mesh.Cylinder(0.0005)
+	s, ref := setup(t, m, 4)
+	cx, cy, cz := 1.0, 0.5, 0.5
+	s.InitGaussian(cx, cy, cz, 0.3, 1)
+	ref.InitGaussian(cx, cy, cz, 0.3, 1)
+
+	for i := 0; i < 3; i++ {
+		s.RunIteration()
+		ref.RunIteration()
+	}
+	got := s.GatherU(m.NumCells())
+	var maxDiff float64
+	for c := range ref.U {
+		if d := math.Abs(got[c] - ref.U[c]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-12 {
+		t.Errorf("distributed solution diverges from global serial by %.3e", maxDiff)
+	}
+}
+
+func TestDistributedConservesMass(t *testing.T) {
+	m := mesh.Cube(0.05)
+	s, _ := setup(t, m, 6)
+	s.InitGaussian(0.5, 0.5, 0.5, 0.2, 2)
+	m0 := s.OwnedMass()
+	for i := 0; i < 3; i++ {
+		s.RunIteration()
+	}
+	if rel := math.Abs(s.OwnedMass()-m0) / math.Abs(m0); rel > 1e-11 {
+		t.Errorf("distributed mass drift %.3e", rel)
+	}
+}
+
+func TestHaloTrafficAccounted(t *testing.T) {
+	m := mesh.Strip([]temporal.Level{0, 0, 1, 1})
+	part := []int32{0, 0, 1, 1}
+	s, err := New(m, part, 2, fv.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InitGaussian(2, 0.5, 0.5, 1, 1)
+	s.RunIteration()
+	// Levels {0,1} → 2 subiterations, 3 phases total; each phase exchanges
+	// 2 ghost values (1 each way) = 16 bytes → 48 bytes/iteration.
+	if s.BytesExchanged != 48 {
+		t.Errorf("BytesExchanged = %d, want 48", s.BytesExchanged)
+	}
+}
+
+func TestMCTLExchangesMoreThanSCOC(t *testing.T) {
+	// The distributed path measures Fig 11b's phenomenon directly as bytes.
+	m := mesh.Cylinder(0.001)
+	traffic := func(strat partition.Strategy) int64 {
+		r, err := partition.PartitionMesh(m, 8, strat, partition.Options{Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(m, r.Part, 8, fv.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.InitGaussian(1, 0.5, 0.5, 0.3, 1)
+		s.RunIteration()
+		return s.BytesExchanged
+	}
+	sc, mc := traffic(partition.SCOC), traffic(partition.MCTL)
+	if mc <= sc {
+		t.Errorf("MC_TL halo traffic %d not above SC_OC %d", mc, sc)
+	}
+	t.Logf("halo bytes/iteration: SC_OC=%d MC_TL=%d (%.2fx)", sc, mc, float64(mc)/float64(sc))
+}
+
+func TestNewRejectsBadPart(t *testing.T) {
+	m := mesh.Strip([]temporal.Level{0, 0})
+	if _, err := New(m, []int32{0}, 1, fv.DefaultParams()); err == nil {
+		t.Error("accepted wrong-length part")
+	}
+	// A domain with no cells must fail extraction.
+	if _, err := New(m, []int32{0, 0}, 2, fv.DefaultParams()); err == nil {
+		t.Error("accepted empty domain")
+	}
+}

@@ -1,0 +1,100 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment has a dedicated function returning a printable
+// result whose fields are also consumed programmatically by the benchmark
+// harness and by cmd/experiments.
+//
+// Experiments run at a configurable mesh scale (Params.Scale; 1.0 = the
+// paper's full cell counts, default 0.01) because the shapes under study —
+// who wins, by what factor, how ratios move with domain count — are scale-
+// stable, while full-size runs take minutes on one core. EXPERIMENTS.md
+// records measured-vs-paper values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Params control the whole suite.
+type Params struct {
+	// Scale multiplies the paper's mesh cell counts; default 0.01.
+	Scale float64
+	// CubeScale overrides Scale for the (already small) CUBE mesh;
+	// default 20·Scale capped at 1.
+	CubeScale float64
+	// Seed drives all randomised components.
+	Seed int64
+	// GanttWidth is the rendered trace width in characters; default 96.
+	GanttWidth int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Scale <= 0 {
+		p.Scale = 0.01
+	}
+	if p.CubeScale <= 0 {
+		p.CubeScale = p.Scale * 20
+		if p.CubeScale > 1 {
+			p.CubeScale = 1
+		}
+	}
+	if p.GanttWidth <= 0 {
+		p.GanttWidth = 96
+	}
+	return p
+}
+
+// Runner is the signature every experiment implements.
+type Runner func(Params) (fmt.Stringer, error)
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"table1": func(p Params) (fmt.Stringer, error) { return Table1(p) },
+	"fig5":   func(p Params) (fmt.Stringer, error) { return Fig5(p) },
+	"fig6":   func(p Params) (fmt.Stringer, error) { return Fig6(p) },
+	"fig7":   func(p Params) (fmt.Stringer, error) { return Fig7(p) },
+	"fig8":   func(p Params) (fmt.Stringer, error) { return Fig8(p) },
+	"fig9":   func(p Params) (fmt.Stringer, error) { return Fig9(p) },
+	"fig10":  func(p Params) (fmt.Stringer, error) { return Fig10(p) },
+	"fig11":  func(p Params) (fmt.Stringer, error) { return Fig11(p) },
+	"fig12":  func(p Params) (fmt.Stringer, error) { return Fig12(p) },
+	"fig13":  func(p Params) (fmt.Stringer, error) { return Fig13(p) },
+	// Extensions beyond the paper's figures:
+	"drift": func(p Params) (fmt.Stringer, error) { return Drift(p) },
+	"halo":  func(p Params) (fmt.Stringer, error) { return Halo(p) },
+}
+
+// IDs returns the known experiment identifiers, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run dispatches an experiment by id ("table1", "fig5", ... or "all").
+func Run(id string, p Params) (string, error) {
+	if id == "all" {
+		var b strings.Builder
+		for _, each := range IDs() {
+			out, err := Run(each, p)
+			if err != nil {
+				return "", fmt.Errorf("%s: %w", each, err)
+			}
+			fmt.Fprintf(&b, "========== %s ==========\n%s\n", each, out)
+		}
+		return b.String(), nil
+	}
+	r, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	res, err := r(p)
+	if err != nil {
+		return "", err
+	}
+	return res.String(), nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tempart/internal/core"
+	"tempart/internal/flusim"
+	"tempart/internal/metrics"
+	"tempart/internal/partition"
+)
+
+// HaloResult is the memory-side complement of Figure 11b: ghost-layer sizes
+// per strategy across the domain sweep. Communication *volume* (cut task
+// edges) tells how often processes talk; halo size tells how much data each
+// exchange carries and how much extra memory every process must hold.
+type HaloResult struct {
+	NumProcs int
+	Rows     []HaloRow
+}
+
+// HaloRow is one (strategy, domains) sample.
+type HaloRow struct {
+	Strategy     string
+	Domains      int
+	TotalGhosts  int64
+	MaxNeighbors int
+	// GhostShare is TotalGhosts / cells: the fleet-wide memory overhead.
+	GhostShare float64
+}
+
+// Halo sweeps ghost-layer statistics on the CYLINDER mesh.
+func Halo(p Params) (*HaloResult, error) {
+	p = p.withDefaults()
+	m, err := core.LoadMesh("CYLINDER", p.Scale)
+	if err != nil {
+		return nil, err
+	}
+	const procs = 16
+	res := &HaloResult{NumProcs: procs}
+	for _, domains := range []int{16, 64, 256} {
+		pm := flusim.BlockMap(domains, procs)
+		for _, strat := range []partition.Strategy{partition.SCOC, partition.MCTL} {
+			r, err := partition.PartitionMesh(m, domains, strat, partition.Options{Seed: p.Seed})
+			if err != nil {
+				return nil, err
+			}
+			h := metrics.ComputeHaloStats(m, r.Part, pm, procs)
+			res.Rows = append(res.Rows, HaloRow{
+				Strategy:     strat.String(),
+				Domains:      domains,
+				TotalGhosts:  h.TotalGhosts(),
+				MaxNeighbors: h.MaxNeighbors(),
+				GhostShare:   float64(h.TotalGhosts()) / float64(m.NumCells()),
+			})
+		}
+	}
+	return res, nil
+}
+
+// String renders the halo table.
+func (r *HaloResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Halo study — ghost-layer cost per strategy, CYLINDER, %d procs\n", r.NumProcs)
+	fmt.Fprintf(&b, "%-8s %8s %12s %10s %12s\n", "strategy", "domains", "ghosts", "max nbrs", "ghost share")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %8d %12d %10d %11.1f%%\n",
+			row.Strategy, row.Domains, row.TotalGhosts, row.MaxNeighbors, 100*row.GhostShare)
+	}
+	b.WriteString("(ghost share = replicated cells / owned cells, fleet-wide)\n")
+	return b.String()
+}

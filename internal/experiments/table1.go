@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tempart/internal/mesh"
+	"tempart/internal/temporal"
+)
+
+// Table1Result reproduces the paper's Table I: per-temporal-level cell
+// counts, cell fractions and computation fractions for the three meshes.
+type Table1Result struct {
+	Meshes []MeshStats
+}
+
+// MeshStats is one column block of Table I.
+type MeshStats struct {
+	Name       string
+	TotalCells int
+	// Cells[τ], CellPct[τ], ComputePct[τ] index by temporal level.
+	Cells      []int64
+	CellPct    []float64
+	ComputePct []float64
+	// PaperCellPct / PaperComputePct are the published full-scale values
+	// for side-by-side comparison.
+	PaperCellPct    []float64
+	PaperComputePct []float64
+}
+
+// paperPct precomputes the published fractions from the published censuses.
+func paperPct(counts []int64) (cellPct, compPct []float64) {
+	var tot, work int64
+	max := len(counts) - 1
+	for τ, c := range counts {
+		tot += c
+		work += c << (max - τ)
+	}
+	cellPct = make([]float64, len(counts))
+	compPct = make([]float64, len(counts))
+	for τ, c := range counts {
+		cellPct[τ] = 100 * float64(c) / float64(tot)
+		compPct[τ] = 100 * float64(c<<(max-τ)) / float64(work)
+	}
+	return cellPct, compPct
+}
+
+// Table1 generates the three meshes and tabulates their level statistics.
+func Table1(p Params) (*Table1Result, error) {
+	p = p.withDefaults()
+	specs := []struct {
+		name   string
+		scale  float64
+		counts []int64
+	}{
+		{"CYLINDER", p.Scale, mesh.CylinderCounts},
+		{"CUBE", p.CubeScale, mesh.CubeCounts},
+		{"PPRIME_NOZZLE", p.Scale, mesh.NozzleCounts},
+	}
+	res := &Table1Result{}
+	for _, s := range specs {
+		m, err := mesh.ByName(s.name, s.scale)
+		if err != nil {
+			return nil, err
+		}
+		census := m.Census()
+		scheme := m.Scheme()
+		var tot, work int64
+		for τ, c := range census {
+			tot += c
+			work += c * int64(scheme.Cost(temporal.Level(τ)))
+		}
+		st := MeshStats{
+			Name:       s.name,
+			TotalCells: m.NumCells(),
+			Cells:      census,
+			CellPct:    make([]float64, len(census)),
+			ComputePct: make([]float64, len(census)),
+		}
+		st.PaperCellPct, st.PaperComputePct = paperPct(s.counts)
+		for τ, c := range census {
+			st.CellPct[τ] = 100 * float64(c) / float64(tot)
+			st.ComputePct[τ] = 100 * float64(c*int64(scheme.Cost(temporal.Level(τ)))) / float64(work)
+		}
+		res.Meshes = append(res.Meshes, st)
+	}
+	return res, nil
+}
+
+// String renders the table.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	for _, m := range r.Meshes {
+		fmt.Fprintf(&b, "%s — %d cells\n", m.Name, m.TotalCells)
+		fmt.Fprintf(&b, "  %-14s", "level")
+		for τ := range m.Cells {
+			fmt.Fprintf(&b, "\tτ=%d", τ)
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "  %-14s", "#cells")
+		for _, c := range m.Cells {
+			fmt.Fprintf(&b, "\t%d", c)
+		}
+		b.WriteByte('\n')
+		row := func(label string, got, paper []float64) {
+			fmt.Fprintf(&b, "  %-14s", label)
+			for τ := range got {
+				fmt.Fprintf(&b, "\t%.1f%%", got[τ])
+			}
+			fmt.Fprintf(&b, "\n  %-14s", "  (paper)")
+			for τ := range paper {
+				fmt.Fprintf(&b, "\t%.1f%%", paper[τ])
+			}
+			b.WriteByte('\n')
+		}
+		row("%cells", m.CellPct, m.PaperCellPct)
+		row("%computation", m.ComputePct, m.PaperComputePct)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,28 @@
+package flusim_test
+
+import (
+	"fmt"
+
+	"tempart/internal/flusim"
+	"tempart/internal/mesh"
+	"tempart/internal/taskgraph"
+	"tempart/internal/temporal"
+)
+
+// ExampleSimulate schedules a tiny two-domain task graph on a 2-process
+// cluster and checks the classical bounds.
+func ExampleSimulate() {
+	m := mesh.Strip([]temporal.Level{0, 0, 1, 1})
+	tg, _ := taskgraph.Build(m, []int32{0, 0, 1, 1}, 2, taskgraph.Options{})
+
+	res, _ := flusim.Simulate(tg, flusim.BlockMap(2, 2), flusim.Config{
+		Cluster: flusim.Cluster{NumProcs: 2, WorkersPerProc: 1},
+	})
+	fmt.Println("tasks:", tg.NumTasks())
+	fmt.Println("work:", res.TotalWork)
+	fmt.Println("makespan >= critical path:", res.Makespan >= res.CriticalPath)
+	// Output:
+	// tasks: 11
+	// work: 14
+	// makespan >= critical path: true
+}

@@ -1,0 +1,403 @@
+// Package flusim reimplements the paper's FLUSIM submodule: a discrete-event
+// simulator that emulates one FLUSEPA iteration by scheduling a task graph
+// onto an idealised cluster. Like the original, it models no communication
+// or runtime overheads — its purpose is to expose the idleness intrinsic to
+// the task graph's shape (paper §III-A), which is exactly the property the
+// MC_TL partitioning strategy targets.
+//
+// Inputs mirror the paper's: a cluster configuration (processes × workers per
+// process, with an unbounded-core mode), the task graph generated from a mesh
+// + domain decomposition, the domain→process mapping, and a scheduling
+// strategy. Output is the makespan plus a full execution trace.
+package flusim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"tempart/internal/taskgraph"
+	"tempart/internal/trace"
+)
+
+// Cluster describes the emulated machine.
+type Cluster struct {
+	// NumProcs is the number of MPI-process analogues.
+	NumProcs int
+	// WorkersPerProc is the number of cores per process; 0 means unbounded
+	// (the paper's idealised configuration of Figure 6).
+	WorkersPerProc int
+}
+
+// Unbounded reports whether the cluster has unlimited cores per process.
+func (c Cluster) Unbounded() bool { return c.WorkersPerProc <= 0 }
+
+// Strategy selects how a process picks among its ready tasks.
+type Strategy int
+
+const (
+	// Eager runs ready tasks FIFO — optimal when cores are unbounded, and
+	// the paper's reference strategy.
+	Eager Strategy = iota
+	// LIFO runs the most recently released ready task first.
+	LIFO
+	// CriticalPathFirst prioritises tasks by bottom level (longest
+	// downstream cost path), an HEFT-flavoured list scheduler.
+	CriticalPathFirst
+	// RandomOrder picks uniformly among ready tasks (seeded); a lower
+	// bound on scheduling cleverness.
+	RandomOrder
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Eager:
+		return "eager"
+	case LIFO:
+		return "lifo"
+	case CriticalPathFirst:
+		return "cpf"
+	case RandomOrder:
+		return "random"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy converts a label to a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "eager":
+		return Eager, nil
+	case "lifo":
+		return LIFO, nil
+	case "cpf":
+		return CriticalPathFirst, nil
+	case "random":
+		return RandomOrder, nil
+	}
+	return 0, fmt.Errorf("flusim: unknown strategy %q", s)
+}
+
+// Config parameterises a simulation.
+type Config struct {
+	Cluster Cluster
+	// Strategy is the per-process ready-queue policy. Defaults to Eager.
+	Strategy Strategy
+	// Seed drives RandomOrder.
+	Seed int64
+	// RecordTrace enables span recording in the result; leave it off for
+	// large parameter sweeps where only the makespan matters.
+	RecordTrace bool
+	// CommLatency delays every cross-process dependency edge by this many
+	// time units (data transfer between MPI processes). Zero reproduces the
+	// paper's FLUSIM, which models no communication; a positive value
+	// enables the communication-aware ablation that quantifies the §VII
+	// dual-phase trade-off.
+	CommLatency int64
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	Makespan int64
+	Trace    *trace.Trace
+	// BusyPerProc is each process's total computation time.
+	BusyPerProc []int64
+	// CriticalPath and TotalWork are the two classical lower bounds:
+	// Makespan ≥ CriticalPath and Makespan ≥ TotalWork/totalCores.
+	CriticalPath int64
+	TotalWork    int64
+}
+
+// BlockMap assigns numDomains domains to numProcs processes in contiguous
+// blocks, the mapping FLUSEPA uses after partitioning (domain d → process
+// d·P/D).
+func BlockMap(numDomains, numProcs int) []int32 {
+	out := make([]int32, numDomains)
+	for d := 0; d < numDomains; d++ {
+		out[d] = int32(d * numProcs / numDomains)
+	}
+	return out
+}
+
+// RoundRobinMap assigns domain d to process d mod numProcs.
+func RoundRobinMap(numDomains, numProcs int) []int32 {
+	out := make([]int32, numDomains)
+	for d := 0; d < numDomains; d++ {
+		out[d] = int32(d % numProcs)
+	}
+	return out
+}
+
+// Simulate executes the task graph on the configured cluster and returns the
+// makespan and trace. Tasks are pinned to the process owning their domain;
+// within a process any free worker may run them.
+func Simulate(tg *taskgraph.TaskGraph, procOfDomain []int32, cfg Config) (*Result, error) {
+	if cfg.Cluster.NumProcs < 1 {
+		return nil, fmt.Errorf("flusim: NumProcs = %d", cfg.Cluster.NumProcs)
+	}
+	if len(procOfDomain) < tg.NumDomains {
+		return nil, fmt.Errorf("flusim: %d domain mappings for %d domains", len(procOfDomain), tg.NumDomains)
+	}
+	for d := 0; d < tg.NumDomains; d++ {
+		if p := procOfDomain[d]; p < 0 || int(p) >= cfg.Cluster.NumProcs {
+			return nil, fmt.Errorf("flusim: domain %d mapped to process %d of %d", d, p, cfg.Cluster.NumProcs)
+		}
+	}
+
+	n := tg.NumTasks()
+	procOf := make([]int32, n)
+	indeg := make([]int32, n)
+	for i := 0; i < n; i++ {
+		procOf[i] = procOfDomain[tg.Tasks[i].Domain]
+		indeg[i] = int32(len(tg.PredsOf(int32(i))))
+	}
+
+	// Priorities for CriticalPathFirst: bottom levels.
+	var blevel []int64
+	if cfg.Strategy == CriticalPathFirst {
+		blevel = bottomLevels(tg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	procs := make([]procState, cfg.Cluster.NumProcs)
+	for p := range procs {
+		procs[p].free = cfg.Cluster.WorkersPerProc
+		if cfg.Cluster.Unbounded() {
+			procs[p].free = -1 // sentinel: unlimited
+		}
+	}
+
+	var events eventHeap
+	tr := &trace.Trace{
+		NumProcs:       cfg.Cluster.NumProcs,
+		WorkersPerProc: cfg.Cluster.WorkersPerProc,
+	}
+	busy := make([]int64, cfg.Cluster.NumProcs)
+
+	startTask := func(t int32, now int64) {
+		p := procOf[t]
+		ps := &procs[p]
+		var worker int32
+		if ps.free > 0 {
+			ps.free--
+			worker = ps.takeWorker()
+		} else if ps.free == 0 {
+			panic("flusim: started task with no free worker")
+		} else {
+			worker = ps.nextVirtualWorker()
+		}
+		end := now + tg.Tasks[t].Cost
+		heap.Push(&events, event{time: end, task: t, worker: worker})
+		if cfg.RecordTrace {
+			tr.Spans = append(tr.Spans, trace.Span{
+				Proc: p, Worker: worker, Task: t,
+				Sub: tg.Tasks[t].Sub, Start: now, End: end,
+			})
+		}
+		busy[p] += tg.Tasks[t].Cost
+	}
+
+	dispatch := func(p int32, now int64) {
+		ps := &procs[p]
+		for (ps.free != 0) && ps.ready.len() > 0 {
+			t := ps.ready.pop(cfg.Strategy, blevel, rng)
+			startTask(t, now)
+		}
+	}
+
+	// Seed initial ready tasks.
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			procs[procOf[i]].ready.push(int32(i))
+		}
+	}
+	for p := range procs {
+		dispatch(int32(p), 0)
+	}
+
+	var now int64
+	completed := 0
+	var touched []int32
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(event)
+		now = ev.time
+		touched = touched[:0]
+
+		if ev.kind == evArrival {
+			// A communicated dependency edge arrived at ev.task's process.
+			indeg[ev.task]--
+			if indeg[ev.task] == 0 {
+				p := procOf[ev.task]
+				procs[p].ready.push(ev.task)
+				touched = append(touched, p)
+			}
+		} else {
+			completed++
+			p := procOf[ev.task]
+			ps := &procs[p]
+			if ps.free >= 0 {
+				ps.free++
+				ps.returnWorker(ev.worker)
+			}
+			touched = append(touched, p)
+			// Release successors: same-process edges are instantaneous,
+			// cross-process edges arrive after the communication latency.
+			for _, s := range tg.SuccsOf(ev.task) {
+				if cfg.CommLatency > 0 && procOf[s] != p {
+					heap.Push(&events, event{time: now + cfg.CommLatency, task: s, kind: evArrival})
+					continue
+				}
+				indeg[s]--
+				if indeg[s] == 0 {
+					procs[procOf[s]].ready.push(s)
+					touched = append(touched, procOf[s])
+				}
+			}
+		}
+		for _, tp := range touched {
+			dispatch(tp, now)
+		}
+	}
+	if completed != n {
+		return nil, fmt.Errorf("flusim: deadlock — %d of %d tasks completed (cyclic dependencies?)", completed, n)
+	}
+
+	tr.Makespan = now
+	res := &Result{
+		Makespan:     now,
+		BusyPerProc:  busy,
+		CriticalPath: tg.CriticalPath(),
+		TotalWork:    tg.TotalWork(),
+	}
+	if cfg.RecordTrace {
+		res.Trace = tr
+	}
+	return res, nil
+}
+
+// bottomLevels computes each task's cost-weighted longest path to a sink.
+func bottomLevels(tg *taskgraph.TaskGraph) []int64 {
+	n := tg.NumTasks()
+	bl := make([]int64, n)
+	for t := n - 1; t >= 0; t-- {
+		var best int64
+		for _, s := range tg.SuccsOf(int32(t)) {
+			if bl[s] > best {
+				best = bl[s]
+			}
+		}
+		bl[t] = best + tg.Tasks[t].Cost
+	}
+	return bl
+}
+
+// procState tracks one process's free workers and ready queue.
+type procState struct {
+	// free is the number of idle workers, or -1 for unbounded.
+	free int
+	// idleWorkers recycles worker ids for bounded clusters.
+	idleWorkers []int32
+	nextWorker  int32
+	ready       readyQueue
+}
+
+func (ps *procState) takeWorker() int32 {
+	if k := len(ps.idleWorkers); k > 0 {
+		w := ps.idleWorkers[k-1]
+		ps.idleWorkers = ps.idleWorkers[:k-1]
+		return w
+	}
+	w := ps.nextWorker
+	ps.nextWorker++
+	return w
+}
+
+func (ps *procState) returnWorker(w int32) {
+	ps.idleWorkers = append(ps.idleWorkers, w)
+}
+
+func (ps *procState) nextVirtualWorker() int32 {
+	w := ps.nextWorker
+	ps.nextWorker++
+	return w
+}
+
+// readyQueue holds ready task ids; pop order depends on the strategy. FIFO
+// pops advance a head index (amortised O(1)); the other strategies use
+// swap-removal since they don't rely on insertion order.
+type readyQueue struct {
+	tasks []int32
+	head  int
+}
+
+func (q *readyQueue) len() int     { return len(q.tasks) - q.head }
+func (q *readyQueue) push(t int32) { q.tasks = append(q.tasks, t) }
+
+func (q *readyQueue) pop(s Strategy, blevel []int64, rng *rand.Rand) int32 {
+	live := q.tasks[q.head:]
+	switch s {
+	case Eager:
+		t := live[0]
+		q.head++
+		if q.head == len(q.tasks) {
+			q.tasks, q.head = q.tasks[:0], 0
+		}
+		return t
+	case LIFO:
+		t := live[len(live)-1]
+		q.tasks = q.tasks[:len(q.tasks)-1]
+		return t
+	case CriticalPathFirst:
+		idx := 0
+		for i, t := range live {
+			if blevel[t] > blevel[live[idx]] {
+				idx = i
+			}
+		}
+		t := live[idx]
+		live[idx] = live[len(live)-1]
+		q.tasks = q.tasks[:len(q.tasks)-1]
+		return t
+	case RandomOrder:
+		idx := rng.Intn(len(live))
+		t := live[idx]
+		live[idx] = live[len(live)-1]
+		q.tasks = q.tasks[:len(q.tasks)-1]
+		return t
+	}
+	panic("flusim: unknown strategy")
+}
+
+// event is either a task completion or the arrival of a communicated
+// dependency edge.
+type event struct {
+	time   int64
+	task   int32
+	worker int32
+	kind   uint8
+}
+
+const (
+	evCompletion uint8 = iota
+	evArrival
+)
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].task < h[j].task
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,278 @@
+// Package graph provides compressed-sparse-row (CSR) graphs with
+// multi-constraint vertex weights and weighted edges. It is the substrate on
+// which the multilevel partitioner (internal/partition) operates: mesh cells
+// become vertices, mesh faces become edges, and each vertex carries a vector
+// of balance constraints (one component per temporal level in the MC_TL
+// strategy, a single operating-cost component in SC_OC).
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Graph is an undirected graph in CSR form. Every undirected edge {u,v}
+// is stored twice, once in each endpoint's adjacency list. Vertex weights
+// are vectors of NCon components, flattened row-major into VWgt
+// (vertex v, constraint c at VWgt[v*NCon+c]).
+type Graph struct {
+	// Xadj has length NumVertices()+1; the neighbours of vertex v are
+	// Adjncy[Xadj[v]:Xadj[v+1]] and the corresponding edge weights are
+	// AdjWgt[Xadj[v]:Xadj[v+1]].
+	Xadj   []int32
+	Adjncy []int32
+	AdjWgt []int32
+
+	// NCon is the number of balance constraints carried by each vertex.
+	NCon int
+	// VWgt holds NumVertices()*NCon weights, row-major.
+	VWgt []int32
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.Xadj) - 1 }
+
+// NumEdges returns the number of undirected edges (each stored twice
+// internally).
+func (g *Graph) NumEdges() int { return len(g.Adjncy) / 2 }
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int32) int { return int(g.Xadj[v+1] - g.Xadj[v]) }
+
+// Neighbors returns the adjacency slice of v. The returned slice aliases the
+// graph's storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 { return g.Adjncy[g.Xadj[v]:g.Xadj[v+1]] }
+
+// EdgeWeights returns the edge-weight slice of v, parallel to Neighbors(v).
+func (g *Graph) EdgeWeights(v int32) []int32 { return g.AdjWgt[g.Xadj[v]:g.Xadj[v+1]] }
+
+// Weight returns constraint component c of vertex v.
+func (g *Graph) Weight(v int32, c int) int32 { return g.VWgt[int(v)*g.NCon+c] }
+
+// WeightVec returns the constraint vector of vertex v. The returned slice
+// aliases the graph's storage.
+func (g *Graph) WeightVec(v int32) []int32 {
+	return g.VWgt[int(v)*g.NCon : int(v)*g.NCon+g.NCon]
+}
+
+// TotalWeights returns the per-constraint sums over all vertices.
+func (g *Graph) TotalWeights() []int64 {
+	tot := make([]int64, g.NCon)
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		row := g.VWgt[v*g.NCon : (v+1)*g.NCon]
+		for c, w := range row {
+			tot[c] += int64(w)
+		}
+	}
+	return tot
+}
+
+// TotalEdgeWeight returns the sum of the weights of all undirected edges.
+func (g *Graph) TotalEdgeWeight() int64 {
+	var s int64
+	for _, w := range g.AdjWgt {
+		s += int64(w)
+	}
+	return s / 2
+}
+
+// Validate checks structural invariants: monotone Xadj, in-range adjacency,
+// no self loops, symmetric adjacency with matching edge weights, and
+// consistent weight-array lengths. It is intended for tests and for guarding
+// external inputs; it is O(E log d).
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if n < 0 {
+		return errors.New("graph: empty Xadj")
+	}
+	if g.NCon <= 0 {
+		return fmt.Errorf("graph: NCon = %d, want >= 1", g.NCon)
+	}
+	if len(g.VWgt) != n*g.NCon {
+		return fmt.Errorf("graph: len(VWgt) = %d, want %d", len(g.VWgt), n*g.NCon)
+	}
+	if len(g.AdjWgt) != len(g.Adjncy) {
+		return fmt.Errorf("graph: len(AdjWgt) = %d, want %d", len(g.AdjWgt), len(g.Adjncy))
+	}
+	if g.Xadj[0] != 0 || int(g.Xadj[n]) != len(g.Adjncy) {
+		return fmt.Errorf("graph: Xadj bounds [%d,%d], want [0,%d]", g.Xadj[0], g.Xadj[n], len(g.Adjncy))
+	}
+	for v := 0; v < n; v++ {
+		if g.Xadj[v] > g.Xadj[v+1] {
+			return fmt.Errorf("graph: Xadj not monotone at %d", v)
+		}
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			u := g.Adjncy[i]
+			if u < 0 || int(u) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbour %d", v, u)
+			}
+			if int32(v) == u {
+				return fmt.Errorf("graph: self loop at %d", v)
+			}
+			if w := g.findEdgeWeight(u, int32(v)); w < 0 {
+				return fmt.Errorf("graph: edge %d->%d not symmetric", v, u)
+			} else if w != g.AdjWgt[i] {
+				return fmt.Errorf("graph: edge {%d,%d} weight mismatch %d != %d", v, u, g.AdjWgt[i], w)
+			}
+		}
+	}
+	return nil
+}
+
+// findEdgeWeight returns the weight of edge u->v, or -1 if absent.
+func (g *Graph) findEdgeWeight(u, v int32) int32 {
+	for i := g.Xadj[u]; i < g.Xadj[u+1]; i++ {
+		if g.Adjncy[i] == v {
+			return g.AdjWgt[i]
+		}
+	}
+	return -1
+}
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v int32) bool { return g.findEdgeWeight(u, v) >= 0 }
+
+// Components labels each vertex with its connected-component index and
+// returns (labels, count). Labels are dense in [0,count).
+func (g *Graph) Components() ([]int32, int) {
+	n := g.NumVertices()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []int32
+	count := 0
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		comp[s] = id
+		stack = append(stack[:0], int32(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range g.Neighbors(v) {
+				if comp[u] < 0 {
+					comp[u] = id
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// Contract builds the coarse graph induced by a vertex mapping. cmap[v] gives
+// the coarse vertex of fine vertex v and must be dense in [0, ncoarse).
+// Coarse vertex weights are the per-constraint sums of their fine vertices;
+// coarse edge weights are the sums of fine edge weights between the two
+// coarse endpoints. Fine edges internal to a coarse vertex disappear.
+func (g *Graph) Contract(cmap []int32, ncoarse int) *Graph {
+	n := g.NumVertices()
+	cg := &Graph{
+		NCon: g.NCon,
+		VWgt: make([]int32, ncoarse*g.NCon),
+		Xadj: make([]int32, ncoarse+1),
+	}
+	for v := 0; v < n; v++ {
+		cv := int(cmap[v])
+		for c := 0; c < g.NCon; c++ {
+			cg.VWgt[cv*g.NCon+c] += g.VWgt[v*g.NCon+c]
+		}
+	}
+	// Two passes: count distinct coarse neighbours, then fill. A scratch
+	// table maps coarse neighbour -> position for the coarse vertex being
+	// assembled.
+	pos := make([]int32, ncoarse)
+	for i := range pos {
+		pos[i] = -1
+	}
+	// Group fine vertices by coarse vertex for cache-friendly assembly.
+	order, starts := groupByCoarse(cmap, ncoarse)
+
+	var adj []int32
+	var wgt []int32
+	touched := make([]int32, 0, 64)
+	for cv := 0; cv < ncoarse; cv++ {
+		for _, v := range order[starts[cv]:starts[cv+1]] {
+			for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+				cu := cmap[g.Adjncy[i]]
+				if int(cu) == cv {
+					continue
+				}
+				if p := pos[cu]; p < 0 {
+					pos[cu] = int32(len(adj))
+					adj = append(adj, cu)
+					wgt = append(wgt, g.AdjWgt[i])
+					touched = append(touched, cu)
+				} else {
+					wgt[p] += g.AdjWgt[i]
+				}
+			}
+		}
+		for _, cu := range touched {
+			pos[cu] = -1
+		}
+		touched = touched[:0]
+		cg.Xadj[cv+1] = int32(len(adj))
+	}
+	cg.Adjncy = adj
+	cg.AdjWgt = wgt
+	return cg
+}
+
+// groupByCoarse returns fine vertices ordered by their coarse vertex, plus
+// the CSR-style starts array (len ncoarse+1).
+func groupByCoarse(cmap []int32, ncoarse int) (order []int32, starts []int32) {
+	counts := make([]int32, ncoarse+1)
+	for _, cv := range cmap {
+		counts[cv+1]++
+	}
+	for i := 1; i <= ncoarse; i++ {
+		counts[i] += counts[i-1]
+	}
+	starts = counts
+	order = make([]int32, len(cmap))
+	fill := make([]int32, ncoarse)
+	copy(fill, starts[:ncoarse])
+	for v, cv := range cmap {
+		order[fill[cv]] = int32(v)
+		fill[cv]++
+	}
+	return order, starts
+}
+
+// Subgraph extracts the induced subgraph over the given vertices (which must
+// be distinct). It returns the subgraph and the mapping from subgraph vertex
+// index to original vertex id.
+func (g *Graph) Subgraph(vertices []int32) (*Graph, []int32) {
+	n := len(vertices)
+	local := make(map[int32]int32, n)
+	for i, v := range vertices {
+		local[v] = int32(i)
+	}
+	sg := &Graph{
+		NCon: g.NCon,
+		Xadj: make([]int32, n+1),
+		VWgt: make([]int32, n*g.NCon),
+	}
+	var adj, wgt []int32
+	for i, v := range vertices {
+		copy(sg.VWgt[i*g.NCon:(i+1)*g.NCon], g.WeightVec(v))
+		for j := g.Xadj[v]; j < g.Xadj[v+1]; j++ {
+			if lu, ok := local[g.Adjncy[j]]; ok {
+				adj = append(adj, lu)
+				wgt = append(wgt, g.AdjWgt[j])
+			}
+		}
+		sg.Xadj[i+1] = int32(len(adj))
+	}
+	sg.Adjncy = adj
+	sg.AdjWgt = wgt
+	orig := make([]int32, n)
+	copy(orig, vertices)
+	return sg, orig
+}

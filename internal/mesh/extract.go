@@ -1,0 +1,141 @@
+package mesh
+
+import (
+	"fmt"
+
+	"tempart/internal/temporal"
+)
+
+// DomainMesh is the local view a process owns after domain extraction
+// (paper Fig. 2): the domain's own cells, plus one layer of ghost cells
+// copied from neighbouring domains, plus every face adjacent to an owned
+// cell. This is the unit of data distribution in the MPI production code —
+// each process works on a compact local mesh and refreshes its ghosts by
+// halo exchange.
+type DomainMesh struct {
+	// Local is the extracted mesh. Cells [0, NumOwned) are owned; cells
+	// [NumOwned, NumCells) are ghosts. Faces between two ghosts are not
+	// included (their fluxes belong to other domains).
+	Local *Mesh
+	// NumOwned is the count of owned cells at the front of the local mesh.
+	NumOwned int
+	// GlobalCell maps local cell ids to global ids (owned first, ghosts
+	// after).
+	GlobalCell []int32
+	// GhostOwner[i] is the domain owning ghost cell NumOwned+i.
+	GhostOwner []int32
+}
+
+// NumGhosts returns the ghost-layer size.
+func (d *DomainMesh) NumGhosts() int { return d.Local.NumCells() - d.NumOwned }
+
+// ExtractDomain builds domain d's local mesh from a decomposition. Faces of
+// the global mesh are included iff at least one side is owned; global
+// boundary faces of owned cells stay boundary faces; faces whose far side is
+// a ghost keep both cells (the ghost supplies the neighbour state exactly as
+// a halo copy would).
+func ExtractDomain(m *Mesh, part []int32, d int32) (*DomainMesh, error) {
+	if len(part) != m.NumCells() {
+		return nil, fmt.Errorf("mesh: %d assignments for %d cells", len(part), m.NumCells())
+	}
+	local := make(map[int32]int32) // global -> local
+	var globalCell []int32
+	add := func(g int32) int32 {
+		if l, ok := local[g]; ok {
+			return l
+		}
+		l := int32(len(globalCell))
+		local[g] = l
+		globalCell = append(globalCell, g)
+		return l
+	}
+	// Owned cells first, in global order.
+	for c := int32(0); c < int32(m.NumCells()); c++ {
+		if part[c] == d {
+			add(c)
+		}
+	}
+	numOwned := len(globalCell)
+	if numOwned == 0 {
+		return nil, fmt.Errorf("mesh: domain %d owns no cells", d)
+	}
+	// Ghost layer: remote cells across owned faces.
+	var ghostOwner []int32
+	for _, f := range m.Faces[:m.NumInteriorFaces] {
+		a, b := part[f.C0] == d, part[f.C1] == d
+		if a == b {
+			continue
+		}
+		var ghost int32
+		if a {
+			ghost = f.C1
+		} else {
+			ghost = f.C0
+		}
+		before := len(globalCell)
+		add(ghost)
+		if len(globalCell) > before {
+			ghostOwner = append(ghostOwner, part[ghost])
+		}
+	}
+
+	out := &Mesh{
+		Name:     fmt.Sprintf("%s/domain%d", m.Name, d),
+		MaxLevel: m.MaxLevel,
+		Level:    make([]temporal.Level, len(globalCell)),
+		Volume:   make([]float32, len(globalCell)),
+		CX:       make([]float32, len(globalCell)),
+		CY:       make([]float32, len(globalCell)),
+		CZ:       make([]float32, len(globalCell)),
+	}
+	for l, g := range globalCell {
+		out.Level[l] = m.Level[g]
+		out.Volume[l] = m.Volume[g]
+		out.CX[l], out.CY[l], out.CZ[l] = m.CX[g], m.CY[g], m.CZ[g]
+	}
+
+	// Faces: interior faces with at least one owned side.
+	for _, f := range m.Faces[:m.NumInteriorFaces] {
+		if part[f.C0] != d && part[f.C1] != d {
+			continue
+		}
+		out.Faces = append(out.Faces, Face{local[f.C0], local[f.C1]})
+	}
+	out.NumInteriorFaces = len(out.Faces)
+	// Boundary faces of owned cells, normals carried over.
+	for i := m.NumInteriorFaces; i < len(m.Faces); i++ {
+		f := m.Faces[i]
+		if part[f.C0] != d {
+			continue
+		}
+		out.Faces = append(out.Faces, Face{local[f.C0], Boundary})
+		bx, by, bz := m.BoundaryNormal(int32(i))
+		out.BNx = append(out.BNx, bx)
+		out.BNy = append(out.BNy, by)
+		out.BNz = append(out.BNz, bz)
+	}
+
+	dm := &DomainMesh{
+		Local:      out,
+		NumOwned:   numOwned,
+		GlobalCell: globalCell,
+		GhostOwner: ghostOwner,
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("mesh: extracted domain invalid: %w", err)
+	}
+	return dm, nil
+}
+
+// ExtractAll extracts every domain of a k-way decomposition.
+func ExtractAll(m *Mesh, part []int32, k int) ([]*DomainMesh, error) {
+	out := make([]*DomainMesh, k)
+	for d := 0; d < k; d++ {
+		dm, err := ExtractDomain(m, part, int32(d))
+		if err != nil {
+			return nil, err
+		}
+		out[d] = dm
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package mesh
+
+import (
+	"testing"
+
+	"tempart/internal/temporal"
+)
+
+func TestExtractDomainStrip(t *testing.T) {
+	// 4-cell strip split 2|2: each domain owns 2 cells and ghosts 1.
+	m := Strip([]temporal.Level{0, 1, 2, 2})
+	part := []int32{0, 0, 1, 1}
+	d0, err := ExtractDomain(m, part, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0.NumOwned != 2 || d0.NumGhosts() != 1 {
+		t.Fatalf("owned/ghosts = %d/%d, want 2/1", d0.NumOwned, d0.NumGhosts())
+	}
+	// Ghost is global cell 2, owned by domain 1.
+	if d0.GlobalCell[2] != 2 || d0.GhostOwner[0] != 1 {
+		t.Errorf("ghost mapping wrong: %v %v", d0.GlobalCell, d0.GhostOwner)
+	}
+	// Local faces: {0-1} owned-owned, {1-2} owned-ghost → 2 interior; one
+	// boundary face (left wall of cell 0).
+	if d0.Local.NumInteriorFaces != 2 {
+		t.Errorf("interior faces = %d, want 2", d0.Local.NumInteriorFaces)
+	}
+	if nb := d0.Local.NumFaces() - d0.Local.NumInteriorFaces; nb != 1 {
+		t.Errorf("boundary faces = %d, want 1", nb)
+	}
+	// Levels carried over.
+	if d0.Local.Level[0] != 0 || d0.Local.Level[1] != 1 || d0.Local.Level[2] != 2 {
+		t.Errorf("levels = %v", d0.Local.Level[:3])
+	}
+}
+
+func TestExtractAllCoversMesh(t *testing.T) {
+	m := Cube(0.05)
+	const k = 6
+	part := make([]int32, m.NumCells())
+	for c := range part {
+		part[c] = int32(c % k)
+	}
+	doms, err := ExtractAll(m, part, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Owned cells partition the global mesh exactly.
+	seen := make([]bool, m.NumCells())
+	total := 0
+	for d, dm := range doms {
+		for l := 0; l < dm.NumOwned; l++ {
+			g := dm.GlobalCell[l]
+			if seen[g] {
+				t.Fatalf("cell %d owned twice", g)
+			}
+			if part[g] != int32(d) {
+				t.Fatalf("cell %d extracted into wrong domain", g)
+			}
+			seen[g] = true
+			total++
+		}
+		// Ghost owners are never the domain itself.
+		for i, o := range dm.GhostOwner {
+			if o == int32(d) {
+				t.Fatalf("domain %d ghost %d owned by itself", d, i)
+			}
+		}
+	}
+	if total != m.NumCells() {
+		t.Fatalf("owned total %d != %d cells", total, m.NumCells())
+	}
+	// Interior faces with one owned side appear in exactly the owning
+	// domain(s): an owned-owned face once, a cut face once per side.
+	wantFaces := 0
+	for _, f := range m.Faces[:m.NumInteriorFaces] {
+		if part[f.C0] == part[f.C1] {
+			wantFaces++
+		} else {
+			wantFaces += 2
+		}
+	}
+	gotFaces := 0
+	for _, dm := range doms {
+		gotFaces += dm.Local.NumInteriorFaces
+	}
+	if gotFaces != wantFaces {
+		t.Errorf("local interior faces total %d, want %d", gotFaces, wantFaces)
+	}
+}
+
+func TestExtractDomainGhostMatchesHalo(t *testing.T) {
+	// The extraction ghost layer equals the metrics halo definition when
+	// every domain is its own process: check totals on a random-ish split.
+	m := Cylinder(0.0005)
+	const k = 5
+	part := make([]int32, m.NumCells())
+	for c := range part {
+		part[c] = int32((c * 7) % k)
+	}
+	doms, err := ExtractAll(m, part, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count distinct (ghost cell, domain) pairs directly.
+	type cp struct{ c, d int32 }
+	want := map[cp]bool{}
+	for _, f := range m.Faces[:m.NumInteriorFaces] {
+		if part[f.C0] != part[f.C1] {
+			want[cp{f.C1, part[f.C0]}] = true
+			want[cp{f.C0, part[f.C1]}] = true
+		}
+	}
+	got := 0
+	for _, dm := range doms {
+		got += dm.NumGhosts()
+	}
+	if got != len(want) {
+		t.Errorf("total ghosts %d, want %d", got, len(want))
+	}
+}
+
+func TestExtractDomainErrors(t *testing.T) {
+	m := Strip([]temporal.Level{0, 0})
+	if _, err := ExtractDomain(m, []int32{0}, 0); err == nil {
+		t.Error("accepted wrong-length part")
+	}
+	if _, err := ExtractDomain(m, []int32{0, 0}, 3); err == nil {
+		t.Error("accepted empty domain")
+	}
+}

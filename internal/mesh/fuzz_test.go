@@ -1,0 +1,34 @@
+package mesh
+
+import (
+	"bytes"
+	"testing"
+
+	"tempart/internal/temporal"
+)
+
+// FuzzDecode feeds arbitrary bytes to the mesh decoder: it must never panic,
+// and whenever it succeeds the mesh must validate.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid encoding and a few mutations.
+	m := Strip([]temporal.Level{0, 1, 2})
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("TMSH junk"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Decode returned invalid mesh: %v", err)
+		}
+	})
+}

@@ -1,0 +1,247 @@
+package mesh
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"tempart/internal/temporal"
+)
+
+// Binary mesh format: a compact little-endian layout so generated meshes can
+// be saved once and reloaded by solvers and tools.
+//
+//	magic  "TMSH"            4 bytes
+//	version u32              currently 2
+//	nameLen u32 + name       UTF-8
+//	numCells u64, maxLevel u8
+//	levels   numCells × u8
+//	volumes  numCells × f32
+//	cx,cy,cz numCells × f32 each
+//	numFaces u64, numInterior u64
+//	faces    numFaces × (i32, i32)
+//	hasNormals u8; if 1: bnx,bny,bnz (numFaces−numInterior) × f32 each
+const (
+	meshMagic   = "TMSH"
+	meshVersion = 2
+)
+
+// Encode serialises the mesh.
+func (m *Mesh) Encode(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+
+	if _, err := bw.WriteString(meshMagic); err != nil {
+		return err
+	}
+	if err := write(uint32(meshVersion)); err != nil {
+		return err
+	}
+	name := []byte(m.Name)
+	if err := write(uint32(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	if err := write(uint64(m.NumCells())); err != nil {
+		return err
+	}
+	if err := write(uint8(m.MaxLevel)); err != nil {
+		return err
+	}
+	levels := make([]uint8, m.NumCells())
+	for i, l := range m.Level {
+		levels[i] = uint8(l)
+	}
+	for _, chunk := range []any{levels, m.Volume, m.CX, m.CY, m.CZ} {
+		if err := write(chunk); err != nil {
+			return err
+		}
+	}
+	if err := write(uint64(len(m.Faces))); err != nil {
+		return err
+	}
+	if err := write(uint64(m.NumInteriorFaces)); err != nil {
+		return err
+	}
+	if err := write(m.Faces); err != nil {
+		return err
+	}
+	has := uint8(0)
+	if m.BNx != nil {
+		has = 1
+	}
+	if err := write(has); err != nil {
+		return err
+	}
+	if has == 1 {
+		for _, chunk := range []any{m.BNx, m.BNy, m.BNz} {
+			if err := write(chunk); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode deserialises a mesh written by Encode and validates it.
+func Decode(r io.Reader) (*Mesh, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("mesh: reading magic: %w", err)
+	}
+	if string(magic) != meshMagic {
+		return nil, fmt.Errorf("mesh: bad magic %q", magic)
+	}
+	var version uint32
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != meshVersion {
+		return nil, fmt.Errorf("mesh: unsupported version %d", version)
+	}
+	var nameLen uint32
+	if err := read(&nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("mesh: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var numCells uint64
+	var maxLevel uint8
+	if err := read(&numCells); err != nil {
+		return nil, err
+	}
+	if err := read(&maxLevel); err != nil {
+		return nil, err
+	}
+	if numCells > 1<<33 || maxLevel > temporal.MaxSupportedLevel {
+		return nil, fmt.Errorf("mesh: implausible header (%d cells, max level %d)", numCells, maxLevel)
+	}
+	// Arrays are read in bounded chunks so a forged header cannot force a
+	// huge allocation before the (truncated) input runs out.
+	const chunkElems = 1 << 20
+	readU8s := func(n uint64) ([]uint8, error) {
+		var out []uint8
+		for n > 0 {
+			c := n
+			if c > chunkElems {
+				c = chunkElems
+			}
+			buf := make([]uint8, c)
+			if err := read(buf); err != nil {
+				return nil, err
+			}
+			out = append(out, buf...)
+			n -= c
+		}
+		return out, nil
+	}
+	readF32s := func(n uint64) ([]float32, error) {
+		var out []float32
+		for n > 0 {
+			c := n
+			if c > chunkElems {
+				c = chunkElems
+			}
+			buf := make([]float32, c)
+			if err := read(buf); err != nil {
+				return nil, err
+			}
+			out = append(out, buf...)
+			n -= c
+		}
+		return out, nil
+	}
+
+	m := &Mesh{Name: string(name), MaxLevel: temporal.Level(maxLevel)}
+	levels, err := readU8s(numCells)
+	if err != nil {
+		return nil, err
+	}
+	m.Level = make([]temporal.Level, numCells)
+	for i, l := range levels {
+		m.Level[i] = temporal.Level(l)
+	}
+	for _, dst := range []*[]float32{&m.Volume, &m.CX, &m.CY, &m.CZ} {
+		arr, err := readF32s(numCells)
+		if err != nil {
+			return nil, err
+		}
+		*dst = arr
+	}
+	var numFaces, numInterior uint64
+	if err := read(&numFaces); err != nil {
+		return nil, err
+	}
+	if err := read(&numInterior); err != nil {
+		return nil, err
+	}
+	if numFaces > 1<<34 || numInterior > numFaces {
+		return nil, fmt.Errorf("mesh: implausible face counts (%d, %d interior)", numFaces, numInterior)
+	}
+	m.NumInteriorFaces = int(numInterior)
+	for n := numFaces; n > 0; {
+		c := n
+		if c > chunkElems {
+			c = chunkElems
+		}
+		buf := make([]Face, c)
+		if err := read(buf); err != nil {
+			return nil, err
+		}
+		m.Faces = append(m.Faces, buf...)
+		n -= c
+	}
+	var has uint8
+	if err := read(&has); err != nil {
+		return nil, err
+	}
+	if has == 1 {
+		nb := numFaces - numInterior
+		for _, dst := range []*[]float32{&m.BNx, &m.BNy, &m.BNz} {
+			arr, err := readF32s(nb)
+			if err != nil {
+				return nil, err
+			}
+			*dst = arr
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("mesh: loaded mesh invalid: %w", err)
+	}
+	return m, nil
+}
+
+// Save writes the mesh to a file.
+func (m *Mesh) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a mesh from a file.
+func Load(path string) (*Mesh, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

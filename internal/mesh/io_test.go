@@ -1,0 +1,93 @@
+package mesh
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"tempart/internal/temporal"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := Cube(0.05)
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || got.NumCells() != m.NumCells() || got.MaxLevel != m.MaxLevel {
+		t.Fatal("header mismatch")
+	}
+	if got.NumFaces() != m.NumFaces() || got.NumInteriorFaces != m.NumInteriorFaces {
+		t.Fatal("face counts mismatch")
+	}
+	for c := 0; c < m.NumCells(); c++ {
+		if got.Level[c] != m.Level[c] || got.Volume[c] != m.Volume[c] ||
+			got.CX[c] != m.CX[c] || got.CY[c] != m.CY[c] || got.CZ[c] != m.CZ[c] {
+			t.Fatalf("cell %d mismatch", c)
+		}
+	}
+	for i := range m.Faces {
+		if got.Faces[i] != m.Faces[i] {
+			t.Fatalf("face %d mismatch", i)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	m := Strip([]temporal.Level{0, 1, 2})
+	path := filepath.Join(t.TempDir(), "m.tmsh")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumCells() != 3 || got.Name != "STRIP" {
+		t.Fatal("loaded mesh wrong")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("JUNKJUNKJUNK"))); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	m := Strip([]temporal.Level{0, 0})
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Decode(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("accepted truncated stream")
+	}
+}
+
+func TestReadRejectsCorruptFaces(t *testing.T) {
+	m := Strip([]temporal.Level{0, 0, 0})
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the final face record's C0 to an out-of-range value. The file
+	// tail holds the normals block (1 has-byte + 3·nb float32s); the last
+	// face record sits just before it.
+	nb := m.NumFaces() - m.NumInteriorFaces
+	tail := 1 + 3*nb*4
+	off := len(raw) - tail - 8 // final face = (C0 i32, C1 i32)
+	raw[off] = 0xFF
+	raw[off+1] = 0xFF
+	raw[off+2] = 0xFF
+	raw[off+3] = 0x7F
+	if _, err := Decode(bytes.NewReader(raw)); err == nil {
+		t.Fatal("accepted corrupt face data")
+	}
+}

@@ -1,0 +1,246 @@
+// Package mesh models the unstructured finite-volume meshes that FLUSEPA
+// operates on and provides synthetic generators reproducing the paper's three
+// Airbus test meshes (Table I): CYLINDER, CUBE and PPRIME_NOZZLE.
+//
+// A mesh is a set of cells carrying a volume, a centroid and a temporal level
+// (see internal/temporal), connected by faces. Interior faces join two cells;
+// boundary faces belong to a single cell. The partitioner consumes the dual
+// graph (cells as vertices, interior faces as edges); the solver additionally
+// uses face areas and boundary faces.
+//
+// The production meshes are proprietary, so the generators here build graded
+// 3D hexahedral meshes whose temporal-level census matches Table I's per-
+// level fractions and whose hot regions mimic each case's geometry (a single
+// central core, three disjoint hotspots, a jet cone). See DESIGN.md §2 for
+// the substitution argument.
+package mesh
+
+import (
+	"fmt"
+
+	"tempart/internal/graph"
+	"tempart/internal/temporal"
+)
+
+// Face joins cells C0 and C1. For boundary faces C1 == Boundary.
+type Face struct {
+	C0, C1 int32
+}
+
+// Boundary marks the missing side of a boundary face.
+const Boundary int32 = -1
+
+// IsBoundary reports whether the face lies on the mesh boundary.
+func (f Face) IsBoundary() bool { return f.C1 == Boundary }
+
+// Mesh is a finite-volume mesh. All per-cell slices have length NumCells().
+type Mesh struct {
+	Name string
+
+	// Level is each cell's temporal level.
+	Level []temporal.Level
+	// Volume is each cell's volume (arbitrary units; levels derive from it).
+	Volume []float32
+	// CX, CY, CZ are cell centroids.
+	CX, CY, CZ []float32
+
+	// Faces lists every face once. Interior faces precede boundary faces.
+	Faces []Face
+	// NumInteriorFaces is the count of interior faces at the front of Faces.
+	NumInteriorFaces int
+
+	// BNx, BNy, BNz hold the outward unit normal of each boundary face,
+	// indexed by faceID − NumInteriorFaces. Solvers need them for wall
+	// pressure fluxes. Generators always fill them; externally built meshes
+	// may leave them nil (BoundaryNormal then falls back to zero vectors).
+	BNx, BNy, BNz []float32
+
+	// MaxLevel is the highest temporal level present.
+	MaxLevel temporal.Level
+
+	// cellFaces is a CSR index from cell to the ids of its faces, built
+	// lazily by CellFaces.
+	cfXadj []int32
+	cfAdj  []int32
+}
+
+// NumCells returns the number of cells.
+func (m *Mesh) NumCells() int { return len(m.Level) }
+
+// NumFaces returns the total number of faces (interior + boundary).
+func (m *Mesh) NumFaces() int { return len(m.Faces) }
+
+// BoundaryNormal returns the outward unit normal of boundary face f (a face
+// id ≥ NumInteriorFaces). Meshes without normal data return zeros.
+func (m *Mesh) BoundaryNormal(f int32) (x, y, z float32) {
+	i := int(f) - m.NumInteriorFaces
+	if m.BNx == nil || i < 0 || i >= len(m.BNx) {
+		return 0, 0, 0
+	}
+	return m.BNx[i], m.BNy[i], m.BNz[i]
+}
+
+// Scheme returns the temporal scheme induced by the mesh's maximum level.
+func (m *Mesh) Scheme() temporal.Scheme {
+	s, err := temporal.NewScheme(m.MaxLevel)
+	if err != nil {
+		panic(err) // MaxLevel is validated at construction
+	}
+	return s
+}
+
+// Census returns the number of cells at each temporal level, indexed by
+// level, with length MaxLevel+1.
+func (m *Mesh) Census() []int64 {
+	counts := make([]int64, int(m.MaxLevel)+1)
+	for _, l := range m.Level {
+		counts[l]++
+	}
+	return counts
+}
+
+// CellFaces returns the ids of the faces of cell c. The first call builds the
+// index in O(cells+faces).
+func (m *Mesh) CellFaces(c int32) []int32 {
+	if m.cfXadj == nil {
+		m.buildCellFaces()
+	}
+	return m.cfAdj[m.cfXadj[c]:m.cfXadj[c+1]]
+}
+
+func (m *Mesh) buildCellFaces() {
+	n := m.NumCells()
+	deg := make([]int32, n+1)
+	for _, f := range m.Faces {
+		deg[f.C0+1]++
+		if !f.IsBoundary() {
+			deg[f.C1+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	adj := make([]int32, deg[n])
+	fill := make([]int32, n)
+	copy(fill, deg[:n])
+	for i, f := range m.Faces {
+		adj[fill[f.C0]] = int32(i)
+		fill[f.C0]++
+		if !f.IsBoundary() {
+			adj[fill[f.C1]] = int32(i)
+			fill[f.C1]++
+		}
+	}
+	m.cfXadj, m.cfAdj = deg, adj
+}
+
+// Validate checks mesh invariants: face endpoints in range, interior faces
+// really interior and ordered before boundary faces, levels within MaxLevel,
+// and positive volumes.
+func (m *Mesh) Validate() error {
+	n := int32(m.NumCells())
+	if len(m.Volume) != int(n) || len(m.CX) != int(n) || len(m.CY) != int(n) || len(m.CZ) != int(n) {
+		return fmt.Errorf("mesh: inconsistent per-cell slice lengths")
+	}
+	if m.NumInteriorFaces > len(m.Faces) {
+		return fmt.Errorf("mesh: NumInteriorFaces %d > faces %d", m.NumInteriorFaces, len(m.Faces))
+	}
+	for i, f := range m.Faces {
+		if f.C0 < 0 || f.C0 >= n {
+			return fmt.Errorf("mesh: face %d has bad C0 %d", i, f.C0)
+		}
+		interior := i < m.NumInteriorFaces
+		if interior {
+			if f.C1 < 0 || f.C1 >= n {
+				return fmt.Errorf("mesh: interior face %d has bad C1 %d", i, f.C1)
+			}
+			if f.C0 == f.C1 {
+				return fmt.Errorf("mesh: face %d joins cell %d to itself", i, f.C0)
+			}
+		} else if !f.IsBoundary() {
+			return fmt.Errorf("mesh: face %d in boundary region has C1 %d", i, f.C1)
+		}
+	}
+	for c, l := range m.Level {
+		if l > m.MaxLevel {
+			return fmt.Errorf("mesh: cell %d level %d exceeds MaxLevel %d", c, l, m.MaxLevel)
+		}
+		if m.Volume[c] <= 0 {
+			return fmt.Errorf("mesh: cell %d has non-positive volume", c)
+		}
+	}
+	return nil
+}
+
+// DualGraphOptions selects the vertex weighting of the exported dual graph.
+type DualGraphOptions struct {
+	// Constraints chooses the weight vectors:
+	//   SingleCost  — ncon=1, weight 2^(MaxLevel−τ)  (SC_OC)
+	//   PerLevel    — ncon=NumLevels, binary indicator of the cell's level (MC_TL)
+	//   Unit        — ncon=1, weight 1
+	Constraints ConstraintKind
+}
+
+// ConstraintKind enumerates dual-graph vertex weightings.
+type ConstraintKind int
+
+const (
+	// SingleCost weights each vertex by its operating cost (SC_OC).
+	SingleCost ConstraintKind = iota
+	// PerLevel gives each vertex the binary indicator vector of its
+	// temporal level (MC_TL).
+	PerLevel
+	// Unit weights every vertex 1.
+	Unit
+)
+
+// DualGraph exports the cell-adjacency graph: one vertex per cell, one
+// unit-weight edge per interior face, vertex weights per opts.
+func (m *Mesh) DualGraph(opts DualGraphOptions) *graph.Graph {
+	n := m.NumCells()
+	scheme := m.Scheme()
+
+	var ncon int
+	switch opts.Constraints {
+	case SingleCost, Unit:
+		ncon = 1
+	case PerLevel:
+		ncon = scheme.NumLevels()
+	default:
+		panic(fmt.Sprintf("mesh: unknown constraint kind %d", opts.Constraints))
+	}
+
+	g := &graph.Graph{NCon: ncon, VWgt: make([]int32, n*ncon)}
+	for c := 0; c < n; c++ {
+		switch opts.Constraints {
+		case SingleCost:
+			g.VWgt[c] = scheme.Cost(m.Level[c])
+		case Unit:
+			g.VWgt[c] = 1
+		case PerLevel:
+			g.VWgt[c*ncon+int(m.Level[c])] = 1
+		}
+	}
+
+	// CSR assembly from interior faces.
+	deg := make([]int32, n+1)
+	for _, f := range m.Faces[:m.NumInteriorFaces] {
+		deg[f.C0+1]++
+		deg[f.C1+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	g.Xadj = deg
+	g.Adjncy = make([]int32, deg[n])
+	g.AdjWgt = make([]int32, deg[n])
+	fill := make([]int32, n)
+	copy(fill, deg[:n])
+	for _, f := range m.Faces[:m.NumInteriorFaces] {
+		g.Adjncy[fill[f.C0]], g.AdjWgt[fill[f.C0]] = f.C1, 1
+		fill[f.C0]++
+		g.Adjncy[fill[f.C1]], g.AdjWgt[fill[f.C1]] = f.C0, 1
+		fill[f.C1]++
+	}
+	return g
+}

@@ -1,0 +1,428 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tempart/internal/temporal"
+)
+
+func TestStripBasics(t *testing.T) {
+	m := Strip([]temporal.Level{0, 1, 2, 1})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCells() != 4 {
+		t.Errorf("NumCells = %d, want 4", m.NumCells())
+	}
+	if m.NumInteriorFaces != 3 {
+		t.Errorf("NumInteriorFaces = %d, want 3", m.NumInteriorFaces)
+	}
+	if m.NumFaces() != 5 {
+		t.Errorf("NumFaces = %d, want 5 (3 interior + 2 boundary)", m.NumFaces())
+	}
+	if m.MaxLevel != 2 {
+		t.Errorf("MaxLevel = %d, want 2", m.MaxLevel)
+	}
+	c := m.Census()
+	if c[0] != 1 || c[1] != 2 || c[2] != 1 {
+		t.Errorf("Census = %v, want [1 2 1]", c)
+	}
+}
+
+func TestCellFaces(t *testing.T) {
+	m := Strip([]temporal.Level{0, 0, 0})
+	// Cell 1 is interior: touches faces {0-1} and {1-2}.
+	fs := m.CellFaces(1)
+	if len(fs) != 2 {
+		t.Fatalf("CellFaces(1) = %v, want 2 faces", fs)
+	}
+	// Cell 0 touches interior face 0 and one boundary face.
+	fs0 := m.CellFaces(0)
+	if len(fs0) != 2 {
+		t.Fatalf("CellFaces(0) = %v, want 2 faces", fs0)
+	}
+	foundBoundary := false
+	for _, f := range fs0 {
+		if m.Faces[f].IsBoundary() {
+			foundBoundary = true
+		}
+	}
+	if !foundBoundary {
+		t.Error("CellFaces(0) missing boundary face")
+	}
+}
+
+func TestValidateCatchesBadFace(t *testing.T) {
+	m := Strip([]temporal.Level{0, 0})
+	m.Faces[0].C1 = 99
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range face endpoint")
+	}
+}
+
+func TestValidateCatchesInteriorBoundaryMix(t *testing.T) {
+	m := Strip([]temporal.Level{0, 0})
+	m.Faces[0].C1 = Boundary // boundary face in the interior region
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted boundary face in interior region")
+	}
+}
+
+// checkMesh validates structure and census for a generated mesh.
+func checkMesh(t *testing.T, m *Mesh, wantFracs []int64) {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("%s: %v", m.Name, err)
+	}
+	census := m.Census()
+	if len(census) != len(wantFracs) {
+		t.Fatalf("%s: census has %d levels, want %d", m.Name, len(census), len(wantFracs))
+	}
+	var totWant, totGot int64
+	for i := range wantFracs {
+		totWant += wantFracs[i]
+		totGot += census[i]
+	}
+	for i := range wantFracs {
+		want := float64(wantFracs[i]) / float64(totWant)
+		got := float64(census[i]) / float64(totGot)
+		if math.Abs(want-got) > 0.01 {
+			t.Errorf("%s: level %d fraction = %.4f, want %.4f (census %v)", m.Name, i, got, want, census)
+		}
+	}
+	// Every level populated.
+	for i, c := range census {
+		if c == 0 {
+			t.Errorf("%s: level %d empty", m.Name, i)
+		}
+	}
+}
+
+func TestCylinderCensus(t *testing.T) {
+	m := Cylinder(0.005) // ~32k cells
+	checkMesh(t, m, CylinderCounts)
+	if m.MaxLevel != 3 {
+		t.Errorf("MaxLevel = %d, want 3", m.MaxLevel)
+	}
+}
+
+func TestCubeCensus(t *testing.T) {
+	m := Cube(0.2) // ~30k cells; CUBE is small at full scale
+	checkMesh(t, m, CubeCounts)
+	if m.MaxLevel != 3 {
+		t.Errorf("MaxLevel = %d, want 3", m.MaxLevel)
+	}
+}
+
+func TestNozzleCensus(t *testing.T) {
+	m := Nozzle(0.002) // ~25k cells
+	checkMesh(t, m, NozzleCounts)
+	if m.MaxLevel != 2 {
+		t.Errorf("MaxLevel = %d, want 2", m.MaxLevel)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"CYLINDER", "CUBE", "PPRIME_NOZZLE"} {
+		m, err := ByName(name, 0.001)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("Name = %q, want %q", m.Name, name)
+		}
+	}
+	if _, err := ByName("SPHERE", 1); err == nil {
+		t.Error("ByName accepted unknown mesh")
+	}
+}
+
+// TestHotRegionsAreSpatiallyCoherent checks that the level-0 cells cluster
+// near the hot regions: their mean score must be far below the global mean.
+func TestHotRegionsAreSpatiallyCoherent(t *testing.T) {
+	m := Cube(0.1)
+	// Recover the geometric structure through volumes: level-0 cells should
+	// be concentrated, i.e. the bounding box of each hotspot cluster should
+	// be much smaller than the domain. We check a weaker, robust property:
+	// the mean pairwise distance of level-0 cells is below the mesh-wide
+	// mean pairwise distance (clustered vs uniform).
+	var hot [][3]float64
+	for c := 0; c < m.NumCells(); c++ {
+		if m.Level[c] == 0 {
+			hot = append(hot, [3]float64{float64(m.CX[c]), float64(m.CY[c]), float64(m.CZ[c])})
+		}
+	}
+	if len(hot) < 10 {
+		t.Fatalf("too few level-0 cells: %d", len(hot))
+	}
+	meanHot := meanPairwise(hot, 500)
+	var all [][3]float64
+	for c := 0; c < m.NumCells(); c += 7 {
+		all = append(all, [3]float64{float64(m.CX[c]), float64(m.CY[c]), float64(m.CZ[c])})
+	}
+	meanAll := meanPairwise(all, 500)
+	if meanHot >= meanAll {
+		t.Errorf("level-0 cells not clustered: mean pairwise %.3f vs global %.3f", meanHot, meanAll)
+	}
+}
+
+func meanPairwise(pts [][3]float64, samples int) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	var sum float64
+	cnt := 0
+	step := len(pts)/samples + 1
+	for i := 0; i < len(pts); i += step {
+		for j := i + step; j < len(pts); j += step {
+			sum += dist3(pts[i][0], pts[i][1], pts[i][2], pts[j][0], pts[j][1], pts[j][2])
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+func TestVolumesGrowWithLevel(t *testing.T) {
+	m := Cylinder(0.002)
+	sums := make([]float64, int(m.MaxLevel)+1)
+	counts := make([]int64, int(m.MaxLevel)+1)
+	for c := 0; c < m.NumCells(); c++ {
+		sums[m.Level[c]] += float64(m.Volume[c])
+		counts[m.Level[c]]++
+	}
+	for l := 1; l <= int(m.MaxLevel); l++ {
+		if counts[l] == 0 || counts[l-1] == 0 {
+			continue
+		}
+		if sums[l]/float64(counts[l]) <= sums[l-1]/float64(counts[l-1]) {
+			t.Errorf("mean volume at level %d not larger than level %d", l, l-1)
+		}
+	}
+}
+
+func TestDualGraphSingleCost(t *testing.T) {
+	m := Strip([]temporal.Level{0, 1, 2})
+	g := m.DualGraph(DualGraphOptions{Constraints: SingleCost})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NCon != 1 {
+		t.Fatalf("NCon = %d, want 1", g.NCon)
+	}
+	// Costs with MaxLevel=2: level 0 → 4, 1 → 2, 2 → 1.
+	want := []int32{4, 2, 1}
+	for v, w := range want {
+		if got := g.Weight(int32(v), 0); got != w {
+			t.Errorf("Weight(%d) = %d, want %d", v, got, w)
+		}
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestDualGraphPerLevel(t *testing.T) {
+	m := Strip([]temporal.Level{0, 1, 2, 1})
+	g := m.DualGraph(DualGraphOptions{Constraints: PerLevel})
+	if g.NCon != 3 {
+		t.Fatalf("NCon = %d, want 3", g.NCon)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 1 has level 1 → vector [0 1 0].
+	w := g.WeightVec(1)
+	if w[0] != 0 || w[1] != 1 || w[2] != 0 {
+		t.Errorf("WeightVec(1) = %v, want [0 1 0]", w)
+	}
+	tot := g.TotalWeights()
+	if tot[0] != 1 || tot[1] != 2 || tot[2] != 1 {
+		t.Errorf("TotalWeights = %v, want census [1 2 1]", tot)
+	}
+}
+
+func TestDualGraphUnit(t *testing.T) {
+	m := Strip([]temporal.Level{0, 0, 1})
+	g := m.DualGraph(DualGraphOptions{Constraints: Unit})
+	for v := int32(0); v < 3; v++ {
+		if g.Weight(v, 0) != 1 {
+			t.Errorf("Weight(%d) = %d, want 1", v, g.Weight(v, 0))
+		}
+	}
+}
+
+// Property: the dual graph of any generated mesh is connected (grid meshes
+// are connected by construction) and its per-level total weights equal the
+// census.
+func TestDualGraphMatchesCensusProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		scale := 0.0002 + float64(seed%5)*0.0002
+		m := Cylinder(scale)
+		g := m.DualGraph(DualGraphOptions{Constraints: PerLevel})
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		census := m.Census()
+		tot := g.TotalWeights()
+		for i := range census {
+			if census[i] != tot[i] {
+				return false
+			}
+		}
+		_, ncomp := g.Components()
+		return ncomp == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApportionExact(t *testing.T) {
+	got := apportion([]int64{1, 1, 1}, 10)
+	var sum int64
+	for _, v := range got {
+		sum += v
+	}
+	if sum != 10 {
+		t.Fatalf("apportion sums to %d, want 10", sum)
+	}
+	// Preserves at least 1 per level.
+	got = apportion([]int64{1, 1000000}, 5)
+	if got[0] < 1 {
+		t.Errorf("apportion starved level 0: %v", got)
+	}
+}
+
+func TestApportionSumsProperty(t *testing.T) {
+	f := func(a, b, c uint16, totRaw uint16) bool {
+		counts := []int64{int64(a) + 1, int64(b) + 1, int64(c) + 1}
+		total := int64(totRaw)%10000 + 3
+		out := apportion(counts, total)
+		var sum int64
+		for _, v := range out {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridDims(t *testing.T) {
+	nx, ny, nz := gridDims(1000, [3]float64{1, 1, 1})
+	if nx < 1 || ny < 1 || nz < 1 {
+		t.Fatal("gridDims produced empty dimension")
+	}
+	got := nx * ny * nz
+	if got < 700 || got > 1300 {
+		t.Errorf("gridDims(1000) product = %d, want within 30%%", got)
+	}
+	// Aspect respected roughly.
+	nx2, ny2, _ := gridDims(8000, [3]float64{2, 1, 1})
+	if nx2 <= ny2 {
+		t.Errorf("aspect 2:1 not respected: nx=%d ny=%d", nx2, ny2)
+	}
+}
+
+func TestGridFacesCount(t *testing.T) {
+	m := BySpec(Spec{
+		Name:   "T",
+		Counts: []int64{8, 19}, // 27 cells → 3x3x3
+		Aspect: [3]float64{1, 1, 1},
+		Score:  func(x, y, z float64) float64 { return dist3(x, y, z, 0.5, 0.5, 0.5) },
+	})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCells() != 27 {
+		t.Fatalf("NumCells = %d, want 27", m.NumCells())
+	}
+	// 3x3x3 grid: interior faces = 3 * (2*3*3) = 54; boundary = 6*9 = 54.
+	if m.NumInteriorFaces != 54 {
+		t.Errorf("interior faces = %d, want 54", m.NumInteriorFaces)
+	}
+	if m.NumFaces()-m.NumInteriorFaces != 54 {
+		t.Errorf("boundary faces = %d, want 54", m.NumFaces()-m.NumInteriorFaces)
+	}
+}
+
+func TestReorderByDomain(t *testing.T) {
+	m := Cube(0.02)
+	// Synthetic partition: stripes by cell id.
+	const k = 4
+	part := make([]int32, m.NumCells())
+	for c := range part {
+		part[c] = int32(c % k)
+	}
+	ord, newPart, perm := m.ReorderByDomain(part, k)
+	if err := ord.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Same census, same face counts.
+	a, b := m.Census(), ord.Census()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("census changed: %v vs %v", a, b)
+		}
+	}
+	if ord.NumFaces() != m.NumFaces() || ord.NumInteriorFaces != m.NumInteriorFaces {
+		t.Fatal("face counts changed")
+	}
+	// Domains contiguous in the new ordering.
+	for c := 1; c < ord.NumCells(); c++ {
+		if newPart[c] < newPart[c-1] {
+			t.Fatalf("domains not contiguous at cell %d", c)
+		}
+	}
+	// Permutation is a bijection carrying per-cell data.
+	seen := make([]bool, m.NumCells())
+	for old, nw := range perm {
+		if seen[nw] {
+			t.Fatalf("perm not injective at %d", nw)
+		}
+		seen[nw] = true
+		if m.Level[old] != ord.Level[nw] || m.Volume[old] != ord.Volume[nw] {
+			t.Fatalf("cell data lost for old cell %d", old)
+		}
+		if newPart[nw] != part[old] {
+			t.Fatalf("domain lost for old cell %d", old)
+		}
+	}
+	// Adjacency preserved: each original interior face exists in the new
+	// mesh between the permuted endpoints.
+	want := map[[2]int32]int{}
+	for _, f := range m.Faces[:m.NumInteriorFaces] {
+		a, b := perm[f.C0], perm[f.C1]
+		if a > b {
+			a, b = b, a
+		}
+		want[[2]int32{a, b}]++
+	}
+	for _, f := range ord.Faces[:ord.NumInteriorFaces] {
+		a, b := f.C0, f.C1
+		if a > b {
+			a, b = b, a
+		}
+		want[[2]int32{a, b}]--
+	}
+	for k2, v := range want {
+		if v != 0 {
+			t.Fatalf("face multiset mismatch at %v: %d", k2, v)
+		}
+	}
+	// Faces grouped by owner domain within the interior region.
+	for i := 1; i < ord.NumInteriorFaces; i++ {
+		if newPart[ord.Faces[i].C0] < newPart[ord.Faces[i-1].C0] {
+			t.Fatalf("interior faces not grouped by domain at %d", i)
+		}
+	}
+}

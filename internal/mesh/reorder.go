@@ -1,0 +1,109 @@
+package mesh
+
+import "tempart/internal/temporal"
+
+// ReorderByDomain returns a copy of the mesh whose cells are renumbered so
+// that each domain's cells are contiguous (stable within a domain), along
+// with the domain of each new cell and the permutation used
+// (cellPerm[old] = new).
+//
+// This is the data-redistribution step of the production pipeline (paper
+// Fig. 2: domains are *extracted* and handed to processes, so every process
+// works on compact arrays). Without it, a shared-memory emulation would
+// penalise fragmented decompositions like MC_TL's with cache effects that a
+// real distributed run does not have.
+//
+// Faces are likewise regrouped by owning domain (the domain of their C0
+// cell), preserving the interior-before-boundary layout.
+func (m *Mesh) ReorderByDomain(part []int32, numDomains int) (*Mesh, []int32, []int32) {
+	n := m.NumCells()
+
+	// Counting sort of cells by domain.
+	counts := make([]int32, numDomains+1)
+	for _, d := range part {
+		counts[d+1]++
+	}
+	for i := 0; i < numDomains; i++ {
+		counts[i+1] += counts[i]
+	}
+	cellPerm := make([]int32, n) // old -> new
+	fill := make([]int32, numDomains)
+	copy(fill, counts[:numDomains])
+	for c := 0; c < n; c++ {
+		d := part[c]
+		cellPerm[c] = fill[d]
+		fill[d]++
+	}
+
+	out := &Mesh{
+		Name:     m.Name,
+		Level:    make([]temporal.Level, n),
+		Volume:   make([]float32, n),
+		CX:       make([]float32, n),
+		CY:       make([]float32, n),
+		CZ:       make([]float32, n),
+		MaxLevel: m.MaxLevel,
+	}
+	newPart := make([]int32, n)
+	for old := 0; old < n; old++ {
+		nw := cellPerm[old]
+		out.Level[nw] = m.Level[old]
+		out.Volume[nw] = m.Volume[old]
+		out.CX[nw] = m.CX[old]
+		out.CY[nw] = m.CY[old]
+		out.CZ[nw] = m.CZ[old]
+		newPart[nw] = part[old]
+	}
+
+	// Remap faces, then group them by owner domain within each region.
+	remap := func(f Face) Face {
+		f.C0 = cellPerm[f.C0]
+		if !f.IsBoundary() {
+			f.C1 = cellPerm[f.C1]
+		}
+		return f
+	}
+	groupFaces := func(faces []Face) ([]Face, []int32) {
+		cnt := make([]int32, numDomains+1)
+		for _, f := range faces {
+			cnt[newPart[f.C0]+1]++
+		}
+		for i := 0; i < numDomains; i++ {
+			cnt[i+1] += cnt[i]
+		}
+		outF := make([]Face, len(faces))
+		order := make([]int32, len(faces)) // new index -> old index
+		pos := make([]int32, numDomains)
+		copy(pos, cnt[:numDomains])
+		for old, f := range faces {
+			d := newPart[f.C0]
+			outF[pos[d]] = f
+			order[pos[d]] = int32(old)
+			pos[d]++
+		}
+		return outF, order
+	}
+	interior := make([]Face, m.NumInteriorFaces)
+	for i, f := range m.Faces[:m.NumInteriorFaces] {
+		interior[i] = remap(f)
+	}
+	boundary := make([]Face, len(m.Faces)-m.NumInteriorFaces)
+	for i, f := range m.Faces[m.NumInteriorFaces:] {
+		boundary[i] = remap(f)
+	}
+	gi, _ := groupFaces(interior)
+	gb, border := groupFaces(boundary)
+	out.Faces = append(gi, gb...)
+	out.NumInteriorFaces = len(gi)
+	if m.BNx != nil {
+		out.BNx = make([]float32, len(gb))
+		out.BNy = make([]float32, len(gb))
+		out.BNz = make([]float32, len(gb))
+		for nw, old := range border {
+			out.BNx[nw] = m.BNx[old]
+			out.BNy[nw] = m.BNy[old]
+			out.BNz[nw] = m.BNz[old]
+		}
+	}
+	return out, newPart, cellPerm
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+
+	"tempart/internal/mesh"
+)
+
+// HaloStats describes the ghost-cell layers a distributed execution needs:
+// for every process, the cells it must receive copies of (cells owned by
+// other processes but adjacent to its own). The paper's Figure 11b counts
+// cut task-graph edges; halo size is the complementary *memory and message
+// size* view of the same communication, and the axis along which MC_TL's
+// fragmented domains cost the most.
+type HaloStats struct {
+	// Ghosts[p] is the number of remote cells process p needs copies of.
+	Ghosts []int64
+	// Border[p] is the number of p's own cells that other processes need.
+	Border []int64
+	// Neighbors[p] is how many distinct processes p exchanges halos with.
+	Neighbors []int
+}
+
+// TotalGhosts returns the fleet-wide ghost-cell count (Σ Ghosts).
+func (h HaloStats) TotalGhosts() int64 {
+	var t int64
+	for _, g := range h.Ghosts {
+		t += g
+	}
+	return t
+}
+
+// MaxNeighbors returns the largest per-process neighbour count.
+func (h HaloStats) MaxNeighbors() int {
+	m := 0
+	for _, n := range h.Neighbors {
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// String renders a short summary.
+func (h HaloStats) String() string {
+	return fmt.Sprintf("halo: %d total ghosts, max %d neighbours/process",
+		h.TotalGhosts(), h.MaxNeighbors())
+}
+
+// ComputeHaloStats derives the halo layers of a decomposition: a cell is a
+// ghost of process p if it is owned by q≠p and shares a face with a cell of
+// p. Each (cell, receiving process) pair counts once even when several faces
+// connect them.
+func ComputeHaloStats(m *mesh.Mesh, part, procOfDomain []int32, numProcs int) HaloStats {
+	h := HaloStats{
+		Ghosts:    make([]int64, numProcs),
+		Border:    make([]int64, numProcs),
+		Neighbors: make([]int, numProcs),
+	}
+	// ghostSeen dedupes (cell, proc); borderSeen dedupes border cells.
+	type cp struct {
+		cell int32
+		proc int32
+	}
+	ghostSeen := make(map[cp]bool)
+	borderSeen := make(map[cp]bool)
+	nbr := make(map[[2]int32]bool)
+
+	record := func(owner, ghost int32) {
+		po, pg := procOfDomain[part[owner]], procOfDomain[part[ghost]]
+		if po == pg {
+			return
+		}
+		if !ghostSeen[cp{ghost, po}] {
+			ghostSeen[cp{ghost, po}] = true
+			h.Ghosts[po]++
+		}
+		if !borderSeen[cp{ghost, po}] {
+			borderSeen[cp{ghost, po}] = true
+			h.Border[pg]++
+		}
+		key := [2]int32{po, pg}
+		if !nbr[key] {
+			nbr[key] = true
+			h.Neighbors[po]++
+		}
+	}
+	for _, f := range m.Faces[:m.NumInteriorFaces] {
+		record(f.C0, f.C1)
+		record(f.C1, f.C0)
+	}
+	return h
+}

@@ -1,0 +1,315 @@
+package partition
+
+import "tempart/internal/graph"
+
+// bisection is the working state of a 2-way split of a graph: the side of
+// each vertex (0 or 1) plus per-side, per-constraint weights and caps.
+type bisection struct {
+	g     *graph.Graph
+	where []int32
+	side  [2][]int64 // [side][constraint]
+	caps  [2][]int64 // balance caps per side
+	tot   []int64    // per-constraint totals (for violation normalisation)
+}
+
+func newBisection(g *graph.Graph, where []int32, caps0, caps1 []int64) *bisection {
+	b := &bisection{g: g, where: where, caps: [2][]int64{caps0, caps1}}
+	b.side[0] = make([]int64, g.NCon)
+	b.side[1] = make([]int64, g.NCon)
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		s := where[v]
+		for c := 0; c < g.NCon; c++ {
+			b.side[s][c] += int64(g.Weight(int32(v), c))
+		}
+	}
+	b.tot = make([]int64, g.NCon)
+	for c := 0; c < g.NCon; c++ {
+		b.tot[c] = b.side[0][c] + b.side[1][c]
+	}
+	return b
+}
+
+// violation is the normalised total balance overshoot across both sides and
+// all constraints; zero means the bisection satisfies every cap.
+func (b *bisection) violation() float64 {
+	var v float64
+	for c := 0; c < b.g.NCon; c++ {
+		v += b.violationOf(c, b.side[0][c], b.side[1][c])
+	}
+	return v
+}
+
+func (b *bisection) violationOf(c int, s0, s1 int64) float64 {
+	var v float64
+	if over := s0 - b.caps[0][c]; over > 0 {
+		v += float64(over) / float64(b.tot[c]+1)
+	}
+	if over := s1 - b.caps[1][c]; over > 0 {
+		v += float64(over) / float64(b.tot[c]+1)
+	}
+	return v
+}
+
+// violationAfterMove returns the violation if vertex v moved to the other
+// side.
+func (b *bisection) violationAfterMove(v int32) float64 {
+	s := b.where[v]
+	t := 1 - s
+	var total float64
+	w := b.g.WeightVec(v)
+	for c := 0; c < b.g.NCon; c++ {
+		s0, s1 := b.side[0][c], b.side[1][c]
+		d := int64(w[c])
+		if s == 0 {
+			s0 -= d
+			s1 += d
+		} else {
+			s1 -= d
+			s0 += d
+		}
+		total += b.violationOf(c, s0, s1)
+	}
+	_ = t
+	return total
+}
+
+// move flips vertex v to the other side, updating side weights.
+func (b *bisection) move(v int32) {
+	s := b.where[v]
+	t := 1 - s
+	w := b.g.WeightVec(v)
+	for c := 0; c < b.g.NCon; c++ {
+		b.side[s][c] -= int64(w[c])
+		b.side[t][c] += int64(w[c])
+	}
+	b.where[v] = t
+}
+
+// cut returns the current edge cut of the bisection.
+func (b *bisection) cut() int64 {
+	return ComputeEdgeCut(b.g, b.where)
+}
+
+// growBisection produces an initial 0/1 assignment of g targeting fraction
+// frac of every constraint on side 0, by greedy graph growing from a
+// pseudo-peripheral seed. All vertices start on side 1 and side 0 is grown
+// until every constraint reaches its target (or growth is exhausted).
+func growBisection(g *graph.Graph, frac float64, caps0, caps1 []int64, rng randSource) []int32 {
+	n := g.NumVertices()
+	where := make([]int32, n)
+	for i := range where {
+		where[i] = 1
+	}
+	if n == 0 {
+		return where
+	}
+	b := newBisection(g, where, caps0, caps1)
+
+	target := make([]int64, g.NCon)
+	for c := range target {
+		target[c] = int64(float64(b.tot[c]) * frac)
+	}
+
+	deficit := func(c int) int64 { return target[c] - b.side[0][c] }
+	anyDeficit := func() bool {
+		for c := 0; c < g.NCon; c++ {
+			if deficit(c) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	// usefulness: does taking v reduce some positive deficit?
+	useful := func(v int32) bool {
+		w := g.WeightVec(v)
+		for c := 0; c < g.NCon; c++ {
+			if w[c] > 0 && deficit(c) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	// overshoots: would taking v push a saturated constraint past its cap?
+	overshoots := func(v int32) bool {
+		w := g.WeightVec(v)
+		for c := 0; c < g.NCon; c++ {
+			if w[c] > 0 && b.side[0][c]+int64(w[c]) > b.caps[0][c] {
+				return true
+			}
+		}
+		return false
+	}
+
+	seed := pseudoPeripheral(g, int32(rng.Intn(n)))
+	// gain[v]: edges into side 0 minus edges to side 1, so tightly-connected
+	// vertices are preferred (keeps the region compact → low cut).
+	gain := make([]int32, n)
+	inFrontier := make([]bool, n)
+	h := newVertexHeap()
+	add := func(v int32) {
+		if !inFrontier[v] && b.where[v] == 1 {
+			inFrontier[v] = true
+			h.push(gain[v], v)
+		}
+	}
+	take := func(v int32) {
+		b.move(v)
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			u := g.Adjncy[i]
+			if b.where[u] == 1 {
+				gain[u] += 2 * g.AdjWgt[i]
+				if inFrontier[u] {
+					h.push(gain[u], u) // lazy update
+				} else {
+					add(u)
+				}
+			}
+		}
+	}
+	// Initialise gains as -(degree weight): everything external at first.
+	for v := 0; v < n; v++ {
+		var d int32
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			d += g.AdjWgt[i]
+		}
+		gain[v] = -d
+	}
+	add(seed)
+
+	var parked []int32 // frontier vertices that currently overshoot
+	for anyDeficit() {
+		v, ok := h.popValid(func(v int32) bool { return b.where[v] == 1 }, gain)
+		if !ok {
+			// Frontier exhausted: bridge through a parked vertex if any,
+			// otherwise jump to a fresh seed in an unexplored component.
+			if len(parked) > 0 {
+				v = parked[len(parked)-1]
+				parked = parked[:len(parked)-1]
+				if b.where[v] == 1 {
+					take(v)
+				}
+				continue
+			}
+			fresh := int32(-1)
+			for u := 0; u < n; u++ {
+				if b.where[u] == 1 && useful(int32(u)) {
+					fresh = int32(u)
+					break
+				}
+			}
+			if fresh < 0 {
+				break
+			}
+			add(fresh)
+			continue
+		}
+		inFrontier[v] = false
+		if !useful(v) && overshoots(v) {
+			parked = append(parked, v)
+			continue
+		}
+		take(v)
+	}
+	return b.where
+}
+
+// pseudoPeripheral returns a vertex roughly farthest from start via two BFS
+// sweeps.
+func pseudoPeripheral(g *graph.Graph, start int32) int32 {
+	far := bfsFarthest(g, start)
+	return bfsFarthest(g, far)
+}
+
+func bfsFarthest(g *graph.Graph, start int32) int32 {
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	queue := make([]int32, 0, 256)
+	queue = append(queue, start)
+	seen[start] = true
+	last := start
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		last = v
+		for _, u := range g.Neighbors(v) {
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return last
+}
+
+// vertexHeap is a max-heap of (key, vertex) with lazy deletion: entries may
+// be stale; popValid filters them against the caller's current keys.
+type vertexHeap struct {
+	keys []int32
+	vs   []int32
+}
+
+func newVertexHeap() *vertexHeap { return &vertexHeap{} }
+
+func (h *vertexHeap) len() int { return len(h.vs) }
+
+func (h *vertexHeap) push(key, v int32) {
+	h.keys = append(h.keys, key)
+	h.vs = append(h.vs, v)
+	i := len(h.vs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.keys[p] >= h.keys[i] {
+			break
+		}
+		h.keys[p], h.keys[i] = h.keys[i], h.keys[p]
+		h.vs[p], h.vs[i] = h.vs[i], h.vs[p]
+		i = p
+	}
+}
+
+func (h *vertexHeap) pop() (key, v int32, ok bool) {
+	if len(h.vs) == 0 {
+		return 0, 0, false
+	}
+	key, v = h.keys[0], h.vs[0]
+	last := len(h.vs) - 1
+	h.keys[0], h.vs[0] = h.keys[last], h.vs[last]
+	h.keys, h.vs = h.keys[:last], h.vs[:last]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < last && h.keys[l] > h.keys[big] {
+			big = l
+		}
+		if r < last && h.keys[r] > h.keys[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.keys[i], h.keys[big] = h.keys[big], h.keys[i]
+		h.vs[i], h.vs[big] = h.vs[big], h.vs[i]
+		i = big
+	}
+	return key, v, true
+}
+
+// popValid pops entries until one passes the filter with a fresh key.
+func (h *vertexHeap) popValid(valid func(int32) bool, fresh []int32) (int32, bool) {
+	for {
+		key, v, ok := h.pop()
+		if !ok {
+			return 0, false
+		}
+		if !valid(v) {
+			continue
+		}
+		if fresh != nil && fresh[v] != key {
+			continue // stale entry; the newer one is still queued
+		}
+		return v, true
+	}
+}

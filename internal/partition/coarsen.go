@@ -1,0 +1,88 @@
+package partition
+
+import "tempart/internal/graph"
+
+// level is one rung of the multilevel hierarchy: the coarse graph plus the
+// mapping from the finer graph's vertices to coarse vertices.
+type level struct {
+	g    *graph.Graph
+	cmap []int32 // fine vertex -> coarse vertex (len = finer graph size)
+}
+
+// coarsen builds the multilevel hierarchy by repeated heavy-edge matching
+// until the graph has at most coarsenTo vertices or matching stalls (the
+// coarse graph shrinks by less than 10%). It returns the hierarchy from
+// finest (input, cmap nil) to coarsest.
+func coarsen(g *graph.Graph, coarsenTo int, rng randSource) []level {
+	levels := []level{{g: g}}
+	cur := g
+	for cur.NumVertices() > coarsenTo {
+		cmap, ncoarse := heavyEdgeMatching(cur, rng)
+		if float64(ncoarse) > 0.9*float64(cur.NumVertices()) {
+			break // diminishing returns; stop here
+		}
+		cg := cur.Contract(cmap, ncoarse)
+		levels = append(levels, level{g: cg, cmap: cmap})
+		cur = cg
+	}
+	return levels
+}
+
+// heavyEdgeMatching computes a matching that pairs each unmatched vertex with
+// its unmatched neighbour of heaviest connecting edge, visiting vertices in
+// random order. It returns the fine→coarse map and the coarse vertex count.
+// Unmatched vertices become singleton coarse vertices.
+func heavyEdgeMatching(g *graph.Graph, rng randSource) (cmap []int32, ncoarse int) {
+	n := g.NumVertices()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		var best int32 = -1
+		var bestW int32 = -1
+		adj := g.Neighbors(v)
+		wgt := g.EdgeWeights(v)
+		for i, u := range adj {
+			if match[u] < 0 && wgt[i] > bestW {
+				best, bestW = u, wgt[i]
+			}
+		}
+		if best >= 0 {
+			match[v], match[best] = best, v
+		} else {
+			match[v] = v // singleton
+		}
+	}
+	cmap = make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		cmap[v] = next
+		if m := match[v]; m != int32(v) {
+			cmap[m] = next
+		}
+		next++
+	}
+	return cmap, int(next)
+}
+
+// projectAssignment pushes a coarse 0/1 (or k-way) assignment down one level:
+// each fine vertex inherits the part of its coarse vertex.
+func projectAssignment(cmap []int32, coarsePart []int32) []int32 {
+	fine := make([]int32, len(cmap))
+	for v, cv := range cmap {
+		fine[v] = coarsePart[cv]
+	}
+	return fine
+}

@@ -1,0 +1,212 @@
+package partition
+
+import (
+	"sort"
+
+	"tempart/internal/graph"
+)
+
+// RepairConnectivity reduces the disconnected-subdomain artifacts that
+// heavily constrained partitionings produce (the paper's §IX perspective:
+// multi-criteria partitioners "tend to create disconnected subdomains that
+// increase the number of domain borders"). For every part, all but its
+// heaviest connected fragment are candidates to be reassigned to the
+// neighbouring part with the strongest boundary connection. A candidate
+// moves only if it is small (below maxFragFraction of its part's weight)
+// AND the move does not degrade any constraint's global imbalance beyond
+// max(its current value, 1.10) — so the repair removes artifacts without
+// silently undoing the multi-constraint balance it is meant to polish. It
+// returns the number of vertices moved; part is updated in place.
+func RepairConnectivity(g *graph.Graph, part []int32, k int, maxFragFraction float64) int {
+	if maxFragFraction <= 0 {
+		maxFragFraction = 0.25
+	}
+	n := g.NumVertices()
+
+	// Label fragments: connected components within each part.
+	frag := make([]int32, n)
+	for i := range frag {
+		frag[i] = -1
+	}
+	var stack []int32
+	type fragInfo struct {
+		id    int32
+		part  int32
+		wgt   []int64
+		verts []int32
+	}
+	var frags []fragInfo
+	for s := 0; s < n; s++ {
+		if frag[s] >= 0 {
+			continue
+		}
+		id := int32(len(frags))
+		fi := fragInfo{id: id, part: part[s], wgt: make([]int64, g.NCon)}
+		frag[s] = id
+		stack = append(stack[:0], int32(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			fi.verts = append(fi.verts, v)
+			for c := 0; c < g.NCon; c++ {
+				fi.wgt[c] += int64(g.Weight(v, c))
+			}
+			for _, u := range g.Neighbors(v) {
+				if frag[u] < 0 && part[u] == part[s] {
+					frag[u] = id
+					stack = append(stack, u)
+				}
+			}
+		}
+		frags = append(frags, fi)
+	}
+
+	// Per part: keep the heaviest fragment (by first-constraint weight,
+	// which is the cost for SC_OC and level-0 census for MC_TL; use the sum
+	// across constraints to be weighting-agnostic).
+	sumW := func(w []int64) int64 {
+		var s int64
+		for _, x := range w {
+			s += x
+		}
+		return s
+	}
+	mainFrag := make([]int32, k)
+	for i := range mainFrag {
+		mainFrag[i] = -1
+	}
+	partW := make([]int64, k)
+	for _, fi := range frags {
+		partW[fi.part] += sumW(fi.wgt)
+		if mainFrag[fi.part] < 0 || sumW(fi.wgt) > sumW(frags[mainFrag[fi.part]].wgt) {
+			mainFrag[fi.part] = fi.id
+		}
+	}
+
+	// Reassign small minority fragments, smallest first so large ones can
+	// stay if the budget runs out.
+	var minor []int32
+	for _, fi := range frags {
+		if fi.id != mainFrag[fi.part] {
+			minor = append(minor, fi.id)
+		}
+	}
+	sort.Slice(minor, func(i, j int) bool {
+		return sumW(frags[minor[i]].wgt) < sumW(frags[minor[j]].wgt)
+	})
+
+	// Per-part per-constraint weights for the balance guard.
+	ncon := g.NCon
+	pw := make([][]int64, k)
+	for p := range pw {
+		pw[p] = make([]int64, ncon)
+	}
+	totals := make([]int64, ncon)
+	for v := 0; v < n; v++ {
+		for c := 0; c < ncon; c++ {
+			w := int64(g.Weight(int32(v), c))
+			pw[part[v]][c] += w
+			totals[c] += w
+		}
+	}
+	colMax := func(c int) int64 {
+		var m int64
+		for p := 0; p < k; p++ {
+			if pw[p][c] > m {
+				m = pw[p][c]
+			}
+		}
+		return m
+	}
+	// Allowed per-constraint cap: don't exceed the current max (repair never
+	// worsens the worst part) nor 1.10×ideal+1 (when currently balanced).
+	caps := make([]int64, ncon)
+	for c := 0; c < ncon; c++ {
+		ideal := float64(totals[c]) / float64(k)
+		cap := int64(1.10*ideal) + 1
+		if m := colMax(c); m > cap {
+			cap = m
+		}
+		caps[c] = cap
+	}
+
+	moved := 0
+	for _, id := range minor {
+		fi := &frags[id]
+		if float64(sumW(fi.wgt)) > maxFragFraction*float64(partW[fi.part]) {
+			continue // too big to displace safely
+		}
+		// Strongest neighbouring part by boundary edge weight.
+		conn := map[int32]int64{}
+		for _, v := range fi.verts {
+			for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+				u := g.Adjncy[i]
+				if part[u] != fi.part {
+					conn[part[u]] += int64(g.AdjWgt[i])
+				}
+			}
+		}
+		// Try neighbours in decreasing connection order until one passes
+		// the balance guard.
+		for len(conn) > 0 {
+			var best int32 = -1
+			var bestW int64 = -1
+			for p, w := range conn {
+				if w > bestW {
+					best, bestW = p, w
+				}
+			}
+			delete(conn, best)
+			ok := true
+			for c := 0; c < ncon; c++ {
+				if pw[best][c]+fi.wgt[c] > caps[c] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, v := range fi.verts {
+				part[v] = best
+			}
+			for c := 0; c < ncon; c++ {
+				pw[fi.part][c] -= fi.wgt[c]
+				pw[best][c] += fi.wgt[c]
+			}
+			partW[fi.part] -= sumW(fi.wgt)
+			partW[best] += sumW(fi.wgt)
+			moved += len(fi.verts)
+			break
+		}
+	}
+	return moved
+}
+
+// CountFragments returns, for each part, its number of connected fragments;
+// a fully connected partition scores 1 everywhere.
+func CountFragments(g *graph.Graph, part []int32, k int) []int {
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	counts := make([]int, k)
+	var stack []int32
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		counts[part[s]]++
+		seen[s] = true
+		stack = append(stack[:0], int32(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range g.Neighbors(v) {
+				if !seen[u] && part[u] == part[s] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,27 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"tempart/internal/mesh"
+	"tempart/internal/partition"
+	"tempart/internal/temporal"
+)
+
+// ExamplePartitionMesh contrasts the two strategies on a toy strip whose
+// levels are spatially segregated: SC_OC balances total cost, MC_TL balances
+// every level's census.
+func ExamplePartitionMesh() {
+	// 8 cells: one level-0 pair, one level-1 pair, four level-2 cells.
+	m := mesh.Strip([]temporal.Level{0, 0, 1, 1, 2, 2, 2, 2})
+
+	mc, _ := partition.PartitionMesh(m, 2, partition.MCTL, partition.Options{Seed: 8})
+	fmt.Println("MC_TL per-level weights:")
+	for p, w := range mc.PartWeights {
+		fmt.Printf("  domain %d: %v\n", p, w)
+	}
+	// Output:
+	// MC_TL per-level weights:
+	//   domain 0: [1 1 2]
+	//   domain 1: [1 1 2]
+}

@@ -1,0 +1,86 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"tempart/internal/mesh"
+)
+
+// GeometricRCB partitions a mesh by recursive coordinate bisection on cell
+// centroids, weighting cells by operating cost. It ignores mesh connectivity
+// entirely — the geometric-partitioner baseline (Zoltan/KaHIP style) that the
+// paper's related-work section contrasts with graph-based approaches.
+func GeometricRCB(m *mesh.Mesh, k int) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k = %d, want >= 1", k)
+	}
+	n := m.NumCells()
+	scheme := m.Scheme()
+	cost := make([]int64, n)
+	for c := 0; c < n; c++ {
+		cost[c] = int64(scheme.Cost(m.Level[c]))
+	}
+	part := make([]int32, n)
+	cells := make([]int32, n)
+	for i := range cells {
+		cells[i] = int32(i)
+	}
+	rcbSplit(m, cost, cells, 0, k, part)
+
+	g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.SingleCost})
+	return NewResult(g, part, k), nil
+}
+
+// rcbSplit recursively splits cells along their longest coordinate extent so
+// the operating cost divides k1:k2.
+func rcbSplit(m *mesh.Mesh, cost []int64, cells []int32, firstPart, k int, part []int32) {
+	if k <= 1 || len(cells) == 0 {
+		for _, c := range cells {
+			part[c] = int32(firstPart)
+		}
+		return
+	}
+	k1 := k / 2
+
+	// Pick the axis with the widest extent over these cells.
+	axes := [3][]float32{m.CX, m.CY, m.CZ}
+	bestAxis, bestSpan := 0, float32(-1)
+	for a, coord := range axes {
+		lo, hi := coord[cells[0]], coord[cells[0]]
+		for _, c := range cells {
+			if coord[c] < lo {
+				lo = coord[c]
+			}
+			if coord[c] > hi {
+				hi = coord[c]
+			}
+		}
+		if span := hi - lo; span > bestSpan {
+			bestAxis, bestSpan = a, span
+		}
+	}
+	coord := axes[bestAxis]
+	sort.Slice(cells, func(i, j int) bool { return coord[cells[i]] < coord[cells[j]] })
+
+	var total int64
+	for _, c := range cells {
+		total += cost[c]
+	}
+	target := total * int64(k1) / int64(k)
+	var acc int64
+	split := 0
+	for i, c := range cells {
+		if acc >= target && i > 0 {
+			split = i
+			break
+		}
+		acc += cost[c]
+		split = i + 1
+	}
+	if split == len(cells) && len(cells) > 1 {
+		split = len(cells) - 1
+	}
+	rcbSplit(m, cost, cells[:split], firstPart, k1, part)
+	rcbSplit(m, cost, cells[split:], firstPart+k1, k-k1, part)
+}

@@ -1,0 +1,204 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tempart/internal/graph"
+)
+
+// Method selects the k-way construction algorithm.
+type Method int
+
+const (
+	// RecursiveBisection builds the k-way partition by recursive 2-way
+	// splits — the paper's choice ("it produces higher quality solutions on
+	// our meshes").
+	RecursiveBisection Method = iota
+	// DirectKWay coarsens once, solves k-way on the coarsest graph by
+	// recursive bisection, and uncoarsens with greedy k-way boundary
+	// refinement — cheaper for large k, usually slightly worse cuts under
+	// many constraints (the ablation BenchmarkAblationRBvsKWay quantifies
+	// this trade-off).
+	DirectKWay
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	if m == DirectKWay {
+		return "kway"
+	}
+	return "rb"
+}
+
+// PartitionKWay computes a k-way partition with the direct k-way multilevel
+// scheme. It honours the same Options as Partition.
+func PartitionKWay(g *graph.Graph, k int, opt Options) (*Result, error) {
+	if k < 1 {
+		return nil, errBadK(k)
+	}
+	n := g.NumVertices()
+	if k == 1 || n <= k {
+		// Degenerate cases match the recursive-bisection behaviour.
+		return partitionRB(g, k, opt)
+	}
+	opt = opt.withDefaults(g.NCon)
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Coarsen once, keeping enough coarse vertices for k parts.
+	coarseTo := opt.CoarsenTo
+	if min := 16 * k; coarseTo < min {
+		coarseTo = min
+	}
+	levels := coarsen(g, coarseTo, rng)
+	coarsest := levels[len(levels)-1].g
+
+	// Initial k-way on the coarsest graph via recursive bisection.
+	part := make([]int32, coarsest.NumVertices())
+	vertices := make([]int32, coarsest.NumVertices())
+	for i := range vertices {
+		vertices[i] = int32(i)
+	}
+	recursiveBisect(coarsest, vertices, 0, k, part, opt, rng)
+
+	// Uncoarsen with k-way refinement at every level.
+	caps := kwayCaps(g, k, opt.ImbalanceTol)
+	for li := len(levels) - 1; li >= 1; li-- {
+		kwayRefine(levels[li].g, part, k, caps, opt.RefinePasses, rng)
+		part = projectAssignment(levels[li].cmap, part)
+	}
+	kwayRefine(g, part, k, caps, opt.RefinePasses, rng)
+
+	return NewResult(g, part, k), nil
+}
+
+func errBadK(k int) error {
+	return fmt.Errorf("partition: k = %d, want >= 1", k)
+}
+
+// kwayCaps returns per-part per-constraint weight caps (shared by all parts
+// since targets are uniform).
+func kwayCaps(g *graph.Graph, k int, tol float64) []int64 {
+	tot := g.TotalWeights()
+	maxV := maxVertexWeights(g)
+	caps := make([]int64, g.NCon)
+	for c := range tot {
+		ideal := float64(tot[c]) / float64(k)
+		cap := int64(ideal * tol)
+		if feasible := int64(math.Ceil(ideal - 1e-9)); feasible > cap {
+			cap = feasible
+		}
+		if maxV[c] > cap {
+			cap = maxV[c]
+		}
+		caps[c] = cap
+	}
+	return caps
+}
+
+// kwayRefine runs greedy k-way boundary refinement passes in place: every
+// boundary vertex may move to the neighbouring part that maximises edge-cut
+// gain, provided the move does not push any constraint of the target part
+// past its cap and does not worsen total violation. Passes stop early when a
+// sweep makes no move.
+func kwayRefine(g *graph.Graph, part []int32, k int, caps []int64, passes int, rng *rand.Rand) {
+	n := g.NumVertices()
+	ncon := g.NCon
+
+	pw := make([][]int64, k)
+	for p := range pw {
+		pw[p] = make([]int64, ncon)
+	}
+	for v := 0; v < n; v++ {
+		for c := 0; c < ncon; c++ {
+			pw[part[v]][c] += int64(g.Weight(int32(v), c))
+		}
+	}
+	overOf := func(p int32) int64 {
+		var over int64
+		for c := 0; c < ncon; c++ {
+			if d := pw[p][c] - caps[c]; d > 0 {
+				over += d
+			}
+		}
+		return over
+	}
+
+	// Scratch: connection weight to each part for the vertex under review.
+	conn := make([]int64, k)
+	touchedParts := make([]int32, 0, 8)
+
+	order := rng.Perm(n)
+	for pass := 0; pass < passes; pass++ {
+		moves := 0
+		for _, vi := range order {
+			v := int32(vi)
+			from := part[v]
+
+			// Collect connections to adjacent parts.
+			touchedParts = touchedParts[:0]
+			boundary := false
+			for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+				p := part[g.Adjncy[i]]
+				if conn[p] == 0 {
+					touchedParts = append(touchedParts, p)
+				}
+				conn[p] += int64(g.AdjWgt[i])
+				if p != from {
+					boundary = true
+				}
+			}
+			if !boundary {
+				for _, p := range touchedParts {
+					conn[p] = 0
+				}
+				continue
+			}
+
+			wv := g.WeightVec(v)
+			overFrom := overOf(from)
+			var best int32 = -1
+			var bestGain int64 = 0
+			var bestOverDelta int64 = 0
+			for _, to := range touchedParts {
+				if to == from {
+					continue
+				}
+				gain := conn[to] - conn[from]
+				// Balance effect of moving v from → to.
+				var overToNew, overFromNew int64
+				for c := 0; c < ncon; c++ {
+					if d := pw[to][c] + int64(wv[c]) - caps[c]; d > 0 {
+						overToNew += d
+					}
+					if d := pw[from][c] - int64(wv[c]) - caps[c]; d > 0 {
+						overFromNew += d
+					}
+				}
+				overDelta := (overToNew + overFromNew) - (overOf(to) + overFrom)
+				if overDelta > 0 {
+					continue // would worsen balance
+				}
+				if overDelta < bestOverDelta ||
+					(overDelta == bestOverDelta && gain > bestGain) {
+					best, bestGain, bestOverDelta = to, gain, overDelta
+				}
+			}
+			if best >= 0 && (bestGain > 0 || bestOverDelta < 0) {
+				for c := 0; c < ncon; c++ {
+					pw[from][c] -= int64(wv[c])
+					pw[best][c] += int64(wv[c])
+				}
+				part[v] = best
+				moves++
+			}
+			for _, p := range touchedParts {
+				conn[p] = 0
+			}
+		}
+		if moves == 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package partition
+
+import (
+	"sort"
+
+	"tempart/internal/graph"
+)
+
+// refineBisection improves an existing bisection in place with multi-
+// constraint Fiduccia–Mattheyses passes: boundary vertices are moved in
+// best-gain order under the rule that a move may never increase the balance
+// violation; each pass keeps the best (violation, cut) prefix. Refinement
+// stops when a pass yields no improvement or after maxPasses.
+func refineBisection(b *bisection, maxPasses int) {
+	for pass := 0; pass < maxPasses; pass++ {
+		if !fmPass(b) {
+			return
+		}
+	}
+}
+
+// fmPass runs one FM pass and reports whether it improved (violation, cut).
+func fmPass(b *bisection) bool {
+	g := b.g
+	n := g.NumVertices()
+
+	// Gains: ed - id per vertex.
+	gain := make([]int32, n)
+	boundary := make([]bool, n)
+	for v := 0; v < n; v++ {
+		pv := b.where[v]
+		var ed, id int32
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			if b.where[g.Adjncy[i]] != pv {
+				ed += g.AdjWgt[i]
+			} else {
+				id += g.AdjWgt[i]
+			}
+		}
+		gain[v] = ed - id
+		boundary[v] = ed > 0
+	}
+
+	// One heap per move direction (from side s).
+	heaps := [2]*vertexHeap{newVertexHeap(), newVertexHeap()}
+	locked := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if boundary[v] {
+			heaps[b.where[v]].push(gain[v], int32(v))
+		}
+	}
+
+	startViol := b.violation()
+	curViol := startViol
+	var curCutDelta int64 // cut change relative to pass start (negative = better)
+
+	type moveRec struct{ v int32 }
+	var moves []moveRec
+	bestIdx := -1 // moves[:bestIdx+1] is the best prefix
+	bestViol, bestCutDelta := startViol, int64(0)
+
+	// Bound non-improving streaks to keep passes near-linear.
+	maxStall := 64 + n/16
+	stall := 0
+
+	validFrom := func(s int32) func(int32) bool {
+		return func(v int32) bool { return !locked[v] && b.where[v] == s }
+	}
+
+	for heaps[0].len()+heaps[1].len() > 0 && stall < maxStall {
+		// Choose the best admissible move from either direction.
+		v, ok := pickMove(b, heaps, gain, curViol, validFrom)
+		if !ok {
+			break
+		}
+		locked[v] = true
+		newViol := b.violationAfterMove(v)
+		curCutDelta -= int64(gain[v])
+		s := b.where[v]
+		b.move(v)
+		curViol = newViol
+		moves = append(moves, moveRec{v})
+
+		// Update neighbour gains.
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			u := g.Adjncy[i]
+			w := g.AdjWgt[i]
+			if b.where[u] == s {
+				gain[u] += 2 * w // edge became external for u
+			} else {
+				gain[u] -= 2 * w // edge became internal for u
+			}
+			if !locked[u] {
+				heaps[b.where[u]].push(gain[u], u)
+			}
+		}
+
+		if betterState(curViol, curCutDelta, bestViol, bestCutDelta) {
+			bestViol, bestCutDelta = curViol, curCutDelta
+			bestIdx = len(moves) - 1
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+
+	// Roll back to the best prefix.
+	for i := len(moves) - 1; i > bestIdx; i-- {
+		b.move(moves[i].v)
+	}
+	return betterState(bestViol, bestCutDelta, startViol, 0)
+}
+
+// betterState orders (violation, cutDelta) lexicographically with a small
+// violation epsilon.
+func betterState(v1 float64, c1 int64, v2 float64, c2 int64) bool {
+	const eps = 1e-12
+	if v1 < v2-eps {
+		return true
+	}
+	if v1 > v2+eps {
+		return false
+	}
+	return c1 < c2
+}
+
+// pickMove selects the highest-gain unlocked boundary vertex whose move does
+// not increase the violation. When the current state is balanced, moves must
+// keep it balanced; when violated, only violation-reducing or -neutral moves
+// are allowed, preferring reducers.
+func pickMove(b *bisection, heaps [2]*vertexHeap, gain []int32, curViol float64, validFrom func(int32) func(int32) bool) (int32, bool) {
+	const eps = 1e-12
+	// Peek the best candidate of each direction (with lazy cleanup), then
+	// evaluate admissibility; a small bounded probe avoids getting stuck on
+	// one inadmissible top entry.
+	for probe := 0; probe < 2; probe++ {
+		var bestV int32 = -1
+		var bestGain int32
+		var bestViol float64
+		for s := int32(0); s < 2; s++ {
+			v, ok := heaps[s].popValid(validFrom(s), gain)
+			if !ok {
+				continue
+			}
+			nv := b.violationAfterMove(v)
+			if nv > curViol+eps {
+				// Inadmissible now; drop it. It will be re-pushed if a
+				// neighbour move changes its gain.
+				continue
+			}
+			if bestV < 0 || nv < bestViol-eps || (nv <= bestViol+eps && gain[v] > bestGain) {
+				// Return the loser to its heap.
+				if bestV >= 0 {
+					heaps[b.where[bestV]].push(gain[bestV], bestV)
+				}
+				bestV, bestGain, bestViol = v, gain[v], nv
+			} else {
+				heaps[s].push(gain[v], v)
+			}
+		}
+		if bestV >= 0 {
+			return bestV, true
+		}
+		if heaps[0].len()+heaps[1].len() == 0 {
+			break
+		}
+	}
+	return -1, false
+}
+
+// forceBalance repairs residual violation after refinement: for every
+// overweight (side, constraint) pair it collects the movable vertices sorted
+// by cut gain and transfers the best ones across until the cap is met, as
+// long as each transfer does not increase the overall violation. One sweep
+// over the constraints; O(n·ncon + moved·log n).
+func forceBalance(b *bisection) {
+	const eps = 1e-12
+	g := b.g
+	n := g.NumVertices()
+	for c := 0; c < g.NCon; c++ {
+		for s := int32(0); s < 2; s++ {
+			if b.side[s][c] <= b.caps[s][c] {
+				continue
+			}
+			// Candidates: vertices on side s carrying constraint c.
+			type cand struct {
+				v    int32
+				gain int32
+			}
+			var cands []cand
+			for v := int32(0); v < int32(n); v++ {
+				if b.where[v] != s || g.Weight(v, c) <= 0 {
+					continue
+				}
+				var ed, id int32
+				for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+					if b.where[g.Adjncy[i]] != s {
+						ed += g.AdjWgt[i]
+					} else {
+						id += g.AdjWgt[i]
+					}
+				}
+				cands = append(cands, cand{v, ed - id})
+			}
+			sort.Slice(cands, func(i, j int) bool { return cands[i].gain > cands[j].gain })
+			cur := b.violation()
+			for _, cd := range cands {
+				if b.side[s][c] <= b.caps[s][c] {
+					break
+				}
+				nv := b.violationAfterMove(cd.v)
+				if nv < cur-eps {
+					b.move(cd.v)
+					cur = nv
+				}
+			}
+		}
+	}
+}
+
+// bisectGraph runs the full multilevel 2-way pipeline on g: coarsen, grow an
+// initial bisection on the coarsest graph (several trials, best kept), then
+// uncoarsen with FM refinement at every level. frac is the share of every
+// constraint that side 0 should receive. Returns the side of each vertex.
+func bisectGraph(g *graph.Graph, frac float64, opt Options, rng randSource) []int32 {
+	caps0, caps1 := sideCaps(g, frac, opt.ImbalanceTol)
+	levels := coarsen(g, opt.CoarsenTo, rng)
+	coarsest := levels[len(levels)-1].g
+
+	// Initial bisection trials on the coarsest graph.
+	var bestWhere []int32
+	bestViol, bestCut := 0.0, int64(0)
+	for trial := 0; trial < opt.InitTrials; trial++ {
+		where := growBisection(coarsest, frac, caps0, caps1, rng)
+		b := newBisection(coarsest, where, caps0, caps1)
+		refineBisection(b, opt.RefinePasses)
+		viol, cut := b.violation(), b.cut()
+		if bestWhere == nil || betterState(viol, cut, bestViol, bestCut) {
+			bestWhere, bestViol, bestCut = where, viol, cut
+		}
+	}
+
+	// Uncoarsen and refine.
+	where := bestWhere
+	for li := len(levels) - 1; li >= 1; li-- {
+		where = projectAssignment(levels[li].cmap, where)
+		b := newBisection(levels[li-1].g, where, caps0, caps1)
+		refineBisection(b, opt.RefinePasses)
+		where = b.where
+	}
+	// Final balance repair on the finest graph.
+	fb := newBisection(g, where, caps0, caps1)
+	forceBalance(fb)
+	refineBisection(fb, 2)
+	return fb.where
+}
+
+// sideCaps computes the per-constraint caps of both sides for a split with
+// fraction frac on side 0.
+func sideCaps(g *graph.Graph, frac, tol float64) (caps0, caps1 []int64) {
+	tot := g.TotalWeights()
+	maxV := maxVertexWeights(g)
+	caps0 = balanceCaps(tot, frac, tol, maxV)
+	caps1 = balanceCaps(tot, 1-frac, tol, maxV)
+	return caps0, caps1
+}
+
+// randSource is the subset of *rand.Rand the partitioner uses; declared as an
+// interface so tests can substitute deterministic sequences.
+type randSource interface {
+	Intn(n int) int
+	Perm(n int) []int
+}

@@ -1,0 +1,86 @@
+package partition
+
+import (
+	"fmt"
+
+	"tempart/internal/mesh"
+)
+
+// Strategy selects the partitioning criterion applied to a mesh, mirroring
+// the paper's nomenclature.
+type Strategy int
+
+const (
+	// SCOC is the baseline Single-Constraint Operating-Cost strategy: one
+	// weight per cell, 2^(τmax−τ), balancing the total per-iteration work.
+	SCOC Strategy = iota
+	// MCTL is the paper's Multi-Constraint Temporal-Level strategy: one
+	// binary constraint per temporal level, balancing the cell census of
+	// every level simultaneously.
+	MCTL
+	// UnitCells balances raw cell counts (temporal-level-blind); a naive
+	// baseline useful in ablations.
+	UnitCells
+	// GeomRCB is coordinate recursive-coordinate-bisection on operating
+	// costs: the Zoltan-style geometric baseline mentioned in related work.
+	GeomRCB
+	// SFC orders cells along a 3D Hilbert space-filling curve and cuts it
+	// into equal-cost chunks — the SFC approach of the paper's reference
+	// [1] (Aftosmis et al.).
+	SFC
+)
+
+// String implements fmt.Stringer using the paper's labels.
+func (s Strategy) String() string {
+	switch s {
+	case SCOC:
+		return "SC_OC"
+	case MCTL:
+		return "MC_TL"
+	case UnitCells:
+		return "UNIT"
+	case GeomRCB:
+		return "GEOM_RCB"
+	case SFC:
+		return "SFC"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy converts a label (as printed by String) to a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "SC_OC", "sc_oc":
+		return SCOC, nil
+	case "MC_TL", "mc_tl":
+		return MCTL, nil
+	case "UNIT", "unit":
+		return UnitCells, nil
+	case "GEOM_RCB", "geom_rcb":
+		return GeomRCB, nil
+	case "SFC", "sfc":
+		return SFC, nil
+	}
+	return 0, fmt.Errorf("partition: unknown strategy %q", s)
+}
+
+// PartitionMesh partitions a mesh into k domains under the given strategy.
+// The returned Result is expressed over cells (vertex v = cell v).
+func PartitionMesh(m *mesh.Mesh, k int, strat Strategy, opt Options) (*Result, error) {
+	switch strat {
+	case SCOC:
+		g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.SingleCost})
+		return Partition(g, k, opt)
+	case MCTL:
+		g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})
+		return Partition(g, k, opt)
+	case UnitCells:
+		g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.Unit})
+		return Partition(g, k, opt)
+	case GeomRCB:
+		return GeometricRCB(m, k)
+	case SFC:
+		return SFCPartition(m, k)
+	}
+	return nil, fmt.Errorf("partition: unknown strategy %v", strat)
+}

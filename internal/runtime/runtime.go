@@ -1,0 +1,299 @@
+// Package runtime is the task-based execution engine that plays StarPU's
+// role in this reproduction: it runs a task graph with real computational
+// kernels on a pool of worker goroutines, honouring all dependencies, under
+// pluggable scheduling policies (central queue, per-worker deques with work
+// stealing, domain-locality-aware queues).
+//
+// Each task's wall-clock duration is measured. Besides the real shared-
+// memory execution, the package offers a virtual-time replay: the measured
+// durations are scheduled onto an arbitrary simulated cluster (processes ×
+// workers) with the discrete-event engine of internal/flusim. This is how a
+// single-machine reproduction evaluates the paper's 6-process × 4-core and
+// 16-process × 32-core configurations faithfully (see DESIGN.md §2).
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"tempart/internal/flusim"
+	"tempart/internal/taskgraph"
+	"tempart/internal/trace"
+)
+
+// Policy selects how ready tasks are queued and claimed.
+type Policy int
+
+const (
+	// Central uses one FIFO queue shared by all workers.
+	Central Policy = iota
+	// WorkStealing gives each worker a LIFO deque; idle workers steal the
+	// oldest task from a random victim.
+	WorkStealing
+	// DomainLocal routes each task to a home worker (domain mod workers)
+	// for cache locality; idle workers steal as in WorkStealing.
+	DomainLocal
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Central:
+		return "central"
+	case WorkStealing:
+		return "worksteal"
+	case DomainLocal:
+		return "domainlocal"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Config parameterises Execute.
+type Config struct {
+	// Workers is the number of worker goroutines; 0 defaults to 1.
+	Workers int
+	// Policy is the queueing discipline.
+	Policy Policy
+	// Seed drives steal-victim selection.
+	Seed int64
+	// RecordTrace captures per-task spans (wall-clock, nanoseconds).
+	RecordTrace bool
+}
+
+// Report is the outcome of a real execution.
+type Report struct {
+	// Wall is the end-to-end execution time.
+	Wall time.Duration
+	// Durations[t] is task t's measured kernel time.
+	Durations []time.Duration
+	// Trace holds wall-clock spans when requested (Proc is always 0: the
+	// real execution is one shared-memory process).
+	Trace *trace.Trace
+}
+
+// Execute runs every task of tg exactly once, calling kernel(task) with all
+// dependencies satisfied, on cfg.Workers goroutines.
+func Execute(tg *taskgraph.TaskGraph, kernel func(*taskgraph.Task), cfg Config) (*Report, error) {
+	if kernel == nil {
+		return nil, fmt.Errorf("runtime: nil kernel")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	n := tg.NumTasks()
+	rep := &Report{Durations: make([]time.Duration, n)}
+	if n == 0 {
+		return rep, nil
+	}
+
+	s := &scheduler{
+		tg:      tg,
+		indeg:   make([]int32, n),
+		queues:  make([][]int32, workers),
+		policy:  cfg.Policy,
+		workers: workers,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < n; i++ {
+		s.indeg[i] = int32(len(tg.PredsOf(int32(i))))
+	}
+	for i := 0; i < n; i++ {
+		if s.indeg[i] == 0 {
+			s.enqueueLocked(int32(i))
+		}
+	}
+
+	var spans []trace.Span
+	var spansMu sync.Mutex
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			for {
+				t, ok := s.next(w, rng)
+				if !ok {
+					return
+				}
+				task := &tg.Tasks[t]
+				t0 := time.Now()
+				kernel(task)
+				d := time.Since(t0)
+				if d <= 0 {
+					d = 1
+				}
+				rep.Durations[t] = d
+				if cfg.RecordTrace {
+					spansMu.Lock()
+					spans = append(spans, trace.Span{
+						Proc: 0, Worker: int32(w), Task: t, Sub: task.Sub,
+						Start: t0.Sub(start).Nanoseconds(),
+						End:   t0.Sub(start).Nanoseconds() + d.Nanoseconds(),
+					})
+					spansMu.Unlock()
+				}
+				s.complete(t)
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep.Wall = time.Since(start)
+
+	if s.done != int32(n) {
+		return nil, fmt.Errorf("runtime: %d of %d tasks completed (dependency deadlock?)", s.done, n)
+	}
+	if cfg.RecordTrace {
+		rep.Trace = &trace.Trace{
+			Spans:          spans,
+			NumProcs:       1,
+			WorkersPerProc: workers,
+			Makespan:       rep.Wall.Nanoseconds(),
+		}
+	}
+	return rep, nil
+}
+
+// scheduler guards the ready queues and dependency counters with one mutex —
+// simple and fair; kernels run outside the lock so contention is bounded by
+// queue operations only.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tg      *taskgraph.TaskGraph
+	indeg   []int32
+	queues  [][]int32 // per worker; Central uses queues[0]
+	policy  Policy
+	workers int
+	done    int32
+	inFly   int32
+}
+
+// homeQueue returns the queue index a newly ready task should join.
+func (s *scheduler) homeQueue(t int32) int {
+	switch s.policy {
+	case Central:
+		return 0
+	case WorkStealing:
+		// Spread initial/released tasks round-robin by task id.
+		return int(t) % s.workers
+	case DomainLocal:
+		return int(s.tg.Tasks[t].Domain) % s.workers
+	}
+	return 0
+}
+
+func (s *scheduler) enqueueLocked(t int32) {
+	q := s.homeQueue(t)
+	s.queues[q] = append(s.queues[q], t)
+}
+
+// next blocks until a task is available for worker w or all work is done.
+func (s *scheduler) next(w int, rng *rand.Rand) (int32, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if t, ok := s.tryTakeLocked(w, rng); ok {
+			s.inFly++
+			return t, true
+		}
+		if s.done == int32(s.tg.NumTasks()) {
+			return 0, false
+		}
+		if s.inFly == 0 && s.totalQueuedLocked() == 0 {
+			// No running task can release more work: graph exhausted or
+			// deadlocked; either way, stop.
+			return 0, false
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *scheduler) totalQueuedLocked() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
+
+func (s *scheduler) tryTakeLocked(w int, rng *rand.Rand) (int32, bool) {
+	switch s.policy {
+	case Central:
+		if q := s.queues[0]; len(q) > 0 {
+			t := q[0]
+			s.queues[0] = q[1:]
+			return t, true
+		}
+		return 0, false
+	default:
+		// Own queue first (LIFO for locality).
+		if q := s.queues[w]; len(q) > 0 {
+			t := q[len(q)-1]
+			s.queues[w] = q[:len(q)-1]
+			return t, true
+		}
+		// Steal FIFO from a random victim, scanning all once.
+		off := rng.Intn(s.workers)
+		for i := 0; i < s.workers; i++ {
+			v := (off + i) % s.workers
+			if q := s.queues[v]; len(q) > 0 {
+				t := q[0]
+				s.queues[v] = q[1:]
+				return t, true
+			}
+		}
+		return 0, false
+	}
+}
+
+// complete marks t finished and releases its successors.
+func (s *scheduler) complete(t int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done++
+	s.inFly--
+	released := 0
+	for _, succ := range s.tg.SuccsOf(t) {
+		s.indeg[succ]--
+		if s.indeg[succ] == 0 {
+			s.enqueueLocked(succ)
+			released++
+		}
+	}
+	if released > 0 || s.done == int32(s.tg.NumTasks()) || s.inFly == 0 {
+		s.cond.Broadcast()
+	}
+}
+
+// VirtualSchedule replays measured task durations on a simulated cluster:
+// a copy of tg with Cost[t] = durations[t] (in nanoseconds, minimum 1) is
+// scheduled by the discrete-event engine. procOfDomain pins each domain's
+// tasks to a process, exactly as in FLUSEPA.
+func VirtualSchedule(tg *taskgraph.TaskGraph, durations []time.Duration, procOfDomain []int32, cluster flusim.Cluster, strategy flusim.Strategy, recordTrace bool) (*flusim.Result, error) {
+	if len(durations) != tg.NumTasks() {
+		return nil, fmt.Errorf("runtime: %d durations for %d tasks", len(durations), tg.NumTasks())
+	}
+	cp := &taskgraph.TaskGraph{
+		Tasks:      append([]taskgraph.Task(nil), tg.Tasks...),
+		PredStart:  tg.PredStart,
+		Preds:      tg.Preds,
+		NumDomains: tg.NumDomains,
+		Scheme:     tg.Scheme,
+	}
+	for i := range cp.Tasks {
+		c := durations[i].Nanoseconds()
+		if c <= 0 {
+			c = 1
+		}
+		cp.Tasks[i].Cost = c
+	}
+	return flusim.Simulate(cp, procOfDomain, flusim.Config{
+		Cluster: cluster, Strategy: strategy, RecordTrace: recordTrace,
+	})
+}

@@ -1,0 +1,244 @@
+package runtime
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tempart/internal/flusim"
+	"tempart/internal/fv"
+	"tempart/internal/mesh"
+	"tempart/internal/partition"
+	"tempart/internal/taskgraph"
+	"tempart/internal/temporal"
+)
+
+func buildCase(t testing.TB, scale float64, k int, strat partition.Strategy) (*mesh.Mesh, *taskgraph.TaskGraph) {
+	t.Helper()
+	m := mesh.Cylinder(scale)
+	r, err := partition.PartitionMesh(m, k, strat, partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := taskgraph.Build(m, r.Part, k, taskgraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, tg
+}
+
+func TestExecuteRunsEveryTaskOnce(t *testing.T) {
+	_, tg := buildCase(t, 0.0005, 4, partition.MCTL)
+	for _, policy := range []Policy{Central, WorkStealing, DomainLocal} {
+		counts := make([]int32, tg.NumTasks())
+		rep, err := Execute(tg, func(task *taskgraph.Task) {
+			atomic.AddInt32(&counts[task.ID], 1)
+		}, Config{Workers: 4, Policy: policy})
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("%v: task %d ran %d times", policy, i, c)
+			}
+		}
+		if len(rep.Durations) != tg.NumTasks() {
+			t.Fatalf("%v: durations length %d", policy, len(rep.Durations))
+		}
+	}
+}
+
+func TestExecuteHonorsDependencies(t *testing.T) {
+	_, tg := buildCase(t, 0.0005, 4, partition.SCOC)
+	var order int64
+	finished := make([]int64, tg.NumTasks())
+	_, err := Execute(tg, func(task *taskgraph.Task) {
+		finished[task.ID] = atomic.AddInt64(&order, 1)
+	}, Config{Workers: 4, Policy: WorkStealing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tg.NumTasks(); i++ {
+		for _, p := range tg.PredsOf(int32(i)) {
+			if finished[p] >= finished[i] {
+				t.Fatalf("task %d finished at %d before its dependency %d at %d",
+					i, finished[i], p, finished[p])
+			}
+		}
+	}
+}
+
+func TestExecuteNilKernel(t *testing.T) {
+	_, tg := buildCase(t, 0.0005, 2, partition.SCOC)
+	if _, err := Execute(tg, nil, Config{}); err == nil {
+		t.Fatal("Execute accepted nil kernel")
+	}
+}
+
+func TestExecuteEmptyGraph(t *testing.T) {
+	tg := &taskgraph.TaskGraph{PredStart: []int32{0}}
+	rep, err := Execute(tg, func(*taskgraph.Task) {}, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Wall < 0 || len(rep.Durations) != 0 {
+		t.Error("empty graph produced odd report")
+	}
+}
+
+func TestExecuteTraceConsistent(t *testing.T) {
+	_, tg := buildCase(t, 0.0005, 4, partition.MCTL)
+	rep, err := Execute(tg, func(task *taskgraph.Task) {
+		// Tiny spin so spans are non-degenerate.
+		s := 0.0
+		for i := 0; i < int(task.Cost); i++ {
+			s += float64(i)
+		}
+		_ = s
+	}, Config{Workers: 3, RecordTrace: true, Policy: Central})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace == nil || len(rep.Trace.Spans) != tg.NumTasks() {
+		t.Fatalf("trace missing or incomplete")
+	}
+	if err := rep.Trace.CheckNoWorkerOverlap(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelFVMatchesSerial is the golden-reference test: executing the FV
+// kernels through the task runtime must reproduce the serial solver's field
+// up to floating-point reassociation.
+func TestParallelFVMatchesSerial(t *testing.T) {
+	m := mesh.Cylinder(0.0005)
+	r, err := partition.PartitionMesh(m, 4, partition.MCTL, partition.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := taskgraph.Build(m, r.Part, 4, taskgraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objects := taskObjects(m, r.Part, 4)
+
+	serial := fv.NewState(m, fv.DefaultParams())
+	serial.InitGaussian(1, 0.5, 0.5, 0.3, 1)
+	parallel := fv.NewState(m, fv.DefaultParams())
+	parallel.InitGaussian(1, 0.5, 0.5, 0.3, 1)
+
+	serial.RunIteration()
+	mass0 := parallel.Mass()
+	_, err = Execute(tg, func(task *taskgraph.Task) {
+		objs := objects[task.ID]
+		if task.Kind == taskgraph.FaceKind {
+			parallel.ComputeFaces(objs)
+		} else {
+			parallel.UpdateCells(objs)
+		}
+	}, Config{Workers: 4, Policy: WorkStealing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-writer accumulators make task-parallel execution bit-exact.
+	for c := range serial.U {
+		if serial.U[c] != parallel.U[c] {
+			t.Fatalf("cell %d: parallel %v != serial %v (determinism broken)", c, parallel.U[c], serial.U[c])
+		}
+	}
+	if rel := math.Abs(parallel.Mass()-mass0) / math.Abs(mass0); rel > 1e-10 {
+		t.Errorf("parallel mass drift %.3e", rel)
+	}
+}
+
+func TestVirtualScheduleUsesMeasuredDurations(t *testing.T) {
+	_, tg := buildCase(t, 0.0005, 8, partition.SCOC)
+	// Uniform 1000ns per task.
+	durations := make([]time.Duration, tg.NumTasks())
+	for i := range durations {
+		durations[i] = 1000
+	}
+	res, err := VirtualSchedule(tg, durations, flusim.BlockMap(8, 2),
+		flusim.Cluster{NumProcs: 2, WorkersPerProc: 2}, flusim.Eager, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWork != int64(tg.NumTasks())*1000 {
+		t.Errorf("virtual total work %d, want %d", res.TotalWork, tg.NumTasks()*1000)
+	}
+	if res.Makespan < res.CriticalPath {
+		t.Error("virtual makespan below critical path")
+	}
+}
+
+func TestVirtualScheduleLengthMismatch(t *testing.T) {
+	_, tg := buildCase(t, 0.0005, 2, partition.SCOC)
+	_, err := VirtualSchedule(tg, nil, flusim.BlockMap(2, 1), flusim.Cluster{NumProcs: 1}, flusim.Eager, false)
+	if err == nil {
+		t.Fatal("accepted mismatched durations")
+	}
+}
+
+// taskObjects recomputes the object lists per task, mirroring the grouping
+// done inside taskgraph.Build. Solver code keeps its own copy of this logic
+// (internal/solver); the duplication here keeps the test independent.
+func taskObjects(m *mesh.Mesh, part []int32, k int) map[int32][]int32 {
+	tg, err := taskgraph.Build(m, part, k, taskgraph.Options{})
+	if err != nil {
+		panic(err)
+	}
+	// Rebuild classification.
+	cellExternal := make([]bool, m.NumCells())
+	for _, f := range m.Faces[:m.NumInteriorFaces] {
+		if part[f.C0] != part[f.C1] {
+			cellExternal[f.C0] = true
+			cellExternal[f.C1] = true
+		}
+	}
+	faceLevelOf := func(f mesh.Face) temporal.Level {
+		l := m.Level[f.C0]
+		if !f.IsBoundary() && m.Level[f.C1] < l {
+			l = m.Level[f.C1]
+		}
+		return l
+	}
+	out := make(map[int32][]int32, tg.NumTasks())
+	type key struct {
+		tau  temporal.Level
+		kind taskgraph.Kind
+		d    int32
+		ext  bool
+	}
+	index := map[key]int32{}
+	for i := range tg.Tasks {
+		tk := &tg.Tasks[i]
+		if tk.Sub != 0 {
+			continue // same object sets for every activation
+		}
+		index[key{tk.Tau, tk.Kind, tk.Domain, tk.External}] = tk.ID
+	}
+	for fi, f := range m.Faces {
+		ext := !f.IsBoundary() && part[f.C0] != part[f.C1]
+		id, ok := index[key{faceLevelOf(f), taskgraph.FaceKind, part[f.C0], ext}]
+		if ok {
+			out[id] = append(out[id], int32(fi))
+		}
+	}
+	for c := 0; c < m.NumCells(); c++ {
+		id, ok := index[key{m.Level[c], taskgraph.CellKind, part[c], cellExternal[c]}]
+		if ok {
+			out[id] = append(out[id], int32(c))
+		}
+	}
+	// Propagate to later subiterations (same tuple → same objects).
+	for i := range tg.Tasks {
+		tk := &tg.Tasks[i]
+		if tk.Sub == 0 {
+			continue
+		}
+		ref := index[key{tk.Tau, tk.Kind, tk.Domain, tk.External}]
+		out[tk.ID] = out[ref]
+	}
+	return out
+}

@@ -1,0 +1,408 @@
+// Package taskgraph implements the paper's Algorithm 1: generating the task
+// DAG of one solver iteration from a mesh, its temporal levels, and a domain
+// decomposition.
+//
+// One iteration is divided into 2^τmax subiterations. Each subiteration
+// contains one phase per active temporal level, traversed in descending
+// order. A phase dedicated to level τ processes, for every domain, first the
+// faces of level τ and then the cells of level τ, each split into one task
+// for *external* objects (those bordering another domain — the tasks whose
+// results must be communicated) and one for *internal* objects. Empty tasks
+// are not generated, which is exactly why partitioning controls the task
+// graph's shape: a domain with no cells of level τ injects nothing into
+// phase τ (paper Fig. 8).
+//
+// Dependencies follow the data flow of the explicit scheme:
+//   - a face task reads its adjacent cells → depends on the latest tasks
+//     that wrote those cells (possibly in an earlier phase of the same
+//     subiteration, since coarser levels update first, or in an earlier
+//     subiteration);
+//   - a cell task consumes its faces' fluxes → depends on the latest tasks
+//     that wrote those faces;
+//   - successive updates of the same object serialize (write-after-write).
+//
+// Cross-domain dependencies (a task of domain A depending on a task of
+// domain B) are the communications; internal/external task splitting lets a
+// runtime overlap them.
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"tempart/internal/mesh"
+	"tempart/internal/temporal"
+)
+
+// Kind distinguishes face-processing tasks from cell-processing tasks.
+type Kind uint8
+
+const (
+	// FaceKind tasks compute fluxes across faces.
+	FaceKind Kind = iota
+	// CellKind tasks update cell values from accumulated fluxes.
+	CellKind
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == FaceKind {
+		return "faces"
+	}
+	return "cells"
+}
+
+// Task is one node of the DAG.
+type Task struct {
+	// ID is the task's index in TaskGraph.Tasks; predecessors always have
+	// smaller IDs (construction order is a topological order).
+	ID int32
+	// Iter is the iteration the task belongs to (0 for single-iteration
+	// graphs).
+	Iter int32
+	// Sub is the subiteration within the iteration, in [0, 2^τmax).
+	Sub int32
+	// Tau is the phase's temporal level.
+	Tau temporal.Level
+	// Kind is faces or cells.
+	Kind Kind
+	// Domain is the extraction domain.
+	Domain int32
+	// External marks tasks over objects bordering another domain.
+	External bool
+	// NumObjects is how many faces/cells the task processes.
+	NumObjects int32
+	// Cost is the task's work in abstract units.
+	Cost int64
+}
+
+// TaskGraph is the DAG of one iteration.
+type TaskGraph struct {
+	Tasks []Task
+	// PredStart/Preds form a CSR list of each task's dependencies.
+	PredStart []int32
+	Preds     []int32
+	// SuccStart/Succs is the transposed CSR (built on demand).
+	SuccStart []int32
+	Succs     []int32
+
+	// Objects[t] lists the face/cell ids task t processes; populated only
+	// when Options.RecordObjects is set.
+	Objects [][]int32
+
+	NumDomains int
+	Scheme     temporal.Scheme
+}
+
+// Options tunes task generation.
+type Options struct {
+	// FaceCost and CellCost are the work units per processed face/cell.
+	// Zero values default to 1.
+	FaceCost, CellCost int32
+	// RecordObjects stores each task's object-id list in TaskGraph.Objects
+	// so an executor can run real kernels over them. Lists alias shared
+	// group storage and must be treated as read-only.
+	RecordObjects bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.FaceCost == 0 {
+		o.FaceCost = 1
+	}
+	if o.CellCost == 0 {
+		o.CellCost = 1
+	}
+	return o
+}
+
+// NumTasks returns the task count.
+func (tg *TaskGraph) NumTasks() int { return len(tg.Tasks) }
+
+// NumDeps returns the dependency-edge count.
+func (tg *TaskGraph) NumDeps() int { return len(tg.Preds) }
+
+// PredsOf returns the dependency list of task t (aliases internal storage).
+func (tg *TaskGraph) PredsOf(t int32) []int32 { return tg.Preds[tg.PredStart[t]:tg.PredStart[t+1]] }
+
+// SuccsOf returns the successor list of task t, building the transpose on
+// first use.
+func (tg *TaskGraph) SuccsOf(t int32) []int32 {
+	if tg.SuccStart == nil {
+		tg.buildSuccs()
+	}
+	return tg.Succs[tg.SuccStart[t]:tg.SuccStart[t+1]]
+}
+
+func (tg *TaskGraph) buildSuccs() {
+	n := len(tg.Tasks)
+	deg := make([]int32, n+1)
+	for _, p := range tg.Preds {
+		deg[p+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	succs := make([]int32, len(tg.Preds))
+	fill := make([]int32, n)
+	copy(fill, deg[:n])
+	for t := 0; t < n; t++ {
+		for _, p := range tg.PredsOf(int32(t)) {
+			succs[fill[p]] = int32(t)
+			fill[p]++
+		}
+	}
+	tg.SuccStart, tg.Succs = deg, succs
+}
+
+// TotalWork returns the summed cost of all tasks.
+func (tg *TaskGraph) TotalWork() int64 {
+	var w int64
+	for i := range tg.Tasks {
+		w += tg.Tasks[i].Cost
+	}
+	return w
+}
+
+// CriticalPath returns the longest cost-weighted path through the DAG — the
+// absolute lower bound on any schedule's makespan regardless of core count.
+func (tg *TaskGraph) CriticalPath() int64 {
+	finish := make([]int64, len(tg.Tasks))
+	var cp int64
+	for t := range tg.Tasks {
+		var start int64
+		for _, p := range tg.PredsOf(int32(t)) {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		finish[t] = start + tg.Tasks[t].Cost
+		if finish[t] > cp {
+			cp = finish[t]
+		}
+	}
+	return cp
+}
+
+// Validate checks DAG invariants: topological IDs, in-range domains and
+// subiterations, sorted unique preds, positive costs for non-empty tasks.
+func (tg *TaskGraph) Validate() error {
+	nsub := int32(tg.Scheme.NumSubiterations())
+	for i := range tg.Tasks {
+		t := &tg.Tasks[i]
+		if t.ID != int32(i) {
+			return fmt.Errorf("taskgraph: task %d has ID %d", i, t.ID)
+		}
+		if t.Sub < 0 || t.Sub >= nsub {
+			return fmt.Errorf("taskgraph: task %d subiteration %d out of range", i, t.Sub)
+		}
+		if t.Domain < 0 || int(t.Domain) >= tg.NumDomains {
+			return fmt.Errorf("taskgraph: task %d domain %d out of range", i, t.Domain)
+		}
+		if t.NumObjects <= 0 {
+			return fmt.Errorf("taskgraph: task %d is empty", i)
+		}
+		if t.Cost <= 0 {
+			return fmt.Errorf("taskgraph: task %d has cost %d", i, t.Cost)
+		}
+		preds := tg.PredsOf(int32(i))
+		for j, p := range preds {
+			if p >= int32(i) {
+				return fmt.Errorf("taskgraph: task %d depends on later task %d", i, p)
+			}
+			if j > 0 && preds[j-1] >= p {
+				return fmt.Errorf("taskgraph: task %d preds not sorted-unique", i)
+			}
+		}
+	}
+	return nil
+}
+
+// faceLevel is the temporal level of a face: the finer (minimum) level of
+// its adjacent cells, or the cell's own level for boundary faces.
+func faceLevel(m *mesh.Mesh, f mesh.Face) temporal.Level {
+	l := m.Level[f.C0]
+	if !f.IsBoundary() && m.Level[f.C1] < l {
+		l = m.Level[f.C1]
+	}
+	return l
+}
+
+// Build generates the task graph of one iteration for the given domain
+// decomposition (part[cell] ∈ [0, numDomains)).
+func Build(m *mesh.Mesh, part []int32, numDomains int, opt Options) (*TaskGraph, error) {
+	return BuildIterations(m, part, numDomains, 1, opt)
+}
+
+// BuildIterations chains several iterations into one DAG without a global
+// barrier between them: the first tasks of iteration i+1 depend only on the
+// tasks of iteration i that last wrote the objects they touch, so a process
+// that finishes its share of an iteration early can start the next one —
+// cross-iteration pipelining, which is how the task-based FLUSEPA overlaps
+// iterations in production.
+func BuildIterations(m *mesh.Mesh, part []int32, numDomains, iterations int, opt Options) (*TaskGraph, error) {
+	if len(part) != m.NumCells() {
+		return nil, fmt.Errorf("taskgraph: %d domain assignments for %d cells", len(part), m.NumCells())
+	}
+	if iterations < 1 {
+		return nil, fmt.Errorf("taskgraph: iterations = %d, want >= 1", iterations)
+	}
+	opt = opt.withDefaults()
+	scheme := m.Scheme()
+	tg := &TaskGraph{NumDomains: numDomains, Scheme: scheme}
+
+	// Classify cells: external iff some face-neighbour is in another domain.
+	nc := m.NumCells()
+	cellExternal := make([]bool, nc)
+	for _, f := range m.Faces[:m.NumInteriorFaces] {
+		if part[f.C0] != part[f.C1] {
+			cellExternal[f.C0] = true
+			cellExternal[f.C1] = true
+		}
+	}
+	// Face ownership and externality: interior cut faces belong to C0's
+	// domain and are external; same-domain and boundary faces are internal.
+	nf := m.NumFaces()
+	faceDomain := make([]int32, nf)
+	faceExternal := make([]bool, nf)
+	for i, f := range m.Faces {
+		faceDomain[i] = part[f.C0]
+		if !f.IsBoundary() && part[f.C0] != part[f.C1] {
+			faceExternal[i] = true
+		}
+	}
+
+	// Group objects by (domain, level, external) once; reused every
+	// activation of that level.
+	cellGroups := groupObjects(nc, numDomains, scheme.NumLevels(),
+		func(i int32) (int32, temporal.Level, bool) { return part[i], m.Level[i], cellExternal[i] })
+	faceGroups := groupObjects(int(nf), numDomains, scheme.NumLevels(),
+		func(i int32) (int32, temporal.Level, bool) {
+			return faceDomain[i], faceLevel(m, m.Faces[i]), faceExternal[i]
+		})
+
+	// Last-writer tracking for dependency discovery.
+	lastCellWriter := make([]int32, nc)
+	lastFaceWriter := make([]int32, nf)
+	for i := range lastCellWriter {
+		lastCellWriter[i] = -1
+	}
+	for i := range lastFaceWriter {
+		lastFaceWriter[i] = -1
+	}
+
+	var preds []int32
+	predStart := []int32{0}
+	predSet := map[int32]struct{}{}
+
+	addTask := func(iter, sub int32, tau temporal.Level, kind Kind, domain int32, external bool, objects []int32) {
+		id := int32(len(tg.Tasks))
+		clear(predSet)
+		var unitCost int32
+		if kind == FaceKind {
+			unitCost = opt.FaceCost
+			for _, f := range objects {
+				face := m.Faces[f]
+				// Read adjacent cells.
+				if w := lastCellWriter[face.C0]; w >= 0 {
+					predSet[w] = struct{}{}
+				}
+				if !face.IsBoundary() {
+					if w := lastCellWriter[face.C1]; w >= 0 {
+						predSet[w] = struct{}{}
+					}
+				}
+				// Serialize with the previous writer of this face.
+				if w := lastFaceWriter[f]; w >= 0 {
+					predSet[w] = struct{}{}
+				}
+				lastFaceWriter[f] = id
+			}
+		} else {
+			unitCost = opt.CellCost
+			for _, c := range objects {
+				// Consume fluxes of every face of the cell.
+				for _, f := range m.CellFaces(c) {
+					if w := lastFaceWriter[f]; w >= 0 {
+						predSet[w] = struct{}{}
+					}
+				}
+				// Serialize with the previous update of this cell.
+				if w := lastCellWriter[c]; w >= 0 {
+					predSet[w] = struct{}{}
+				}
+				lastCellWriter[c] = id
+			}
+		}
+		delete(predSet, id) // intra-task references are not dependencies
+		start := predStart[len(predStart)-1]
+		for p := range predSet {
+			preds = append(preds, p)
+		}
+		own := preds[start:]
+		sort.Slice(own, func(a, b int) bool { return own[a] < own[b] })
+		predStart = append(predStart, int32(len(preds)))
+
+		tg.Tasks = append(tg.Tasks, Task{
+			ID: id, Iter: iter, Sub: sub, Tau: tau, Kind: kind, Domain: domain,
+			External: external, NumObjects: int32(len(objects)),
+			Cost: int64(unitCost) * int64(len(objects)),
+		})
+		if opt.RecordObjects {
+			tg.Objects = append(tg.Objects, objects)
+		}
+	}
+
+	nsub := scheme.NumSubiterations()
+	for iter := 0; iter < iterations; iter++ {
+		for sub := 0; sub < nsub; sub++ {
+			for _, tau := range scheme.ActiveLevels(sub) {
+				for _, kind := range []Kind{FaceKind, CellKind} {
+					groups := faceGroups
+					if kind == CellKind {
+						groups = cellGroups
+					}
+					for d := 0; d < numDomains; d++ {
+						// External objects first: their results feed other
+						// domains, so runtimes can overlap communication.
+						if objs := groups.get(int32(d), tau, true); len(objs) > 0 {
+							addTask(int32(iter), int32(sub), tau, kind, int32(d), true, objs)
+						}
+						if objs := groups.get(int32(d), tau, false); len(objs) > 0 {
+							addTask(int32(iter), int32(sub), tau, kind, int32(d), false, objs)
+						}
+					}
+				}
+			}
+		}
+	}
+	tg.PredStart = predStart
+	tg.Preds = preds
+	return tg, nil
+}
+
+// objectGroups buckets object ids by (domain, level, external).
+type objectGroups struct {
+	numLevels int
+	buckets   [][]int32 // index: (domain*numLevels+level)*2 + ext
+}
+
+func (og *objectGroups) get(domain int32, level temporal.Level, external bool) []int32 {
+	i := (int(domain)*og.numLevels + int(level)) * 2
+	if external {
+		i++
+	}
+	return og.buckets[i]
+}
+
+func groupObjects(n, numDomains, numLevels int, classify func(int32) (int32, temporal.Level, bool)) *objectGroups {
+	og := &objectGroups{numLevels: numLevels, buckets: make([][]int32, numDomains*numLevels*2)}
+	for i := int32(0); i < int32(n); i++ {
+		d, l, ext := classify(i)
+		idx := (int(d)*numLevels + int(l)) * 2
+		if ext {
+			idx++
+		}
+		og.buckets[idx] = append(og.buckets[idx], i)
+	}
+	return og
+}

@@ -1,0 +1,502 @@
+package taskgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tempart/internal/mesh"
+	"tempart/internal/partition"
+	"tempart/internal/temporal"
+)
+
+// uniformStrip builds a strip mesh of n cells all at level 0 and a trivial
+// 1-domain decomposition.
+func buildStrip(t *testing.T, levels []temporal.Level, part []int32, k int) (*mesh.Mesh, *TaskGraph) {
+	t.Helper()
+	m := mesh.Strip(levels)
+	if part == nil {
+		part = make([]int32, len(levels))
+		k = 1
+	}
+	tg, err := Build(m, part, k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m, tg
+}
+
+func TestSingleLevelSingleDomain(t *testing.T) {
+	// 4 level-0 cells, one domain: one subiteration, one phase, two tasks
+	// (faces then cells), no external tasks.
+	_, tg := buildStrip(t, []temporal.Level{0, 0, 0, 0}, nil, 1)
+	if tg.NumTasks() != 2 {
+		t.Fatalf("NumTasks = %d, want 2 (faces+cells)", tg.NumTasks())
+	}
+	if tg.Tasks[0].Kind != FaceKind || tg.Tasks[1].Kind != CellKind {
+		t.Error("faces must precede cells within a phase")
+	}
+	if tg.Tasks[0].External || tg.Tasks[1].External {
+		t.Error("single domain must produce internal tasks only")
+	}
+	// Cells depend on faces.
+	preds := tg.PredsOf(1)
+	if len(preds) != 1 || preds[0] != 0 {
+		t.Errorf("cell task preds = %v, want [0]", preds)
+	}
+}
+
+func TestTwoLevelSubiterationStructure(t *testing.T) {
+	// Levels {0,1}: 2 subiterations. Sub 0 has phases τ=1 then τ=0; sub 1
+	// only τ=0.
+	_, tg := buildStrip(t, []temporal.Level{0, 0, 1, 1}, nil, 1)
+	// Expected tasks: sub0: faces(1), cells(1), faces(0), cells(0);
+	// sub1: faces(0), cells(0) → 6 tasks.
+	if tg.NumTasks() != 6 {
+		t.Fatalf("NumTasks = %d, want 6", tg.NumTasks())
+	}
+	wantSub := []int32{0, 0, 0, 0, 1, 1}
+	wantTau := []temporal.Level{1, 1, 0, 0, 0, 0}
+	for i := range wantSub {
+		if tg.Tasks[i].Sub != wantSub[i] || tg.Tasks[i].Tau != wantTau[i] {
+			t.Errorf("task %d = sub %d τ%d, want sub %d τ%d",
+				i, tg.Tasks[i].Sub, tg.Tasks[i].Tau, wantSub[i], wantTau[i])
+		}
+	}
+}
+
+// TestFaceLevelIsMinOfCells pins the face-level rule.
+func TestFaceLevelIsMinOfCells(t *testing.T) {
+	m := mesh.Strip([]temporal.Level{0, 1})
+	// Interior face between levels 0 and 1 → level 0.
+	if got := faceLevel(m, m.Faces[0]); got != 0 {
+		t.Errorf("faceLevel = %d, want 0", got)
+	}
+	// Boundary face of cell 1 → level 1.
+	for _, f := range m.Faces[m.NumInteriorFaces:] {
+		want := m.Level[f.C0]
+		if got := faceLevel(m, f); got != want {
+			t.Errorf("boundary faceLevel = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestExternalTasksAppearAtDomainBorder(t *testing.T) {
+	// Two domains split in the middle of a level-0 strip.
+	part := []int32{0, 0, 1, 1}
+	_, tg := buildStrip(t, []temporal.Level{0, 0, 0, 0}, part, 2)
+	var extFaces, extCells, intCells int
+	for i := range tg.Tasks {
+		switch {
+		case tg.Tasks[i].External && tg.Tasks[i].Kind == FaceKind:
+			extFaces++
+		case tg.Tasks[i].External && tg.Tasks[i].Kind == CellKind:
+			extCells++
+		case tg.Tasks[i].Kind == CellKind:
+			intCells++
+		}
+	}
+	// The cut face belongs to one domain → 1 external face task. Both
+	// domains have one border cell → 2 external cell tasks.
+	if extFaces != 1 {
+		t.Errorf("external face tasks = %d, want 1", extFaces)
+	}
+	if extCells != 2 {
+		t.Errorf("external cell tasks = %d, want 2", extCells)
+	}
+	if intCells != 2 {
+		t.Errorf("internal cell tasks = %d, want 2", intCells)
+	}
+}
+
+// TestFig8TaskGraphShape reproduces the paper's Figure 8 contrast on a
+// 3-level mesh split into 2 domains two ways: a level-segregating partition
+// (SC_OC-like) makes the first phase generate tasks in only one domain,
+// while a level-balancing partition (MC_TL-like) doubles the first-phase
+// task count.
+func TestFig8TaskGraphShape(t *testing.T) {
+	// 12 cells: levels 0,0,1,1,2,2,2,2,1,1,0,0 — symmetric so both
+	// partitions are contiguous.
+	levels := []temporal.Level{0, 0, 1, 1, 2, 2, 2, 2, 1, 1, 0, 0}
+	m := mesh.Strip(levels)
+
+	// Segregating split: domain 1 holds every τ=2 cell, domain 0 the rest.
+	segPart := []int32{0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0}
+	// Balancing split: each domain gets one τ0 pair... i.e. equal counts of
+	// every level (mirror halves of the symmetric strip).
+	balPart := []int32{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1}
+
+	tgSeg, err := Build(m, segPart, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgBal, err := Build(m, balPart, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	phaseTasks := func(tg *TaskGraph, tau temporal.Level) map[int32]int {
+		got := map[int32]int{}
+		for i := range tg.Tasks {
+			if tg.Tasks[i].Sub == 0 && tg.Tasks[i].Tau == tau {
+				got[tg.Tasks[i].Domain]++
+			}
+		}
+		return got
+	}
+	// First phase (τ=2): segregated → only domain 1 contributes.
+	seg := phaseTasks(tgSeg, 2)
+	if len(seg) != 1 {
+		t.Errorf("segregated τ2 phase spans %d domains, want 1 (%v)", len(seg), seg)
+	}
+	// Balanced → both domains contribute.
+	bal := phaseTasks(tgBal, 2)
+	if len(bal) != 2 {
+		t.Errorf("balanced τ2 phase spans %d domains, want 2 (%v)", len(bal), bal)
+	}
+	// And the balanced graph has strictly more tasks in the first phase.
+	if sum(bal) <= sum(seg) {
+		t.Errorf("balanced first-phase tasks %d not greater than segregated %d", sum(bal), sum(seg))
+	}
+}
+
+func sum(m map[int32]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// TestWorkConservation: total cell-task work equals the temporal scheme's
+// iteration work regardless of partitioning (the paper stresses both
+// strategies perform the same operations).
+func TestWorkConservation(t *testing.T) {
+	m := mesh.Cylinder(0.0005)
+	scheme := m.Scheme()
+	wantCellWork := scheme.IterationWork(m.Census())
+
+	for _, strat := range []partition.Strategy{partition.SCOC, partition.MCTL} {
+		r, err := partition.PartitionMesh(m, 4, strat, partition.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tg, err := Build(m, r.Part, 4, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		var cellWork int64
+		for i := range tg.Tasks {
+			if tg.Tasks[i].Kind == CellKind {
+				cellWork += tg.Tasks[i].Cost
+			}
+		}
+		if cellWork != wantCellWork {
+			t.Errorf("%v: cell work %d, want %d", strat, cellWork, wantCellWork)
+		}
+	}
+}
+
+// TestSubiterationOrdering: every cross-subiteration dependency points
+// backwards, and cell tasks of subiteration s>0 transitively depend on
+// earlier subiterations (the strong ordering the paper describes).
+func TestSubiterationOrdering(t *testing.T) {
+	m := mesh.Cube(0.02)
+	part := make([]int32, m.NumCells())
+	for c := range part {
+		part[c] = int32(c % 4)
+	}
+	tg, err := Build(m, part, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tg.Tasks {
+		for _, p := range tg.PredsOf(int32(i)) {
+			if tg.Tasks[p].Sub > tg.Tasks[i].Sub {
+				t.Fatalf("task %d (sub %d) depends on later subiteration task %d (sub %d)",
+					i, tg.Tasks[i].Sub, p, tg.Tasks[p].Sub)
+			}
+		}
+	}
+	// Each level-0 cell task at sub s>0 must depend on at least one task of
+	// an earlier subiteration (its previous update).
+	for i := range tg.Tasks {
+		tk := &tg.Tasks[i]
+		if tk.Kind != CellKind || tk.Tau != 0 || tk.Sub == 0 {
+			continue
+		}
+		found := false
+		for _, p := range tg.PredsOf(int32(i)) {
+			if tg.Tasks[p].Sub < tk.Sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("level-0 cell task %d at sub %d has no earlier-sub dependency", i, tk.Sub)
+		}
+	}
+}
+
+func TestCriticalPathBounds(t *testing.T) {
+	m := mesh.Cylinder(0.0005)
+	part := make([]int32, m.NumCells())
+	tg, err := Build(m, part, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := tg.CriticalPath()
+	tw := tg.TotalWork()
+	if cp <= 0 || cp > tw {
+		t.Errorf("critical path %d outside (0, %d]", cp, tw)
+	}
+	// Single domain: every phase serializes (faces→cells chains through the
+	// whole domain), so the critical path must be a large share of total.
+	if float64(cp) < 0.5*float64(tw) {
+		t.Errorf("1-domain critical path %d suspiciously short vs work %d", cp, tw)
+	}
+}
+
+func TestSuccsTransposeConsistent(t *testing.T) {
+	m := mesh.Cube(0.02)
+	part := make([]int32, m.NumCells())
+	for c := range part {
+		part[c] = int32(c % 3)
+	}
+	tg, err := Build(m, part, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every pred edge appears exactly once as a succ edge.
+	count := 0
+	for t2 := 0; t2 < tg.NumTasks(); t2++ {
+		for _, p := range tg.PredsOf(int32(t2)) {
+			found := false
+			for _, s := range tg.SuccsOf(p) {
+				if s == int32(t2) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d missing from transpose", p, t2)
+			}
+			count++
+		}
+	}
+	if count != tg.NumDeps() {
+		t.Errorf("edge count %d != NumDeps %d", count, tg.NumDeps())
+	}
+}
+
+func TestCostModelOptions(t *testing.T) {
+	m := mesh.Strip([]temporal.Level{0, 0})
+	part := []int32{0, 0}
+	tg, err := Build(m, part, 1, Options{FaceCost: 3, CellCost: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tg.Tasks {
+		tk := &tg.Tasks[i]
+		var unit int64 = 5
+		if tk.Kind == FaceKind {
+			unit = 3
+		}
+		if tk.Cost != unit*int64(tk.NumObjects) {
+			t.Errorf("task %d cost %d, want %d", i, tk.Cost, unit*int64(tk.NumObjects))
+		}
+	}
+}
+
+func TestBuildRejectsBadPart(t *testing.T) {
+	m := mesh.Strip([]temporal.Level{0, 0, 0})
+	if _, err := Build(m, []int32{0}, 1, Options{}); err == nil {
+		t.Fatal("Build accepted wrong-length part")
+	}
+}
+
+// Property: task generation is deterministic and the number of tasks per
+// (sub, τ, domain, kind, external) tuple is at most 1.
+func TestTaskTupleUniquenessProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := 2 + int(kRaw%5)
+		m := mesh.Cube(0.01)
+		r, err := partition.PartitionMesh(m, k, partition.MCTL, partition.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		tg, err := Build(m, r.Part, k, Options{})
+		if err != nil {
+			return false
+		}
+		type key struct {
+			sub  int32
+			tau  temporal.Level
+			d    int32
+			kind Kind
+			ext  bool
+		}
+		seen := map[key]bool{}
+		for i := range tg.Tasks {
+			tk := &tg.Tasks[i]
+			kk := key{tk.Sub, tk.Tau, tk.Domain, tk.Kind, tk.External}
+			if seen[kk] {
+				return false
+			}
+			seen[kk] = true
+		}
+		return tg.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMCTLProducesMoreFirstPhaseTasks verifies the paper's granularity
+// observation at mesh scale: MC_TL injects tasks from every domain into the
+// first subiteration's coarse phases, SC_OC from only a few.
+func TestMCTLProducesMoreFirstPhaseTasks(t *testing.T) {
+	m := mesh.Cylinder(0.001)
+	k := 8
+	domainsInPhase := func(strat partition.Strategy) int {
+		r, err := partition.PartitionMesh(m, k, strat, partition.Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tg, err := Build(m, r.Part, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := map[int32]bool{}
+		for i := range tg.Tasks {
+			if tg.Tasks[i].Sub == 0 && tg.Tasks[i].Tau == m.MaxLevel && tg.Tasks[i].Kind == CellKind {
+				ds[tg.Tasks[i].Domain] = true
+			}
+		}
+		return len(ds)
+	}
+	sc, mc := domainsInPhase(partition.SCOC), domainsInPhase(partition.MCTL)
+	if mc < sc {
+		t.Errorf("MC_TL first-phase domains %d < SC_OC %d", mc, sc)
+	}
+	if mc != k {
+		t.Errorf("MC_TL first-phase domains = %d, want all %d", mc, k)
+	}
+}
+
+func TestRecordObjects(t *testing.T) {
+	m := mesh.Cube(0.02)
+	part := make([]int32, m.NumCells())
+	for c := range part {
+		part[c] = int32(c % 3)
+	}
+	tg, err := Build(m, part, 3, Options{RecordObjects: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tg.Objects) != tg.NumTasks() {
+		t.Fatalf("Objects length %d, want %d", len(tg.Objects), tg.NumTasks())
+	}
+	scheme := m.Scheme()
+	// Per subiteration, cell tasks' objects must cover exactly the active
+	// cells, each once.
+	for sub := 0; sub < scheme.NumSubiterations(); sub++ {
+		seen := map[int32]int{}
+		for i := range tg.Tasks {
+			tk := &tg.Tasks[i]
+			if tk.Sub != int32(sub) || tk.Kind != CellKind {
+				continue
+			}
+			if int(tk.NumObjects) != len(tg.Objects[i]) {
+				t.Fatalf("task %d NumObjects %d != len(Objects) %d", i, tk.NumObjects, len(tg.Objects[i]))
+			}
+			for _, c := range tg.Objects[i] {
+				seen[c]++
+			}
+		}
+		for c := 0; c < m.NumCells(); c++ {
+			want := 0
+			if scheme.Active(sub, m.Level[c]) {
+				want = 1
+			}
+			if seen[int32(c)] != want {
+				t.Fatalf("sub %d: cell %d covered %d times, want %d", sub, c, seen[int32(c)], want)
+			}
+		}
+	}
+}
+
+func TestBuildIterationsChains(t *testing.T) {
+	m := mesh.Cube(0.02)
+	part := make([]int32, m.NumCells())
+	for c := range part {
+		part[c] = int32(c % 4)
+	}
+	one, err := Build(m, part, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := BuildIterations(m, part, 4, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := three.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if three.NumTasks() != 3*one.NumTasks() {
+		t.Errorf("3-iteration tasks = %d, want %d", three.NumTasks(), 3*one.NumTasks())
+	}
+	if three.TotalWork() != 3*one.TotalWork() {
+		t.Errorf("3-iteration work = %d, want %d", three.TotalWork(), 3*one.TotalWork())
+	}
+	// Cross-iteration dependencies exist, and iterations are ordered.
+	crossDeps := 0
+	for i := range three.Tasks {
+		for _, p := range three.PredsOf(int32(i)) {
+			if three.Tasks[p].Iter > three.Tasks[i].Iter {
+				t.Fatalf("task %d (iter %d) depends on later iteration", i, three.Tasks[i].Iter)
+			}
+			if three.Tasks[p].Iter < three.Tasks[i].Iter {
+				crossDeps++
+			}
+		}
+	}
+	if crossDeps == 0 {
+		t.Error("no cross-iteration dependencies — iterations are disconnected")
+	}
+	if _, err := BuildIterations(m, part, 4, 0, Options{}); err == nil {
+		t.Error("accepted 0 iterations")
+	}
+}
+
+// TestIterationPipelining: scheduling n chained iterations beats n barrier-
+// separated runs for an imbalanced (SC_OC-style) decomposition, because idle
+// tails overlap the next iteration's head.
+func TestIterationPipelining(t *testing.T) {
+	m := mesh.Cylinder(0.0005)
+	r, err := partition.PartitionMesh(m, 8, partition.SCOC, partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Build(m, r.Part, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := BuildIterations(m, r.Part, 8, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical paths: the chained graph's CP must be under 4× the single
+	// iteration's CP only if chaining allows overlap... it does not shorten
+	// CP (same chain), but the *makespan* on a bounded cluster should be
+	// under 4× the single-iteration makespan.
+	cp1, cp4 := one.CriticalPath(), four.CriticalPath()
+	if cp4 > 4*cp1 {
+		t.Errorf("chained CP %d exceeds 4x single CP %d", cp4, cp1)
+	}
+}

@@ -1,0 +1,25 @@
+package temporal_test
+
+import (
+	"fmt"
+
+	"tempart/internal/temporal"
+)
+
+// ExampleScheme shows the subiteration structure of a 3-level mesh — the
+// paper's Figure 4: level τ is recomputed every 2^τ subiterations.
+func ExampleScheme() {
+	s, _ := temporal.NewScheme(2)
+	fmt.Println("subiterations:", s.NumSubiterations())
+	for sub := 0; sub < s.NumSubiterations(); sub++ {
+		fmt.Printf("sub %d active levels: %v\n", sub, s.ActiveLevels(sub))
+	}
+	fmt.Println("cost of level 0:", s.Cost(0))
+	// Output:
+	// subiterations: 4
+	// sub 0 active levels: [2 1 0]
+	// sub 1 active levels: [0]
+	// sub 2 active levels: [1 0]
+	// sub 3 active levels: [0]
+	// cost of level 0: 4
+}

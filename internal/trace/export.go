@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" = complete
+// event). Times are microseconds; we map one virtual time unit (or
+// nanosecond, for wall-clock traces) to one microsecond so the viewer's
+// zoom behaves.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur"`
+	PID  int32             `json:"pid"`
+	TID  int32             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace serialises the trace in the Chrome trace-event JSON array
+// format, loadable in chrome://tracing or Perfetto. Processes map to PIDs,
+// workers to TIDs, tasks to complete events named by subiteration.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, len(t.Spans))
+	for _, s := range t.Spans {
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("sub%d", s.Sub),
+			Cat:  "task",
+			Ph:   "X",
+			Ts:   s.Start,
+			Dur:  s.End - s.Start,
+			PID:  s.Proc,
+			TID:  s.Worker,
+			Args: map[string]string{"task": strconv.Itoa(int(s.Task))},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// WriteCSV serialises the trace as CSV with the header
+// proc,worker,task,sub,start,end — convenient for spreadsheet or pandas
+// analysis of schedules.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"proc", "worker", "task", "sub", "start", "end"}); err != nil {
+		return err
+	}
+	row := make([]string, 6)
+	for _, s := range t.Spans {
+		row[0] = strconv.Itoa(int(s.Proc))
+		row[1] = strconv.Itoa(int(s.Worker))
+		row[2] = strconv.Itoa(int(s.Task))
+		row[3] = strconv.Itoa(int(s.Sub))
+		row[4] = strconv.FormatInt(s.Start, 10)
+		row[5] = strconv.FormatInt(s.End, 10)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV. Makespan is recovered as the
+// maximum span end; NumProcs as max proc + 1.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	if len(records[0]) != 6 || records[0][0] != "proc" {
+		return nil, fmt.Errorf("trace: unexpected CSV header %v", records[0])
+	}
+	t := &Trace{}
+	for i, rec := range records[1:] {
+		vals := make([]int64, 6)
+		for j, f := range rec {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d field %d: %w", i+1, j, err)
+			}
+			vals[j] = v
+		}
+		s := Span{
+			Proc: int32(vals[0]), Worker: int32(vals[1]), Task: int32(vals[2]),
+			Sub: int32(vals[3]), Start: vals[4], End: vals[5],
+		}
+		t.Spans = append(t.Spans, s)
+		if int(s.Proc)+1 > t.NumProcs {
+			t.NumProcs = int(s.Proc) + 1
+		}
+		if s.End > t.Makespan {
+			t.Makespan = s.End
+		}
+	}
+	return t, nil
+}

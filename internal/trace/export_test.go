@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != len(tr.Spans) {
+		t.Fatalf("events = %d, want %d", len(events), len(tr.Spans))
+	}
+	ev := events[0]
+	if ev["ph"] != "X" || ev["name"] != "sub0" {
+		t.Errorf("event malformed: %v", ev)
+	}
+	if ev["dur"].(float64) != 4 {
+		t.Errorf("dur = %v, want 4", ev["dur"])
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Spans) != len(tr.Spans) {
+		t.Fatalf("spans = %d, want %d", len(got.Spans), len(tr.Spans))
+	}
+	for i := range tr.Spans {
+		if got.Spans[i] != tr.Spans[i] {
+			t.Errorf("span %d = %+v, want %+v", i, got.Spans[i], tr.Spans[i])
+		}
+	}
+	if got.Makespan != tr.Makespan || got.NumProcs != tr.NumProcs {
+		t.Errorf("header fields: makespan %d/%d procs %d/%d",
+			got.Makespan, tr.Makespan, got.NumProcs, tr.NumProcs)
+	}
+}
+
+func TestReadCSVRejectsJunk(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("accepted empty input")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Error("accepted wrong header")
+	}
+	if _, err := ReadCSV(strings.NewReader("proc,worker,task,sub,start,end\n1,2,x,0,0,1\n")); err == nil {
+		t.Error("accepted non-numeric field")
+	}
+}

@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary text to the trace CSV reader: no panics, and
+// successful parses must round-trip through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	var buf bytes.Buffer
+	if err := sampleTrace().WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("proc,worker,task,sub,start,end\n0,0,0,0,0,1\n")
+	f.Add("garbage")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := tr.WriteCSV(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		tr2, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(tr2.Spans) != len(tr.Spans) {
+			t.Fatalf("round trip lost spans: %d -> %d", len(tr.Spans), len(tr2.Spans))
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GanttByWorker renders an ASCII Gantt chart with one row per (process,
+// worker) pair — the fine-grained view of a bounded-cluster trace, where the
+// per-process Gantt would hide intra-process idleness. Rows are grouped by
+// process; only workers that ran at least one task appear.
+func (t *Trace) GanttByWorker(width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	if t.Makespan == 0 {
+		return "(empty trace)\n"
+	}
+	type key struct{ p, w int32 }
+	rows := map[key][]Span{}
+	for _, s := range t.Spans {
+		k := key{s.Proc, s.Worker}
+		rows[k] = append(rows[k], s)
+	}
+	keys := make([]key, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].p != keys[j].p {
+			return keys[i].p < keys[j].p
+		}
+		return keys[i].w < keys[j].w
+	})
+
+	slot := float64(t.Makespan) / float64(width)
+	var b strings.Builder
+	for _, k := range keys {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, s := range rows[k] {
+			c0 := int(float64(s.Start) / slot)
+			c1 := int(float64(s.End-1) / slot)
+			if c1 >= width {
+				c1 = width - 1
+			}
+			for c := c0; c <= c1; c++ {
+				line[c] = byte('0' + s.Sub%10)
+			}
+		}
+		fmt.Fprintf(&b, "P%-2d/w%-3d |%s|\n", k.p, k.w, line)
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+// Package tuner implements the paper's first perspective (§IX): automatically
+// determining the best domain granularity for a target machine. The user
+// supplies the mesh, the partitioning strategy and the cluster shape; the
+// tuner sweeps candidate domain counts, evaluates each candidate's simulated
+// schedule (optionally with communication costs) through FLUSIM, and returns
+// the best trade-off.
+//
+// The search space is geometric — domain counts are multiples of the process
+// count, doubling from one domain per process up to a work-imposed ceiling —
+// because schedule quality varies smoothly with granularity while
+// partitioning cost grows with k.
+package tuner
+
+import (
+	"fmt"
+	"math"
+
+	"tempart/internal/flusim"
+	"tempart/internal/mesh"
+	"tempart/internal/partition"
+	"tempart/internal/taskgraph"
+)
+
+// Config parameterises the search.
+type Config struct {
+	// Cluster is the target machine.
+	Cluster flusim.Cluster
+	// Strategy is the partitioning criterion to tune.
+	Strategy partition.Strategy
+	// PartOpts seeds the partitioner.
+	PartOpts partition.Options
+	// CommLatency, when positive, charges every cross-process dependency
+	// edge this many time units in the evaluation — making the tuner prefer
+	// coarser decompositions when communication is expensive.
+	CommLatency int64
+	// MaxDomainsPerProc caps the sweep; defaults to 32.
+	MaxDomainsPerProc int
+	// MinCellsPerDomain stops the sweep before domains become degenerate;
+	// defaults to 32.
+	MinCellsPerDomain int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDomainsPerProc <= 0 {
+		c.MaxDomainsPerProc = 32
+	}
+	if c.MinCellsPerDomain <= 0 {
+		c.MinCellsPerDomain = 32
+	}
+	return c
+}
+
+// Candidate is one evaluated granularity.
+type Candidate struct {
+	Domains    int
+	Makespan   int64
+	CommVolume int64
+	NumTasks   int
+	// Efficiency is work / (makespan · cores).
+	Efficiency float64
+}
+
+// Result is the tuner's outcome.
+type Result struct {
+	Best       Candidate
+	Candidates []Candidate
+}
+
+// Tune sweeps domain counts for the mesh on the target cluster and returns
+// the candidate with the smallest simulated makespan (ties broken toward
+// fewer domains, which means less communication and runtime overhead).
+func Tune(m *mesh.Mesh, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Cluster.NumProcs < 1 {
+		return nil, fmt.Errorf("tuner: NumProcs = %d", cfg.Cluster.NumProcs)
+	}
+	res := &Result{}
+	cores := cfg.Cluster.NumProcs * cfg.Cluster.WorkersPerProc
+
+	for perProc := 1; perProc <= cfg.MaxDomainsPerProc; perProc *= 2 {
+		domains := perProc * cfg.Cluster.NumProcs
+		if m.NumCells()/domains < cfg.MinCellsPerDomain {
+			break
+		}
+		part, err := partition.PartitionMesh(m, domains, cfg.Strategy, cfg.PartOpts)
+		if err != nil {
+			return nil, fmt.Errorf("tuner: k=%d: %w", domains, err)
+		}
+		tg, err := taskgraph.Build(m, part.Part, domains, taskgraph.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("tuner: k=%d: %w", domains, err)
+		}
+		procOf := flusim.BlockMap(domains, cfg.Cluster.NumProcs)
+		sim, err := flusim.Simulate(tg, procOf, flusim.Config{
+			Cluster:     cfg.Cluster,
+			CommLatency: cfg.CommLatency,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tuner: k=%d: %w", domains, err)
+		}
+		cand := Candidate{
+			Domains:    domains,
+			Makespan:   sim.Makespan,
+			CommVolume: commVolume(tg, procOf),
+			NumTasks:   tg.NumTasks(),
+		}
+		if cores > 0 && sim.Makespan > 0 {
+			cand.Efficiency = float64(sim.TotalWork) / (float64(sim.Makespan) * float64(cores))
+		}
+		res.Candidates = append(res.Candidates, cand)
+	}
+	if len(res.Candidates) == 0 {
+		return nil, fmt.Errorf("tuner: no feasible domain count (mesh of %d cells too small for %d processes)",
+			m.NumCells(), cfg.Cluster.NumProcs)
+	}
+	best := res.Candidates[0]
+	for _, c := range res.Candidates[1:] {
+		if c.Makespan < best.Makespan {
+			best = c
+		}
+	}
+	res.Best = best
+	return res, nil
+}
+
+// commVolume counts cross-process dependency edges (duplicated from
+// internal/metrics to keep the tuner's dependency set minimal).
+func commVolume(tg *taskgraph.TaskGraph, procOfDomain []int32) int64 {
+	var vol int64
+	for t := 0; t < tg.NumTasks(); t++ {
+		pt := procOfDomain[tg.Tasks[t].Domain]
+		for _, pr := range tg.PredsOf(int32(t)) {
+			if procOfDomain[tg.Tasks[pr].Domain] != pt {
+				vol++
+			}
+		}
+	}
+	return vol
+}
+
+// String renders the sweep as a table.
+func (r *Result) String() string {
+	out := fmt.Sprintf("%8s %12s %10s %10s %6s\n", "domains", "makespan", "comm", "tasks", "eff")
+	for _, c := range r.Candidates {
+		marker := " "
+		if c.Domains == r.Best.Domains {
+			marker = "*"
+		}
+		out += fmt.Sprintf("%7d%s %12d %10d %10d %6.2f\n",
+			c.Domains, marker, c.Makespan, c.CommVolume, c.NumTasks, c.Efficiency)
+	}
+	return out
+}
+
+// SpeedupOverSinglePerProc reports Best's improvement over the coarsest
+// candidate (1 domain per process); >1 means finer granularity paid off.
+func (r *Result) SpeedupOverSinglePerProc() float64 {
+	if len(r.Candidates) == 0 || r.Best.Makespan == 0 {
+		return math.NaN()
+	}
+	return float64(r.Candidates[0].Makespan) / float64(r.Best.Makespan)
+}

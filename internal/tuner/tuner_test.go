@@ -1,0 +1,114 @@
+package tuner
+
+import (
+	"strings"
+	"testing"
+
+	"tempart/internal/flusim"
+	"tempart/internal/mesh"
+	"tempart/internal/partition"
+)
+
+func TestTuneFindsFinerGranularity(t *testing.T) {
+	// On a multi-level mesh with SC_OC, finer granularity improves the
+	// schedule (pipelining) — the tuner must not stop at 1 domain/proc.
+	m := mesh.Cylinder(0.002)
+	res, err := Tune(m, Config{
+		Cluster:  flusim.Cluster{NumProcs: 8, WorkersPerProc: 4},
+		Strategy: partition.SCOC,
+		PartOpts: partition.Options{Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) < 3 {
+		t.Fatalf("sweep too short: %d candidates", len(res.Candidates))
+	}
+	if res.Best.Domains <= 8 {
+		t.Errorf("best granularity %d domains — expected finer than 1/proc", res.Best.Domains)
+	}
+	if s := res.SpeedupOverSinglePerProc(); s <= 1.0 {
+		t.Errorf("speedup over coarsest %f, want > 1", s)
+	}
+	// Best really is the minimum.
+	for _, c := range res.Candidates {
+		if c.Makespan < res.Best.Makespan {
+			t.Errorf("candidate %d beats reported best", c.Domains)
+		}
+	}
+}
+
+func TestTuneCommLatencyPrefersCoarser(t *testing.T) {
+	// With expensive communication, the best granularity must not be finer
+	// than the free-communication optimum.
+	m := mesh.Cylinder(0.001)
+	cl := flusim.Cluster{NumProcs: 4, WorkersPerProc: 4}
+	free, err := Tune(m, Config{Cluster: cl, Strategy: partition.MCTL, PartOpts: partition.Options{Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := Tune(m, Config{
+		Cluster: cl, Strategy: partition.MCTL, PartOpts: partition.Options{Seed: 2},
+		CommLatency: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costly.Best.Domains > free.Best.Domains {
+		t.Errorf("comm-aware tuner picked finer granularity (%d) than free-comm (%d)",
+			costly.Best.Domains, free.Best.Domains)
+	}
+	// Costly makespans dominate free ones at equal k.
+	for i := range costly.Candidates {
+		if i < len(free.Candidates) && costly.Candidates[i].Makespan < free.Candidates[i].Makespan {
+			t.Errorf("k=%d: latency lowered makespan", costly.Candidates[i].Domains)
+		}
+	}
+}
+
+func TestTuneStopsAtMinCells(t *testing.T) {
+	m := mesh.Cube(0.02) // ~3k cells
+	res, err := Tune(m, Config{
+		Cluster:           flusim.Cluster{NumProcs: 4, WorkersPerProc: 2},
+		Strategy:          partition.SCOC,
+		MinCellsPerDomain: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Candidates[len(res.Candidates)-1]
+	if m.NumCells()/last.Domains < 200 {
+		t.Errorf("sweep violated MinCellsPerDomain: %d domains for %d cells", last.Domains, m.NumCells())
+	}
+}
+
+func TestTuneErrors(t *testing.T) {
+	m := mesh.Cube(0.01)
+	if _, err := Tune(m, Config{}); err == nil {
+		t.Error("accepted zero processes")
+	}
+	// Mesh too small for any candidate.
+	if _, err := Tune(mesh.Strip(nil), Config{
+		Cluster: flusim.Cluster{NumProcs: 4, WorkersPerProc: 1},
+	}); err == nil {
+		t.Error("accepted empty mesh")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	m := mesh.Cube(0.05)
+	res, err := Tune(m, Config{
+		Cluster:  flusim.Cluster{NumProcs: 2, WorkersPerProc: 2},
+		Strategy: partition.MCTL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	if !strings.Contains(out, "*") {
+		t.Errorf("best marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "makespan") {
+		t.Errorf("header missing:\n%s", out)
+	}
+}
