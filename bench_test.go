@@ -10,6 +10,7 @@
 package tempart_test
 
 import (
+	"context"
 	"os"
 	"strconv"
 	"testing"
@@ -205,7 +206,7 @@ func BenchmarkPartitionSCOC(b *testing.B) {
 	m := mesh.Cylinder(benchParams().Scale)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := partition.PartitionMesh(m, 64, partition.SCOC, partition.Options{Seed: int64(i)}); err != nil {
+		if _, err := partition.PartitionMesh(context.Background(), m, 64, partition.SCOC, partition.Options{Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -217,7 +218,7 @@ func BenchmarkPartitionMCTL(b *testing.B) {
 	m := mesh.Cylinder(benchParams().Scale)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := partition.PartitionMesh(m, 64, partition.MCTL, partition.Options{Seed: int64(i)}); err != nil {
+		if _, err := partition.PartitionMesh(context.Background(), m, 64, partition.MCTL, partition.Options{Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -227,7 +228,7 @@ func BenchmarkPartitionMCTL(b *testing.B) {
 // BenchmarkTaskGraphBuild measures Algorithm 1 generation.
 func BenchmarkTaskGraphBuild(b *testing.B) {
 	m := mesh.Cylinder(benchParams().Scale)
-	r, err := partition.PartitionMesh(m, 64, partition.MCTL, partition.Options{Seed: 1})
+	r, err := partition.PartitionMesh(context.Background(), m, 64, partition.MCTL, partition.Options{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func BenchmarkTaskGraphBuild(b *testing.B) {
 // BenchmarkFlusimSimulate measures discrete-event scheduling throughput.
 func BenchmarkFlusimSimulate(b *testing.B) {
 	m := mesh.Cylinder(benchParams().Scale)
-	r, err := partition.PartitionMesh(m, 128, partition.MCTL, partition.Options{Seed: 1})
+	r, err := partition.PartitionMesh(context.Background(), m, 128, partition.MCTL, partition.Options{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func BenchmarkCompareEndToEnd(b *testing.B) {
 	m := mesh.Cube(0.2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := core.Compare(m, core.CompareConfig{
+		rows, err := core.Compare(context.Background(), m, core.CompareConfig{
 			NumDomains: 32,
 			Cluster:    core.Cluster{NumProcs: 8, WorkersPerProc: 4},
 			Seed:       int64(i),
@@ -308,11 +309,11 @@ func BenchmarkAblationRBvsKWay(b *testing.B) {
 	g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})
 	var rbImb, kwImb float64
 	for i := 0; i < b.N; i++ {
-		rb, err := partition.Partition(g, 64, partition.Options{Seed: int64(i)})
+		rb, err := partition.Partition(context.Background(), g, 64, partition.Options{Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
-		kw, err := partition.Partition(g, 64, partition.Options{Seed: int64(i), Method: partition.DirectKWay})
+		kw, err := partition.Partition(context.Background(), g, 64, partition.Options{Seed: int64(i), Method: partition.DirectKWay})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -328,7 +329,7 @@ func BenchmarkAblationRBvsKWay(b *testing.B) {
 // to the 2x partitioning gain).
 func BenchmarkAblationSchedulers(b *testing.B) {
 	m := mesh.Cylinder(benchParams().Scale)
-	r, err := partition.PartitionMesh(m, 128, partition.SCOC, partition.Options{Seed: 1})
+	r, err := partition.PartitionMesh(context.Background(), m, 128, partition.SCOC, partition.Options{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -365,7 +366,7 @@ func BenchmarkAblationDualPhase(b *testing.B) {
 	const latency = 200
 	var flat, dual int64
 	for i := 0; i < b.N; i++ {
-		fr, err := partition.PartitionMesh(m, domains, partition.MCTL, partition.Options{Seed: int64(i)})
+		fr, err := partition.PartitionMesh(context.Background(), m, domains, partition.MCTL, partition.Options{Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -379,7 +380,7 @@ func BenchmarkAblationDualPhase(b *testing.B) {
 		}
 		flat = fres.Makespan
 
-		dp, err := partition.DualPhase(m, procs, perProc, partition.Options{Seed: int64(i)})
+		dp, err := partition.DualPhase(context.Background(), m, procs, perProc, partition.Options{Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -403,7 +404,7 @@ func BenchmarkAblationDualPhase(b *testing.B) {
 func BenchmarkAblationIterationPipelining(b *testing.B) {
 	m := mesh.Cylinder(benchParams().Scale)
 	const iters = 4
-	r, err := partition.PartitionMesh(m, 64, partition.SCOC, partition.Options{Seed: 1})
+	r, err := partition.PartitionMesh(context.Background(), m, 64, partition.SCOC, partition.Options{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -444,7 +445,7 @@ func BenchmarkAblationGeometricBaselines(b *testing.B) {
 	spans := map[string]int64{}
 	for i := 0; i < b.N; i++ {
 		for _, strat := range []partition.Strategy{partition.SCOC, partition.MCTL, partition.GeomRCB, partition.SFC} {
-			d, err := core.Decompose(m, 128, strat, partition.Options{Seed: 2})
+			d, err := core.Decompose(context.Background(), m, 128, strat, partition.Options{Seed: 2})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -467,7 +468,7 @@ func BenchmarkAblationConnectivityRepair(b *testing.B) {
 	g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})
 	var fragBefore, fragAfter, imbBefore, imbAfter float64
 	for i := 0; i < b.N; i++ {
-		r, err := partition.PartitionMesh(m, 128, partition.MCTL, partition.Options{Seed: int64(i)})
+		r, err := partition.PartitionMesh(context.Background(), m, 128, partition.MCTL, partition.Options{Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -499,7 +500,7 @@ func BenchmarkTunerSweep(b *testing.B) {
 	m := mesh.Cylinder(benchParams().Scale * 0.5)
 	var best float64
 	for i := 0; i < b.N; i++ {
-		res, err := tuner.Tune(m, tuner.Config{
+		res, err := tuner.Tune(context.Background(), m, tuner.Config{
 			Cluster:  flusim.Cluster{NumProcs: 8, WorkersPerProc: 8},
 			Strategy: partition.MCTL,
 			PartOpts: partition.Options{Seed: int64(i)},
@@ -522,7 +523,7 @@ func BenchmarkFig13EulerProduction(b *testing.B) {
 	var gains float64
 	for i := 0; i < b.N; i++ {
 		makespan := func(strat partition.Strategy) int64 {
-			sv, err := solver.New(m, solver.Config{
+			sv, err := solver.New(context.Background(), m, solver.Config{
 				NumDomains: 12, Strategy: strat, Workers: 1,
 				Model: solver.Euler, PartOpts: partition.Options{Seed: 1},
 			})
@@ -551,7 +552,7 @@ func BenchmarkFig13EulerProduction(b *testing.B) {
 // reporting the halo traffic a real MPI run would ship per iteration.
 func BenchmarkDistributedIteration(b *testing.B) {
 	m := mesh.Cylinder(benchParams().Scale)
-	r, err := partition.PartitionMesh(m, 8, partition.MCTL, partition.Options{Seed: 1})
+	r, err := partition.PartitionMesh(context.Background(), m, 8, partition.MCTL, partition.Options{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}

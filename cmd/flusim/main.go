@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -49,7 +50,7 @@ func main() {
 	fmt.Printf("mesh %s: %d cells, %d faces, %d temporal levels\n",
 		m.Name, m.NumCells(), m.NumFaces(), m.Scheme().NumLevels())
 
-	d, err := core.Decompose(m, *domains, strat, partition.Options{Seed: *seed})
+	d, err := core.Decompose(context.Background(), m, *domains, strat, partition.Options{Seed: *seed})
 	check(err)
 	fmt.Printf("partition %s into %d domains: edge cut %d, max imbalance %.3f, level imbalance %v\n",
 		strat, *domains, d.Result.EdgeCut, d.Result.MaxImbalance(), fmtFloats(d.Quality.LevelImbalance))

@@ -7,9 +7,12 @@
 // Example:
 //
 //	partbench -mesh CYLINDER -scale 0.01 -domains 128 -procs 16 -workers 32
+//	partbench -mesh CUBE -scale 0.01 -json | jq '.results[].makespan'
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +26,31 @@ import (
 	"tempart/internal/taskgraph"
 )
 
+// result is one strategy's row, shared by the table and -json emitters.
+type result struct {
+	Strategy     string    `json:"strategy"`
+	WallSeconds  float64   `json:"wall_seconds"`
+	EdgeCut      int64     `json:"edge_cut"`
+	MaxImbalance float64   `json:"max_imbalance"`
+	LevelImb     []float64 `json:"level_imbalance"`
+	WorstLvlImb  float64   `json:"worst_level_imbalance"`
+	MaxFragments int       `json:"max_fragments"`
+	Makespan     int64     `json:"makespan"`
+	CommVolume   int64     `json:"comm_volume"`
+	Efficiency   float64   `json:"efficiency"`
+}
+
+type report struct {
+	Mesh    string   `json:"mesh"`
+	Cells   int      `json:"cells"`
+	Census  []int64  `json:"census"`
+	Domains int      `json:"domains"`
+	Procs   int      `json:"procs"`
+	Workers int      `json:"workers"`
+	Seed    int64    `json:"seed"`
+	Results []result `json:"results"`
+}
+
 func main() {
 	var (
 		meshName = flag.String("mesh", "CYLINDER", "mesh: CYLINDER, CUBE or PPRIME_NOZZLE")
@@ -33,13 +61,16 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		commLat  = flag.Int64("comm-latency", 0, "time units per cross-process dependency edge")
 		kway     = flag.Bool("kway", false, "also run SC_OC/MC_TL with the direct k-way method")
+		asJSON   = flag.Bool("json", false, "emit one JSON report instead of the table")
 	)
 	flag.Parse()
 
 	m, err := core.LoadMesh(*meshName, *scale)
 	check(err)
-	fmt.Printf("mesh %s: %d cells, census %v\n", m.Name, m.NumCells(), m.Census())
-	fmt.Printf("%d domains on %d procs × %d cores, comm latency %d\n\n", *domains, *procs, *workers, *commLat)
+	if !*asJSON {
+		fmt.Printf("mesh %s: %d cells, census %v\n", m.Name, m.NumCells(), m.Census())
+		fmt.Printf("%d domains on %d procs × %d cores, comm latency %d\n\n", *domains, *procs, *workers, *commLat)
+	}
 
 	type job struct {
 		label string
@@ -60,12 +91,18 @@ func main() {
 		)
 	}
 
-	fmt.Printf("%-12s %9s %10s %7s %7s %6s %10s %10s %7s\n",
-		"strategy", "time", "edge cut", "imb", "lvlimb", "frag", "makespan", "comm vol", "eff")
+	if !*asJSON {
+		fmt.Printf("%-12s %9s %10s %7s %7s %6s %10s %10s %7s\n",
+			"strategy", "time", "edge cut", "imb", "lvlimb", "frag", "makespan", "comm vol", "eff")
+	}
 	cluster := flusim.Cluster{NumProcs: *procs, WorkersPerProc: *workers}
+	rep := report{
+		Mesh: m.Name, Cells: m.NumCells(), Census: m.Census(),
+		Domains: *domains, Procs: *procs, Workers: *workers, Seed: *seed,
+	}
 	for _, j := range jobs {
 		t0 := time.Now()
-		res, err := partition.PartitionMesh(m, *domains, j.strat, j.opt)
+		res, err := partition.PartitionMesh(context.Background(), m, *domains, j.strat, j.opt)
 		check(err)
 		elapsed := time.Since(t0)
 
@@ -86,10 +123,29 @@ func main() {
 		if *workers > 0 && sim.Makespan > 0 {
 			eff = float64(sim.TotalWork) / (float64(sim.Makespan) * float64(*procs**workers))
 		}
-		fmt.Printf("%-12s %9s %10d %7.2f %7.2f %6d %10d %10d %7.2f\n",
-			j.label, elapsed.Round(time.Millisecond), res.EdgeCut, res.MaxImbalance(),
-			worstLvl, q.MaxFragments(), sim.Makespan,
-			metrics.CommVolume(tg, procOf), eff)
+		r := result{
+			Strategy:     j.label,
+			WallSeconds:  elapsed.Seconds(),
+			EdgeCut:      res.EdgeCut,
+			MaxImbalance: res.MaxImbalance(),
+			LevelImb:     q.LevelImbalance,
+			WorstLvlImb:  worstLvl,
+			MaxFragments: q.MaxFragments(),
+			Makespan:     sim.Makespan,
+			CommVolume:   metrics.CommVolume(tg, procOf),
+			Efficiency:   eff,
+		}
+		rep.Results = append(rep.Results, r)
+		if !*asJSON {
+			fmt.Printf("%-12s %9s %10d %7.2f %7.2f %6d %10d %10d %7.2f\n",
+				r.Strategy, elapsed.Round(time.Millisecond), r.EdgeCut, r.MaxImbalance,
+				r.WorstLvlImb, r.MaxFragments, r.Makespan, r.CommVolume, r.Efficiency)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(&rep))
 	}
 }
 

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -66,7 +67,7 @@ func main() {
 
 	fmt.Printf("mesh %s: %d cells, census %v\n", m.Name, m.NumCells(), m.Census())
 	t0 := time.Now()
-	sv, err := solver.New(m, solver.Config{
+	sv, err := solver.New(context.Background(), m, solver.Config{
 		NumDomains: *domains,
 		Strategy:   strat,
 		PartOpts:   partition.Options{Seed: *seed},

@@ -1,0 +1,87 @@
+// Command tempartd serves the tempart partitioner over HTTP: partition
+// requests (named generator meshes or uploaded TMSH files) run on a bounded
+// worker pool behind a FIFO admission queue, identical in-flight requests
+// are deduplicated, and results are served from a content-addressed LRU
+// cache. SIGINT/SIGTERM drain in-flight jobs before exit.
+//
+// Example:
+//
+//	tempartd -addr :8080 &
+//	curl -s localhost:8080/v1/partition -d '{"mesh":"CYLINDER","scale":0.01,"k":16,"strategy":"MC_TL"}'
+//	curl -s localhost:8080/metrics | grep tempartd_cache
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tempart/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "partition worker pool size (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 64, "admission queue depth (overflow answers 429)")
+		cacheMB      = flag.Int64("cache-mb", 256, "result cache budget in MiB")
+		maxBodyMB    = flag.Int64("max-body-mb", 64, "maximum request body (mesh upload) in MiB")
+		timeout      = flag.Duration("timeout", 5*time.Minute, "default per-job execution deadline")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheBytes:     *cacheMB << 20,
+		MaxBodyBytes:   *maxBodyMB << 20,
+		DefaultTimeout: *timeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("tempartd: listening on %s (%s)", *addr, srv)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigc:
+		log.Printf("tempartd: %v received, draining (max %v)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		// Mark the pool draining first so /healthz answers 503 and new jobs
+		// are refused while open connections wind down, then close the
+		// listener and wait for both.
+		drained := make(chan error, 1)
+		go func() { drained <- srv.Shutdown(ctx) }()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("tempartd: http shutdown: %v", err)
+		}
+		if err := <-drained; err != nil {
+			log.Printf("tempartd: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("tempartd: drained cleanly")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "tempartd:", err)
+			os.Exit(1)
+		}
+	}
+}

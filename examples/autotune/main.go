@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 
 	for _, strat := range []partition.Strategy{partition.SCOC, partition.MCTL} {
 		for _, lat := range []int64{0, 500} {
-			res, err := tuner.Tune(m, tuner.Config{
+			res, err := tuner.Tune(context.Background(), m, tuner.Config{
 				Cluster:     cluster,
 				Strategy:    strat,
 				PartOpts:    partition.Options{Seed: 11},

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -29,7 +30,7 @@ func main() {
 	}
 	fmt.Printf("mesh %s: %d cells, census %v\n", m.Name, m.NumCells(), m.Census())
 
-	sv, err := solver.New(m, solver.Config{
+	sv, err := solver.New(context.Background(), m, solver.Config{
 		NumDomains: 16,
 		Strategy:   partition.MCTL,
 		PartOpts:   partition.Options{Seed: 4, Trials: 2},

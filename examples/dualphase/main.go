@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,7 +58,7 @@ func main() {
 
 	// Flat strategies.
 	for _, strat := range []partition.Strategy{partition.SCOC, partition.MCTL} {
-		r, err := partition.PartitionMesh(m, domains, strat, partition.Options{Seed: 9})
+		r, err := partition.PartitionMesh(context.Background(), m, domains, strat, partition.Options{Seed: 9})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,7 +66,7 @@ func main() {
 	}
 
 	// Dual phase.
-	dp, err := partition.DualPhase(m, procs, domainsPerProc, partition.Options{Seed: 9})
+	dp, err := partition.DualPhase(context.Background(), m, procs, domainsPerProc, partition.Options{Seed: 9})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 	const iterations = 2
 
 	for _, strat := range []partition.Strategy{partition.SCOC, partition.MCTL} {
-		d, err := core.Decompose(m, domains, strat, partition.Options{Seed: 7})
+		d, err := core.Decompose(context.Background(), m, domains, strat, partition.Options{Seed: 7})
 		if err != nil {
 			log.Fatal(err)
 		}

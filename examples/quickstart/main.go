@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 	fmt.Printf("mesh %s: %d cells, levels census %v\n\n", m.Name, m.NumCells(), m.Census())
 
 	cluster := core.Cluster{NumProcs: 8, WorkersPerProc: 8}
-	rows, err := core.Compare(m, core.CompareConfig{
+	rows, err := core.Compare(context.Background(), m, core.CompareConfig{
 		NumDomains: 64,
 		Cluster:    cluster,
 		Strategies: []partition.Strategy{partition.SCOC, partition.MCTL},
@@ -53,7 +54,7 @@ func main() {
 }
 
 func printGantt(m *mesh.Mesh, domains int, strat partition.Strategy, cluster core.Cluster) {
-	d, err := core.Decompose(m, domains, strat, partition.Options{Seed: 42})
+	d, err := core.Decompose(context.Background(), m, domains, strat, partition.Options{Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 	fmt.Printf("%8s %12s %12s %8s %12s %12s\n",
 		"domains", "SC_OC span", "MC_TL span", "ratio", "SC_OC comm", "MC_TL comm")
 	for _, domains := range []int{16, 32, 64, 128, 256} {
-		rows, err := core.Compare(m, core.CompareConfig{
+		rows, err := core.Compare(context.Background(), m, core.CompareConfig{
 			NumDomains: domains,
 			Cluster:    cluster,
 			Seed:       3,
@@ -49,7 +50,7 @@ func main() {
 	// Connectivity repair: MC_TL partitions of this geometry fragment badly
 	// (the paper's §IX artifact). The post-pass reattaches stray fragments.
 	fmt.Println("\nconnectivity repair on the 64-domain MC_TL partition:")
-	d, err := core.Decompose(m, 64, partition.MCTL, partition.Options{Seed: 3})
+	d, err := core.Decompose(context.Background(), m, 64, partition.MCTL, partition.Options{Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

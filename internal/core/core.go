@@ -7,12 +7,13 @@
 // The typical flow mirrors the paper's Figure 2:
 //
 //	m := core.LoadMesh("CYLINDER", 0.01)          // mesh + temporal levels
-//	d, _ := core.Decompose(m, 128, partition.MCTL, partition.Options{})
+//	d, _ := core.Decompose(ctx, m, 128, partition.MCTL, partition.Options{})
 //	sim, _ := d.Simulate(core.Cluster{NumProcs: 16, WorkersPerProc: 32})
 //	fmt.Println(sim.Makespan, d.Quality.LevelImbalance)
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"tempart/internal/flusim"
@@ -47,9 +48,11 @@ type Decomposition struct {
 }
 
 // Decompose partitions the mesh into k domains under the given strategy and
-// evaluates partition quality.
-func Decompose(m *mesh.Mesh, k int, strat partition.Strategy, opt partition.Options) (*Decomposition, error) {
-	res, err := partition.PartitionMesh(m, k, strat, opt)
+// evaluates partition quality. Cancelling ctx aborts the partitioning at the
+// next trial/coarsening/refinement boundary and returns the context error —
+// this is what lets tempartd stop runaway jobs when a client disconnects.
+func Decompose(ctx context.Context, m *mesh.Mesh, k int, strat partition.Strategy, opt partition.Options) (*Decomposition, error) {
+	res, err := partition.PartitionMesh(ctx, m, k, strat, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -151,14 +154,14 @@ type CompareConfig struct {
 // Compare runs the same mesh through several partitioning strategies and
 // simulates each on the same cluster — the experiment pattern behind the
 // paper's Figures 9, 11 and 12.
-func Compare(m *mesh.Mesh, cfg CompareConfig) ([]StrategyOutcome, error) {
+func Compare(ctx context.Context, m *mesh.Mesh, cfg CompareConfig) ([]StrategyOutcome, error) {
 	if len(cfg.Strategies) == 0 {
 		cfg.Strategies = []partition.Strategy{partition.SCOC, partition.MCTL}
 	}
 	var out []StrategyOutcome
 	var base int64
 	for i, strat := range cfg.Strategies {
-		d, err := Decompose(m, cfg.NumDomains, strat, partition.Options{Seed: cfg.Seed})
+		d, err := Decompose(ctx, m, cfg.NumDomains, strat, partition.Options{Seed: cfg.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("core: %v: %w", strat, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"tempart/internal/flusim"
@@ -24,7 +25,7 @@ func TestLoadMesh(t *testing.T) {
 
 func TestDecomposeAndSimulate(t *testing.T) {
 	m, _ := LoadMesh("CUBE", 0.05)
-	d, err := Decompose(m, 8, partition.MCTL, partition.Options{Seed: 1})
+	d, err := Decompose(context.Background(), m, 8, partition.MCTL, partition.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestDecomposeAndSimulate(t *testing.T) {
 
 func TestTaskGraphCached(t *testing.T) {
 	m, _ := LoadMesh("CUBE", 0.02)
-	d, err := Decompose(m, 2, partition.SCOC, partition.Options{})
+	d, err := Decompose(context.Background(), m, 2, partition.SCOC, partition.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestTaskGraphCached(t *testing.T) {
 
 func TestCompareDefaults(t *testing.T) {
 	m, _ := LoadMesh("CYLINDER", 0.001)
-	rows, err := Compare(m, CompareConfig{
+	rows, err := Compare(context.Background(), m, CompareConfig{
 		NumDomains: 8,
 		Cluster:    Cluster{NumProcs: 4, WorkersPerProc: 4},
 		Seed:       2,
@@ -91,7 +92,7 @@ func TestCompareDefaults(t *testing.T) {
 
 func TestNewSolverThroughDecomposition(t *testing.T) {
 	m, _ := LoadMesh("CUBE", 0.02)
-	d, err := Decompose(m, 4, partition.MCTL, partition.Options{Seed: 3})
+	d, err := Decompose(context.Background(), m, 4, partition.MCTL, partition.Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestNewSolverThroughDecomposition(t *testing.T) {
 
 func TestSimulateWithUnbounded(t *testing.T) {
 	m, _ := LoadMesh("CUBE", 0.02)
-	d, _ := Decompose(m, 4, partition.SCOC, partition.Options{})
+	d, _ := Decompose(context.Background(), m, 4, partition.SCOC, partition.Options{})
 	sim, err := d.SimulateWith(Cluster{NumProcs: 4}, flusim.Eager, false)
 	if err != nil {
 		t.Fatal(err)
@@ -122,7 +123,7 @@ func TestSimulateWithUnbounded(t *testing.T) {
 
 func TestCompareAllStrategies(t *testing.T) {
 	m, _ := LoadMesh("CUBE", 0.1)
-	rows, err := Compare(m, CompareConfig{
+	rows, err := Compare(context.Background(), m, CompareConfig{
 		NumDomains: 16,
 		Cluster:    Cluster{NumProcs: 4, WorkersPerProc: 8},
 		Strategies: []partition.Strategy{

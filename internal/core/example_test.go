@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"tempart/internal/core"
@@ -16,7 +17,7 @@ func Example() {
 		fmt.Println(err)
 		return
 	}
-	d, err := core.Decompose(m, 4, partition.MCTL, partition.Options{Seed: 1})
+	d, err := core.Decompose(context.Background(), m, 4, partition.MCTL, partition.Options{Seed: 1})
 	if err != nil {
 		fmt.Println(err)
 		return

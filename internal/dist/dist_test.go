@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 
 func setup(t *testing.T, m *mesh.Mesh, k int) (*Solver, *fv.State) {
 	t.Helper()
-	r, err := partition.PartitionMesh(m, k, partition.MCTL, partition.Options{Seed: 3})
+	r, err := partition.PartitionMesh(context.Background(), m, k, partition.MCTL, partition.Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestMCTLExchangesMoreThanSCOC(t *testing.T) {
 	// The distributed path measures Fig 11b's phenomenon directly as bytes.
 	m := mesh.Cylinder(0.001)
 	traffic := func(strat partition.Strategy) int64 {
-		r, err := partition.PartitionMesh(m, 8, strat, partition.Options{Seed: 4})
+		r, err := partition.PartitionMesh(context.Background(), m, 8, strat, partition.Options{Seed: 4})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -49,7 +50,7 @@ func Drift(p Params) (*DriftResult, error) {
 	m := mesh.Cylinder(p.Scale)
 
 	// Epoch-0 partition.
-	stale, err := partition.PartitionMesh(m, domains, partition.MCTL, partition.Options{Seed: p.Seed})
+	stale, err := partition.PartitionMesh(context.Background(), m, domains, partition.MCTL, partition.Options{Seed: p.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +73,7 @@ func Drift(p Params) (*DriftResult, error) {
 			return nil, err
 		}
 
-		fresh, err := partition.PartitionMesh(m, domains, partition.MCTL, partition.Options{Seed: p.Seed + int64(e)})
+		fresh, err := partition.PartitionMesh(context.Background(), m, domains, partition.MCTL, partition.Options{Seed: p.Seed + int64(e)})
 		if err != nil {
 			return nil, err
 		}

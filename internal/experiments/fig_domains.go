@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,7 +39,7 @@ func domainCharacteristics(p Params, strat partition.Strategy) (*DomainCharacter
 	if err != nil {
 		return nil, err
 	}
-	d, err := core.Decompose(m, fig7Domains, strat, partition.Options{Seed: p.Seed})
+	d, err := core.Decompose(context.Background(), m, fig7Domains, strat, partition.Options{Seed: p.Seed})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -43,7 +44,7 @@ func Fig9(p Params) (*Fig9Result, error) {
 		}
 		row := Fig9Row{Mesh: spec.name}
 		for _, strat := range []partition.Strategy{partition.SCOC, partition.MCTL} {
-			d, err := core.Decompose(m, domains, strat, partition.Options{Seed: p.Seed})
+			d, err := core.Decompose(context.Background(), m, domains, strat, partition.Options{Seed: p.Seed})
 			if err != nil {
 				return nil, err
 			}
@@ -115,7 +116,7 @@ func Fig11(p Params) (*Fig11Result, error) {
 		for _, domains := range Fig11DomainCounts {
 			row := Fig11Row{Mesh: spec.name, Domains: domains}
 			for _, strat := range []partition.Strategy{partition.SCOC, partition.MCTL} {
-				d, err := core.Decompose(m, domains, strat, partition.Options{Seed: p.Seed})
+				d, err := core.Decompose(context.Background(), m, domains, strat, partition.Options{Seed: p.Seed})
 				if err != nil {
 					return nil, err
 				}

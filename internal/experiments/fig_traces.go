@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -41,7 +42,7 @@ func Fig5(p Params) (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, err := core.Decompose(m, fig5Domains, partition.SCOC, partition.Options{Seed: p.Seed})
+	d, err := core.Decompose(context.Background(), m, fig5Domains, partition.SCOC, partition.Options{Seed: p.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +129,7 @@ func Fig6(p Params) (*Fig6Result, error) {
 		return nil, err
 	}
 	const procs = 64
-	d, err := core.Decompose(m, procs, partition.SCOC, partition.Options{Seed: p.Seed})
+	d, err := core.Decompose(context.Background(), m, procs, partition.SCOC, partition.Options{Seed: p.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +186,7 @@ func Fig12(p Params) (*Fig12Result, error) {
 	}
 	r := &Fig12Result{}
 	for _, strat := range []partition.Strategy{partition.SCOC, partition.MCTL} {
-		d, err := core.Decompose(m, fig5Domains, strat, partition.Options{Seed: p.Seed})
+		d, err := core.Decompose(context.Background(), m, fig5Domains, strat, partition.Options{Seed: p.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -236,7 +237,7 @@ func Fig13(p Params) (*Fig13Result, error) {
 	}
 	r := &Fig13Result{}
 	for _, strat := range []partition.Strategy{partition.SCOC, partition.MCTL} {
-		d, err := core.Decompose(m, fig5Domains, strat, partition.Options{Seed: p.Seed})
+		d, err := core.Decompose(context.Background(), m, fig5Domains, strat, partition.Options{Seed: p.Seed})
 		if err != nil {
 			return nil, err
 		}

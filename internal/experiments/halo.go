@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -41,7 +42,7 @@ func Halo(p Params) (*HaloResult, error) {
 	for _, domains := range []int{16, 64, 256} {
 		pm := flusim.BlockMap(domains, procs)
 		for _, strat := range []partition.Strategy{partition.SCOC, partition.MCTL} {
-			r, err := partition.PartitionMesh(m, domains, strat, partition.Options{Seed: p.Seed})
+			r, err := partition.PartitionMesh(context.Background(), m, domains, strat, partition.Options{Seed: p.Seed})
 			if err != nil {
 				return nil, err
 			}

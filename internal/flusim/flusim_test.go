@@ -1,6 +1,7 @@
 package flusim
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -43,7 +44,7 @@ func TestSimulateSerialChain(t *testing.T) {
 
 func TestSimulateRespectsLowerBounds(t *testing.T) {
 	m := mesh.Cylinder(0.0005)
-	r, err := partition.PartitionMesh(m, 4, partition.SCOC, partition.Options{Seed: 1})
+	r, err := partition.PartitionMesh(context.Background(), m, 4, partition.SCOC, partition.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestUnboundedCoresStillIdle(t *testing.T) {
 func TestEagerOptimalWhenUnbounded(t *testing.T) {
 	// With unbounded cores, no strategy can beat eager.
 	m := mesh.Cylinder(0.0005)
-	r, err := partition.PartitionMesh(m, 8, partition.SCOC, partition.Options{Seed: 2})
+	r, err := partition.PartitionMesh(context.Background(), m, 8, partition.SCOC, partition.Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestEagerOptimalWhenUnbounded(t *testing.T) {
 
 func TestStrategiesAllComplete(t *testing.T) {
 	m := mesh.Cube(0.05)
-	r, err := partition.PartitionMesh(m, 6, partition.MCTL, partition.Options{Seed: 3})
+	r, err := partition.PartitionMesh(context.Background(), m, 6, partition.MCTL, partition.Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestStrategiesAllComplete(t *testing.T) {
 func TestBusyConservation(t *testing.T) {
 	// Busy time summed over procs equals total work, for any worker count.
 	m := mesh.Cylinder(0.0005)
-	r, err := partition.PartitionMesh(m, 4, partition.MCTL, partition.Options{Seed: 4})
+	r, err := partition.PartitionMesh(context.Background(), m, 4, partition.MCTL, partition.Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestMoreWorkersNeverSlower(t *testing.T) {
 	// Eager FIFO is not theoretically monotone, but on these graphs doubling
 	// workers should never slow things down; treat regressions as bugs.
 	m := mesh.Cube(0.05)
-	r, err := partition.PartitionMesh(m, 8, partition.SCOC, partition.Options{Seed: 5})
+	r, err := partition.PartitionMesh(context.Background(), m, 8, partition.SCOC, partition.Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestStrategyStringRoundTrip(t *testing.T) {
 func TestSimulateDeterministicProperty(t *testing.T) {
 	f := func(seed int64, workers uint8) bool {
 		m := mesh.Cube(0.02)
-		r, err := partition.PartitionMesh(m, 4, partition.MCTL, partition.Options{Seed: seed})
+		r, err := partition.PartitionMesh(context.Background(), m, 4, partition.MCTL, partition.Options{Seed: seed})
 		if err != nil {
 			return false
 		}
@@ -301,7 +302,7 @@ func TestMCTLSpeedupOnSim(t *testing.T) {
 	m := mesh.Cylinder(0.002)
 	k, procs, workers := 16, 4, 8
 	makespan := func(strat partition.Strategy) int64 {
-		r, err := partition.PartitionMesh(m, k, strat, partition.Options{Seed: 6})
+		r, err := partition.PartitionMesh(context.Background(), m, k, strat, partition.Options{Seed: 6})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -327,7 +328,7 @@ func TestMCTLSpeedupOnSim(t *testing.T) {
 
 func TestCommLatencyZeroMatchesBaseline(t *testing.T) {
 	m := mesh.Cube(0.05)
-	r, err := partition.PartitionMesh(m, 8, partition.MCTL, partition.Options{Seed: 1})
+	r, err := partition.PartitionMesh(context.Background(), m, 8, partition.MCTL, partition.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +352,7 @@ func TestCommLatencyZeroMatchesBaseline(t *testing.T) {
 
 func TestCommLatencyMonotone(t *testing.T) {
 	m := mesh.Cube(0.05)
-	r, err := partition.PartitionMesh(m, 8, partition.MCTL, partition.Options{Seed: 2})
+	r, err := partition.PartitionMesh(context.Background(), m, 8, partition.MCTL, partition.Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,7 +387,7 @@ func TestCommLatencyMonotone(t *testing.T) {
 func TestCommLatencySingleProcUnaffected(t *testing.T) {
 	// All domains on one process: no cross edges, latency is irrelevant.
 	m := mesh.Cube(0.02)
-	r, err := partition.PartitionMesh(m, 4, partition.SCOC, partition.Options{Seed: 3})
+	r, err := partition.PartitionMesh(context.Background(), m, 4, partition.SCOC, partition.Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

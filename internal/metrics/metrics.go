@@ -126,16 +126,16 @@ func ComputeTaskStats(tg *taskgraph.TaskGraph) TaskStats {
 // PartitionQuality aggregates the quality axes the paper discusses for one
 // decomposition.
 type PartitionQuality struct {
-	Strategy     string
-	NumDomains   int
-	EdgeCut      int64
-	MaxImbalance float64
+	Strategy     string  `json:"strategy"`
+	NumDomains   int     `json:"num_domains"`
+	EdgeCut      int64   `json:"edge_cut"`
+	MaxImbalance float64 `json:"max_imbalance"`
 	// LevelImbalance is the per-temporal-level census imbalance — the
 	// quantity SC_OC leaves unbounded and MC_TL pins near 1.
-	LevelImbalance []float64
+	LevelImbalance []float64 `json:"level_imbalance"`
 	// Fragments[d] is the number of connected components of domain d; the
 	// disconnection artifact discussed in the paper's conclusion.
-	Fragments []int
+	Fragments []int `json:"fragments"`
 }
 
 // EvaluatePartition computes a PartitionQuality for a mesh decomposition.

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -83,7 +84,7 @@ func TestComputeTaskStats(t *testing.T) {
 
 func TestEvaluatePartitionShape(t *testing.T) {
 	m := mesh.Cube(0.05)
-	r, err := partition.PartitionMesh(m, 4, partition.MCTL, partition.Options{Seed: 1})
+	r, err := partition.PartitionMesh(context.Background(), m, 4, partition.MCTL, partition.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestFig11bShape(t *testing.T) {
 	m := mesh.Cylinder(0.001)
 	numProcs := 4
 	vol := func(strat partition.Strategy, k int) int64 {
-		r, err := partition.PartitionMesh(m, k, strat, partition.Options{Seed: 2})
+		r, err := partition.PartitionMesh(context.Background(), m, k, strat, partition.Options{Seed: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,7 +196,7 @@ func TestHaloMCTLCostsMore(t *testing.T) {
 	const k, procs = 32, 8
 	pm := flusim.BlockMap(k, procs)
 	halo := func(strat partition.Strategy) int64 {
-		r, err := partition.PartitionMesh(m, k, strat, partition.Options{Seed: 5})
+		r, err := partition.PartitionMesh(context.Background(), m, k, strat, partition.Options{Seed: 5})
 		if err != nil {
 			t.Fatal(err)
 		}

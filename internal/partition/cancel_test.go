@@ -1,0 +1,96 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tempart/internal/mesh"
+)
+
+func TestPartitionPreCancelled(t *testing.T) {
+	m := mesh.Cylinder(0.01)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := PartitionMesh(ctx, m, 8, MCTL, Options{Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPartitionCancelMidRun(t *testing.T) {
+	m := mesh.Cylinder(0.05)
+	ctx, cancel := context.WithCancel(context.Background())
+	// Many trials make the per-trial cancellation checkpoint observable:
+	// cancel after the first trial has started and the rest must be skipped.
+	done := make(chan error, 1)
+	go func() {
+		_, err := PartitionMesh(ctx, m, 16, MCTL, Options{Seed: 1, Trials: 64})
+		done <- err
+	}()
+	cancel()
+	if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: err = %v, want nil or context.Canceled", err)
+	}
+}
+
+func TestPartitionKWayCancelled(t *testing.T) {
+	m := mesh.Cylinder(0.01)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := PartitionMesh(ctx, m, 8, MCTL, Options{Seed: 1, Method: DirectKWay})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("k-way pre-cancelled: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestPartitionDeterministic pins bit-reproducibility: the same seed must
+// yield the identical assignment, because the tempartd result cache treats
+// (mesh, options) as a content address for the answer.
+func TestPartitionDeterministic(t *testing.T) {
+	m := mesh.Cylinder(0.02)
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"rb", Options{Seed: 42}},
+		{"rb-trials", Options{Seed: 42, Trials: 3}},
+		{"kway", Options{Seed: 42, Method: DirectKWay}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := PartitionMesh(context.Background(), m, 12, MCTL, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := PartitionMesh(context.Background(), m, 12, MCTL, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range a.Part {
+				if a.Part[i] != b.Part[i] {
+					t.Fatalf("cell %d: %d vs %d — same seed must reproduce bit-identically",
+						i, a.Part[i], b.Part[i])
+				}
+			}
+			// A different seed should normally explore differently; at minimum
+			// it must not error. (Equality is possible but means the seed is
+			// being ignored, so flag it on this size where it never happens.)
+			other := tc.opt
+			other.Seed = 43
+			c, err := PartitionMesh(context.Background(), m, 12, MCTL, other)
+			if err != nil {
+				t.Fatal(err)
+			}
+			same := true
+			for i := range a.Part {
+				if a.Part[i] != c.Part[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("seeds 42 and 43 produced identical partitions — Seed appears unused")
+			}
+		})
+	}
+}

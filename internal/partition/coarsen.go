@@ -1,6 +1,10 @@
 package partition
 
-import "tempart/internal/graph"
+import (
+	"context"
+
+	"tempart/internal/graph"
+)
 
 // level is one rung of the multilevel hierarchy: the coarse graph plus the
 // mapping from the finer graph's vertices to coarse vertices.
@@ -12,11 +16,12 @@ type level struct {
 // coarsen builds the multilevel hierarchy by repeated heavy-edge matching
 // until the graph has at most coarsenTo vertices or matching stalls (the
 // coarse graph shrinks by less than 10%). It returns the hierarchy from
-// finest (input, cmap nil) to coarsest.
-func coarsen(g *graph.Graph, coarsenTo int, rng randSource) []level {
+// finest (input, cmap nil) to coarsest. Cancelling ctx stops after the
+// current matching level.
+func coarsen(ctx context.Context, g *graph.Graph, coarsenTo int, rng randSource) []level {
 	levels := []level{{g: g}}
 	cur := g
-	for cur.NumVertices() > coarsenTo {
+	for cur.NumVertices() > coarsenTo && ctx.Err() == nil {
 		cmap, ncoarse := heavyEdgeMatching(cur, rng)
 		if float64(ncoarse) > 0.9*float64(cur.NumVertices()) {
 			break // diminishing returns; stop here

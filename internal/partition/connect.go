@@ -147,12 +147,13 @@ func RepairConnectivity(g *graph.Graph, part []int32, k int, maxFragFraction flo
 			}
 		}
 		// Try neighbours in decreasing connection order until one passes
-		// the balance guard.
+		// the balance guard. Ties break toward the smaller part id so the
+		// repair is deterministic regardless of map iteration order.
 		for len(conn) > 0 {
 			var best int32 = -1
 			var bestW int64 = -1
 			for p, w := range conn {
-				if w > bestW {
+				if w > bestW || (w == bestW && p < best) {
 					best, bestW = p, w
 				}
 			}

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 
 	"tempart/internal/graph"
@@ -26,13 +27,13 @@ type DualPhaseResult struct {
 // phase 2 re-partitions *within* each process-domain with SC_OC to obtain
 // fine-grained tasks without paying MC_TL's communication cost between
 // subdomains of the same process.
-func DualPhase(m *mesh.Mesh, numProcs, domainsPerProc int, opt Options) (*DualPhaseResult, error) {
+func DualPhase(ctx context.Context, m *mesh.Mesh, numProcs, domainsPerProc int, opt Options) (*DualPhaseResult, error) {
 	if numProcs < 1 || domainsPerProc < 1 {
 		return nil, fmt.Errorf("partition: bad dual-phase shape %d×%d", numProcs, domainsPerProc)
 	}
 	// Phase 1: MC_TL across processes.
 	mcGraph := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})
-	phase1, err := Partition(mcGraph, numProcs, opt)
+	phase1, err := Partition(ctx, mcGraph, numProcs, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +54,7 @@ func DualPhase(m *mesh.Mesh, numProcs, domainsPerProc int, opt Options) (*DualPh
 		sub, orig := subgraphOf(scGraph, byProc[p])
 		subOpt := opt
 		subOpt.Seed = opt.Seed + int64(p) + 1
-		inner, err := Partition(sub, domainsPerProc, subOpt)
+		inner, err := Partition(ctx, sub, domainsPerProc, subOpt)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package partition_test
 
 import (
+	"context"
 	"fmt"
 
 	"tempart/internal/mesh"
@@ -15,7 +16,7 @@ func ExamplePartitionMesh() {
 	// 8 cells: one level-0 pair, one level-1 pair, four level-2 cells.
 	m := mesh.Strip([]temporal.Level{0, 0, 1, 1, 2, 2, 2, 2})
 
-	mc, _ := partition.PartitionMesh(m, 2, partition.MCTL, partition.Options{Seed: 8})
+	mc, _ := partition.PartitionMesh(context.Background(), m, 2, partition.MCTL, partition.Options{Seed: 8})
 	fmt.Println("MC_TL per-level weights:")
 	for p, w := range mc.PartWeights {
 		fmt.Printf("  domain %d: %v\n", p, w)

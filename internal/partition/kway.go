@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -33,15 +34,16 @@ func (m Method) String() string {
 }
 
 // PartitionKWay computes a k-way partition with the direct k-way multilevel
-// scheme. It honours the same Options as Partition.
-func PartitionKWay(g *graph.Graph, k int, opt Options) (*Result, error) {
+// scheme. It honours the same Options as Partition. Cancelling ctx stops the
+// construction at the next coarsening or refinement boundary.
+func PartitionKWay(ctx context.Context, g *graph.Graph, k int, opt Options) (*Result, error) {
 	if k < 1 {
 		return nil, errBadK(k)
 	}
 	n := g.NumVertices()
 	if k == 1 || n <= k {
 		// Degenerate cases match the recursive-bisection behaviour.
-		return partitionRB(g, k, opt)
+		return partitionRB(ctx, g, k, opt)
 	}
 	opt = opt.withDefaults(g.NCon)
 	rng := rand.New(rand.NewSource(opt.Seed))
@@ -51,7 +53,7 @@ func PartitionKWay(g *graph.Graph, k int, opt Options) (*Result, error) {
 	if min := 16 * k; coarseTo < min {
 		coarseTo = min
 	}
-	levels := coarsen(g, coarseTo, rng)
+	levels := coarsen(ctx, g, coarseTo, rng)
 	coarsest := levels[len(levels)-1].g
 
 	// Initial k-way on the coarsest graph via recursive bisection.
@@ -60,13 +62,18 @@ func PartitionKWay(g *graph.Graph, k int, opt Options) (*Result, error) {
 	for i := range vertices {
 		vertices[i] = int32(i)
 	}
-	recursiveBisect(coarsest, vertices, 0, k, part, opt, rng)
+	recursiveBisect(ctx, coarsest, vertices, 0, k, part, opt, rng)
 
 	// Uncoarsen with k-way refinement at every level.
 	caps := kwayCaps(g, k, opt.ImbalanceTol)
 	for li := len(levels) - 1; li >= 1; li-- {
-		kwayRefine(levels[li].g, part, k, caps, opt.RefinePasses, rng)
+		if ctx.Err() == nil {
+			kwayRefine(levels[li].g, part, k, caps, opt.RefinePasses, rng)
+		}
 		part = projectAssignment(levels[li].cmap, part)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
 	}
 	kwayRefine(g, part, k, caps, opt.RefinePasses, rng)
 

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -12,7 +13,7 @@ import (
 func TestPartitionKWayGrid(t *testing.T) {
 	g := graph.Grid(24, 24)
 	for _, k := range []int{4, 7, 16} {
-		r, err := PartitionKWay(g, k, Options{Seed: 1})
+		r, err := PartitionKWay(context.Background(), g, k, Options{Seed: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -30,7 +31,7 @@ func TestPartitionKWayGrid(t *testing.T) {
 
 func TestPartitionKWayDegenerate(t *testing.T) {
 	g := graph.Grid(3, 3)
-	r, err := PartitionKWay(g, 1, Options{})
+	r, err := PartitionKWay(context.Background(), g, 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,25 +39,25 @@ func TestPartitionKWayDegenerate(t *testing.T) {
 		t.Error("k=1 should have zero cut")
 	}
 	// More parts than vertices.
-	r, err = PartitionKWay(g, 20, Options{})
+	r, err = PartitionKWay(context.Background(), g, 20, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(r.Part) != 9 {
 		t.Error("degenerate spread failed")
 	}
-	if _, err := PartitionKWay(g, 0, Options{}); err == nil {
+	if _, err := PartitionKWay(context.Background(), g, 0, Options{}); err == nil {
 		t.Error("accepted k=0")
 	}
 }
 
 func TestOptionsMethodDispatch(t *testing.T) {
 	g := graph.Grid(16, 16)
-	rb, err := Partition(g, 8, Options{Seed: 2})
+	rb, err := Partition(context.Background(), g, 8, Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	kw, err := Partition(g, 8, Options{Seed: 2, Method: DirectKWay})
+	kw, err := Partition(context.Background(), g, 8, Options{Seed: 2, Method: DirectKWay})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestOptionsMethodDispatch(t *testing.T) {
 func TestKWayMultiConstraintBalance(t *testing.T) {
 	m := mesh.Cylinder(0.001)
 	g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})
-	r, err := PartitionKWay(g, 8, Options{Seed: 3})
+	r, err := PartitionKWay(context.Background(), g, 8, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestKWayValidProperty(t *testing.T) {
 	f := func(seed int64, kRaw uint8) bool {
 		g := graph.Grid(10+int(seed%7+7)%7, 12)
 		k := 2 + int(kRaw%6)
-		r, err := PartitionKWay(g, k, Options{Seed: seed})
+		r, err := PartitionKWay(context.Background(), g, k, Options{Seed: seed})
 		if err != nil {
 			return false
 		}

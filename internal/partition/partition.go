@@ -13,6 +13,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -168,22 +169,26 @@ func (r *Result) Validate(g *graph.Graph) error {
 
 // Partition computes a k-way partition with the method selected in opt
 // (multilevel recursive bisection by default). It is the main entry point of
-// the package.
-func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
+// the package. Cancelling ctx stops the construction at the next trial,
+// coarsening or refinement boundary and returns ctx's error.
+func Partition(ctx context.Context, g *graph.Graph, k int, opt Options) (*Result, error) {
 	construct := partitionRB
 	if opt.Method == DirectKWay {
 		construct = PartitionKWay
 	}
 	trials := opt.Trials
 	if trials <= 1 {
-		return construct(g, k, opt)
+		return construct(ctx, g, k, opt)
 	}
 	var best *Result
 	for t := 0; t < trials; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("partition: %w", err)
+		}
 		o := opt
 		o.Trials = 0
 		o.Seed = opt.Seed + int64(t)*1_000_003
-		r, err := construct(g, k, o)
+		r, err := construct(ctx, g, k, o)
 		if err != nil {
 			return nil, err
 		}
@@ -208,7 +213,7 @@ func betterResult(a, b *Result) bool {
 }
 
 // partitionRB is the recursive-bisection construction.
-func partitionRB(g *graph.Graph, k int, opt Options) (*Result, error) {
+func partitionRB(ctx context.Context, g *graph.Graph, k int, opt Options) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("partition: k = %d, want >= 1", k)
 	}
@@ -221,7 +226,10 @@ func partitionRB(g *graph.Graph, k int, opt Options) (*Result, error) {
 		for i := range vertices {
 			vertices[i] = int32(i)
 		}
-		recursiveBisect(g, vertices, 0, k, part, opt, rng)
+		recursiveBisect(ctx, g, vertices, 0, k, part, opt, rng)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("partition: %w", err)
+		}
 	}
 	r := NewResult(g, part, k)
 	return r, nil

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -12,14 +13,14 @@ import (
 
 func TestPartitionRejectsBadK(t *testing.T) {
 	g := graph.Grid(4, 4)
-	if _, err := Partition(g, 0, Options{}); err == nil {
+	if _, err := Partition(context.Background(), g, 0, Options{}); err == nil {
 		t.Fatal("Partition accepted k=0")
 	}
 }
 
 func TestPartitionK1IsTrivial(t *testing.T) {
 	g := graph.Grid(4, 4)
-	r, err := Partition(g, 1, Options{})
+	r, err := Partition(context.Background(), g, 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestPartitionK1IsTrivial(t *testing.T) {
 
 func TestBisectGridBalanced(t *testing.T) {
 	g := graph.Grid(16, 16)
-	r, err := Partition(g, 2, Options{Seed: 1})
+	r, err := Partition(context.Background(), g, 2, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestBisectGridBalanced(t *testing.T) {
 func TestKWayGridBalanced(t *testing.T) {
 	g := graph.Grid(24, 24)
 	for _, k := range []int{3, 4, 7, 8} {
-		r, err := Partition(g, k, Options{Seed: 2})
+		r, err := Partition(context.Background(), g, k, Options{Seed: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func TestMultiConstraintBisectionBalancesEveryLevel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Partition(g, 2, Options{Seed: 3})
+	r, err := Partition(context.Background(), g, 2, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestMultiConstraintBisectionBalancesEveryLevel(t *testing.T) {
 
 func TestPartitionMeshSCOCBalancesCost(t *testing.T) {
 	m := mesh.Cylinder(0.001)
-	r, err := PartitionMesh(m, 8, SCOC, Options{Seed: 4})
+	r, err := PartitionMesh(context.Background(), m, 8, SCOC, Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestPartitionMeshSCOCBalancesCost(t *testing.T) {
 func TestPartitionMeshMCTLBalancesAllLevels(t *testing.T) {
 	m := mesh.Cylinder(0.002)
 	k := 8
-	r, err := PartitionMesh(m, k, MCTL, Options{Seed: 5})
+	r, err := PartitionMesh(context.Background(), m, k, MCTL, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,11 +154,11 @@ func TestPartitionMeshMCTLBalancesAllLevels(t *testing.T) {
 func TestMCTLBeatsSCOCPerLevelBalance(t *testing.T) {
 	m := mesh.Cylinder(0.002)
 	k := 8
-	sc, err := PartitionMesh(m, k, SCOC, Options{Seed: 6})
+	sc, err := PartitionMesh(context.Background(), m, k, SCOC, Options{Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mc, err := PartitionMesh(m, k, MCTL, Options{Seed: 6})
+	mc, err := PartitionMesh(context.Background(), m, k, MCTL, Options{Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestRepairConnectivityKeepsLargeFragments(t *testing.T) {
 
 func TestDualPhase(t *testing.T) {
 	m := mesh.Cylinder(0.001)
-	res, err := DualPhase(m, 4, 4, Options{Seed: 7})
+	res, err := DualPhase(context.Background(), m, 4, 4, Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestHeavyEdgeMatchingValid(t *testing.T) {
 func TestCoarsenHierarchyConservesWeight(t *testing.T) {
 	g := graph.Grid(20, 20)
 	rng := rand.New(rand.NewSource(2))
-	levels := coarsen(g, 16, rng)
+	levels := coarsen(context.Background(), g, 16, rng)
 	if len(levels) < 2 {
 		t.Fatal("coarsening produced no levels")
 	}
@@ -348,7 +349,7 @@ func TestPartitionCoversAllVerticesProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		g := graph.Grid(6+rng.Intn(10), 6+rng.Intn(10))
 		k := 2 + int(kRaw%6)
-		r, err := Partition(g, k, Options{Seed: seed})
+		r, err := Partition(context.Background(), g, k, Options{Seed: seed})
 		if err != nil {
 			return false
 		}
@@ -365,8 +366,8 @@ func TestPartitionCoversAllVerticesProperty(t *testing.T) {
 
 func TestPartitionDeterministicForSeed(t *testing.T) {
 	g := graph.Grid(12, 12)
-	r1, _ := Partition(g, 4, Options{Seed: 42})
-	r2, _ := Partition(g, 4, Options{Seed: 42})
+	r1, _ := Partition(context.Background(), g, 4, Options{Seed: 42})
+	r2, _ := Partition(context.Background(), g, 4, Options{Seed: 42})
 	for v := range r1.Part {
 		if r1.Part[v] != r2.Part[v] {
 			t.Fatalf("non-deterministic at vertex %d", v)
@@ -401,7 +402,7 @@ func TestStrip2PartSanity(t *testing.T) {
 	// A strip of 8 cells, levels [0 0 1 1 2 2 2 2]: MC_TL into 2 parts must
 	// give each part one level-0 cell, one level-1, two level-2.
 	m := mesh.Strip([]temporal.Level{0, 0, 1, 1, 2, 2, 2, 2})
-	r, err := PartitionMesh(m, 2, MCTL, Options{Seed: 8})
+	r, err := PartitionMesh(context.Background(), m, 2, MCTL, Options{Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,11 +416,11 @@ func TestStrip2PartSanity(t *testing.T) {
 func TestTrialsNeverWorse(t *testing.T) {
 	m := mesh.Cylinder(0.001)
 	g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})
-	single, err := Partition(g, 16, Options{Seed: 9})
+	single, err := Partition(context.Background(), g, 16, Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	multi, err := Partition(g, 16, Options{Seed: 9, Trials: 4})
+	multi, err := Partition(context.Background(), g, 16, Options{Seed: 9, Trials: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -448,7 +449,7 @@ func TestPartitionZeroWeightConstraint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Partition(g, 4, Options{Seed: 11})
+	r, err := Partition(context.Background(), g, 4, Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -488,7 +489,7 @@ func TestPartitionDisconnectedGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Partition(g, 4, Options{Seed: 12})
+	r, err := Partition(context.Background(), g, 4, Options{Seed: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -502,7 +503,7 @@ func TestPartitionDisconnectedGraph(t *testing.T) {
 
 func TestSFCThroughPartitionMesh(t *testing.T) {
 	m := mesh.Cube(0.05)
-	r, err := PartitionMesh(m, 6, SFC, Options{})
+	r, err := PartitionMesh(context.Background(), m, 6, SFC, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,14 +1,19 @@
 package partition
 
-import "tempart/internal/graph"
+import (
+	"context"
+
+	"tempart/internal/graph"
+)
 
 // recursiveBisect assigns the given (global-id) vertices of g to parts
 // [firstPart, firstPart+k) by multilevel recursive bisection, writing the
 // assignment into part. The paper uses recursive bisection rather than
 // direct k-way because it yields higher-quality multi-constraint partitions
-// on these meshes.
-func recursiveBisect(g *graph.Graph, vertices []int32, firstPart, k int, part []int32, opt Options, rng randSource) {
-	if k <= 1 {
+// on these meshes. On cancellation the remaining vertices are bulk-assigned
+// so the array stays well formed; the caller turns ctx.Err() into an error.
+func recursiveBisect(ctx context.Context, g *graph.Graph, vertices []int32, firstPart, k int, part []int32, opt Options, rng randSource) {
+	if k <= 1 || ctx.Err() != nil {
 		for _, v := range vertices {
 			part[v] = int32(firstPart)
 		}
@@ -25,7 +30,7 @@ func recursiveBisect(g *graph.Graph, vertices []int32, firstPart, k int, part []
 	frac := float64(k1) / float64(k)
 
 	sg, orig := g.Subgraph(vertices)
-	where := bisectGraph(sg, frac, opt, rng)
+	where := bisectGraph(ctx, sg, frac, opt, rng)
 
 	var left, right []int32
 	for i, w := range where {
@@ -35,6 +40,6 @@ func recursiveBisect(g *graph.Graph, vertices []int32, firstPart, k int, part []
 			right = append(right, orig[i])
 		}
 	}
-	recursiveBisect(g, left, firstPart, k1, part, opt, rng)
-	recursiveBisect(g, right, firstPart+k1, k-k1, part, opt, rng)
+	recursiveBisect(ctx, g, left, firstPart, k1, part, opt, rng)
+	recursiveBisect(ctx, g, right, firstPart+k1, k-k1, part, opt, rng)
 }

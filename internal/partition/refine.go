@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"sort"
 
 	"tempart/internal/graph"
@@ -222,15 +223,21 @@ func forceBalance(b *bisection) {
 // initial bisection on the coarsest graph (several trials, best kept), then
 // uncoarsen with FM refinement at every level. frac is the share of every
 // constraint that side 0 should receive. Returns the side of each vertex.
-func bisectGraph(g *graph.Graph, frac float64, opt Options, rng randSource) []int32 {
+// When ctx is cancelled, remaining trials and refinement passes are skipped
+// (projection still runs so the assignment stays full length); the top-level
+// construction reports the cancellation.
+func bisectGraph(ctx context.Context, g *graph.Graph, frac float64, opt Options, rng randSource) []int32 {
 	caps0, caps1 := sideCaps(g, frac, opt.ImbalanceTol)
-	levels := coarsen(g, opt.CoarsenTo, rng)
+	levels := coarsen(ctx, g, opt.CoarsenTo, rng)
 	coarsest := levels[len(levels)-1].g
 
 	// Initial bisection trials on the coarsest graph.
 	var bestWhere []int32
 	bestViol, bestCut := 0.0, int64(0)
 	for trial := 0; trial < opt.InitTrials; trial++ {
+		if ctx.Err() != nil {
+			break
+		}
 		where := growBisection(coarsest, frac, caps0, caps1, rng)
 		b := newBisection(coarsest, where, caps0, caps1)
 		refineBisection(b, opt.RefinePasses)
@@ -239,14 +246,23 @@ func bisectGraph(g *graph.Graph, frac float64, opt Options, rng randSource) []in
 			bestWhere, bestViol, bestCut = where, viol, cut
 		}
 	}
+	if bestWhere == nil {
+		bestWhere = make([]int32, coarsest.NumVertices())
+	}
 
 	// Uncoarsen and refine.
 	where := bestWhere
 	for li := len(levels) - 1; li >= 1; li-- {
 		where = projectAssignment(levels[li].cmap, where)
+		if ctx.Err() != nil {
+			continue
+		}
 		b := newBisection(levels[li-1].g, where, caps0, caps1)
 		refineBisection(b, opt.RefinePasses)
 		where = b.where
+	}
+	if ctx.Err() != nil {
+		return where
 	}
 	// Final balance repair on the finest graph.
 	fb := newBisection(g, where, caps0, caps1)

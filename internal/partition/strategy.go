@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 
 	"tempart/internal/mesh"
@@ -66,17 +67,23 @@ func ParseStrategy(s string) (Strategy, error) {
 
 // PartitionMesh partitions a mesh into k domains under the given strategy.
 // The returned Result is expressed over cells (vertex v = cell v).
-func PartitionMesh(m *mesh.Mesh, k int, strat Strategy, opt Options) (*Result, error) {
+// Cancellation of ctx is honoured at trial, coarsening and refinement
+// boundaries of the multilevel strategies; the geometric strategies check it
+// once up front (they are orders of magnitude cheaper).
+func PartitionMesh(ctx context.Context, m *mesh.Mesh, k int, strat Strategy, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
 	switch strat {
 	case SCOC:
 		g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.SingleCost})
-		return Partition(g, k, opt)
+		return Partition(ctx, g, k, opt)
 	case MCTL:
 		g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})
-		return Partition(g, k, opt)
+		return Partition(ctx, g, k, opt)
 	case UnitCells:
 		g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.Unit})
-		return Partition(g, k, opt)
+		return Partition(ctx, g, k, opt)
 	case GeomRCB:
 		return GeometricRCB(m, k)
 	case SFC:

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 	"testing"
@@ -17,7 +18,7 @@ import (
 func buildCase(t testing.TB, scale float64, k int, strat partition.Strategy) (*mesh.Mesh, *taskgraph.TaskGraph) {
 	t.Helper()
 	m := mesh.Cylinder(scale)
-	r, err := partition.PartitionMesh(m, k, strat, partition.Options{Seed: 1})
+	r, err := partition.PartitionMesh(context.Background(), m, k, strat, partition.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestExecuteTraceConsistent(t *testing.T) {
 // up to floating-point reassociation.
 func TestParallelFVMatchesSerial(t *testing.T) {
 	m := mesh.Cylinder(0.0005)
-	r, err := partition.PartitionMesh(m, 4, partition.MCTL, partition.Options{Seed: 2})
+	r, err := partition.PartitionMesh(context.Background(), m, 4, partition.MCTL, partition.Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

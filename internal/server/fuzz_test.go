@@ -1,0 +1,78 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"tempart/internal/mesh"
+	"tempart/internal/temporal"
+)
+
+// FuzzPartitionRequest hammers the request decoder with arbitrary bytes under
+// both content types. The decoder must never panic; every rejection must be a
+// requestError carrying a 4xx status, so a malformed body can never surface
+// as a 5xx or reach the worker pool.
+func FuzzPartitionRequest(f *testing.F) {
+	f.Add(`{"mesh":"CYLINDER","scale":0.01,"k":16,"strategy":"MC_TL"}`, "", true)
+	f.Add(`{"mesh":"CUBE","scale":0.05,"k":4,"strategy":"SC_OC","options":{"seed":7,"trials":2}}`, "", true)
+	f.Add(`{"mesh":`, "", true)
+	f.Add(`null`, "", true)
+	f.Add(`{}`, "", true)
+	f.Add(`{"mesh":"CUBE","scale":1e308,"k":-1,"strategy":""}`, "", true)
+	f.Add("TMSH garbage", "k=4&strategy=MC_TL", false)
+	f.Add("", "k=0&strategy=nope&seed=x&tol=NaN", false)
+	var buf strings.Builder
+	m := mesh.Strip([]temporal.Level{0, 1, 2, 1, 0})
+	_ = m.Encode(&buf)
+	f.Add(buf.String(), "k=2&strategy=SC_OC&seed=1", false)
+
+	f.Fuzz(func(t *testing.T, body, rawQuery string, isJSON bool) {
+		ctype := "application/octet-stream"
+		if isJSON {
+			ctype = "application/json"
+		}
+		q, err := url.ParseQuery(rawQuery)
+		if err != nil {
+			q = url.Values{}
+		}
+		req, err := decodePartitionRequest(ctype, q, strings.NewReader(body), 1<<20)
+		if err != nil {
+			var rerr *requestError
+			if !errors.As(err, &rerr) {
+				t.Fatalf("decode error is not a requestError: %T %v", err, err)
+			}
+			if rerr.code < 400 || rerr.code > 499 {
+				t.Fatalf("decode failure mapped to %d, want 4xx: %v", rerr.code, rerr.msg)
+			}
+			return
+		}
+		// Accepted requests must be fully canonical and in bounds: the worker
+		// and cache key trust these invariants.
+		if req.Uploaded == nil && !knownGenerator(req.MeshName) {
+			t.Fatalf("accepted unknown generator %q", req.MeshName)
+		}
+		if req.K < 1 || req.K > maxK {
+			t.Fatalf("accepted k = %d", req.K)
+		}
+		if req.Strategy != req.strat.String() {
+			t.Fatalf("strategy not canonicalized: %q vs %q", req.Strategy, req.strat.String())
+		}
+		if req.Options.Method != "rb" && req.Options.Method != "kway" {
+			t.Fatalf("accepted method %q", req.Options.Method)
+		}
+		_ = req.key() // must not panic
+	})
+}
+
+// TestDecodeRejects415 pins the only non-4xx-on-body path: an unsupported
+// content type, which maps to 415 rather than 400.
+func TestDecodeRejects415(t *testing.T) {
+	_, err := decodePartitionRequest("text/html", url.Values{}, strings.NewReader("<p>"), 1<<10)
+	var rerr *requestError
+	if !errors.As(err, &rerr) || rerr.code != http.StatusUnsupportedMediaType {
+		t.Fatalf("got %v, want 415 requestError", err)
+	}
+}

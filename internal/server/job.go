@@ -1,0 +1,281 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"tempart/internal/core"
+	"tempart/internal/mesh"
+	pmetrics "tempart/internal/metrics"
+)
+
+// jobState is the lifecycle of a partition job.
+type jobState int32
+
+const (
+	jobQueued jobState = iota
+	jobRunning
+	jobDone
+	jobFailed
+	jobCancelled
+)
+
+func (s jobState) String() string {
+	switch s {
+	case jobQueued:
+		return "queued"
+	case jobRunning:
+		return "running"
+	case jobDone:
+		return "done"
+	case jobFailed:
+		return "failed"
+	case jobCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("jobState(%d)", int32(s))
+}
+
+// job is one partition execution. Identical concurrent requests share a
+// single job (singleflight on the content-address key): each interested
+// party holds one reference; when the count drops to zero the job's context
+// is cancelled, so work stops as soon as nobody is listening.
+type job struct {
+	id  string
+	key cacheKey
+	req *PartitionRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	state atomic.Int32
+
+	// done is closed by the worker after payload/status/errMsg are final.
+	done chan struct{}
+
+	// Guarded by Server.mu.
+	refs    int
+	created time.Time
+
+	// Written by the worker before close(done); read only after <-done.
+	payload   []byte
+	status    int
+	errMsg    string
+	elapsed   time.Duration
+	fromCache bool
+}
+
+func (j *job) setState(s jobState) { j.state.Store(int32(s)) }
+func (j *job) getState() jobState  { return jobState(j.state.Load()) }
+
+// acquireJob returns the in-flight job for the request's key, creating and
+// enqueueing one if needed, and takes one reference on it. It returns
+// errQueueFull when a new job cannot be admitted.
+var errQueueFull = errors.New("admission queue full")
+var errDraining = errors.New("server is draining")
+
+func (s *Server) acquireJob(req *PartitionRequest) (*job, error) {
+	key := req.key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, errDraining
+	}
+	if j, ok := s.flights[key]; ok {
+		j.refs++
+		return j, nil
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	j := &job{
+		id:      fmt.Sprintf("%x-%d", key[:6], s.seq.Add(1)),
+		key:     key,
+		req:     req,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		refs:    1,
+		created: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		return nil, errQueueFull
+	}
+	s.flights[key] = j
+	s.rememberJob(j)
+	return j, nil
+}
+
+// releaseJob drops one reference. When the last reference goes away before
+// completion, the job's context is cancelled — a queued job will be skipped
+// by the worker, a running one stops at the partitioner's next boundary.
+func (s *Server) releaseJob(j *job) {
+	s.mu.Lock()
+	j.refs--
+	last := j.refs <= 0
+	s.mu.Unlock()
+	if last {
+		j.cancel()
+	}
+}
+
+// rememberJob registers the job for /v1/jobs lookups, evicting the oldest
+// completed entries beyond the retention cap. Callers hold s.mu.
+func (s *Server) rememberJob(j *job) {
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	for len(s.jobOrder) > s.cfg.JobRetention {
+		victim := s.jobs[s.jobOrder[0]]
+		if victim != nil {
+			switch victim.getState() {
+			case jobQueued, jobRunning:
+				return // oldest is still live; retention grows temporarily
+			}
+			delete(s.jobs, victim.id)
+		}
+		s.jobOrder = s.jobOrder[1:]
+	}
+}
+
+// worker drains the admission queue until it closes (shutdown).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job and publishes its outcome. All error paths funnel
+// through fail() so waiters always observe a terminal state.
+func (s *Server) runJob(j *job) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	defer j.cancel() // release the deadline timer
+
+	finish := func() {
+		s.mu.Lock()
+		delete(s.flights, j.key)
+		s.mu.Unlock()
+		close(j.done)
+	}
+
+	fail := func(code int, msg string) {
+		if errors.Is(j.ctx.Err(), context.Canceled) {
+			j.setState(jobCancelled)
+			j.status = statusClientClosedRequest
+			j.errMsg = "cancelled"
+			s.metrics.countCancelled()
+		} else if errors.Is(j.ctx.Err(), context.DeadlineExceeded) {
+			j.setState(jobCancelled)
+			j.status = http.StatusGatewayTimeout
+			j.errMsg = "deadline exceeded"
+			s.metrics.countCancelled()
+		} else {
+			j.setState(jobFailed)
+			j.status = code
+			j.errMsg = msg
+		}
+		finish()
+	}
+
+	if j.ctx.Err() != nil {
+		fail(0, "")
+		return
+	}
+	j.setState(jobRunning)
+
+	if s.cfg.execGate != nil {
+		if err := s.cfg.execGate(j.ctx, j.req); err != nil {
+			fail(http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+
+	m := j.req.Uploaded
+	if m == nil {
+		var err error
+		m, err = mesh.ByName(j.req.MeshName, j.req.Scale)
+		if err != nil {
+			fail(http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	if j.req.K > m.NumCells() {
+		fail(http.StatusBadRequest,
+			fmt.Sprintf("k = %d exceeds the mesh's %d cells", j.req.K, m.NumCells()))
+		return
+	}
+
+	start := time.Now()
+	d, err := core.Decompose(j.ctx, m, j.req.K, j.req.strat, j.req.partitionOptions())
+	elapsed := time.Since(start)
+	if err != nil {
+		fail(http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.metrics.countRun(j.req.Strategy, elapsed.Seconds())
+
+	payload, err := json.Marshal(&PartitionResponse{
+		Mesh: MeshInfo{
+			Name:     m.Name,
+			Cells:    m.NumCells(),
+			MaxLevel: int(m.MaxLevel),
+		},
+		K:            j.req.K,
+		Strategy:     j.req.Strategy,
+		Method:       j.req.Options.Method,
+		Seed:         j.req.Options.Seed,
+		EdgeCut:      d.Result.EdgeCut,
+		MaxImbalance: d.Result.MaxImbalance(),
+		Quality:      d.Quality,
+		Part:         d.Result.Part,
+	})
+	if err != nil {
+		fail(http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.cache.put(j.key, payload)
+	j.payload = payload
+	j.elapsed = elapsed
+	j.status = http.StatusOK
+	j.setState(jobDone)
+	finish()
+}
+
+// statusClientClosedRequest is nginx's non-standard 499 "client closed
+// request"; we reuse it for jobs abandoned by every requester.
+const statusClientClosedRequest = 499
+
+// MeshInfo describes the partitioned mesh in responses.
+type MeshInfo struct {
+	Name     string `json:"name"`
+	Cells    int    `json:"cells"`
+	MaxLevel int    `json:"max_level"`
+}
+
+// PartitionResponse is the cacheable body of a successful partition request.
+// Quality carries the paper's cut/imbalance/fragments axes so clients need
+// no second call.
+type PartitionResponse struct {
+	Mesh         MeshInfo                  `json:"mesh"`
+	K            int                       `json:"k"`
+	Strategy     string                    `json:"strategy"`
+	Method       string                    `json:"method"`
+	Seed         int64                     `json:"seed"`
+	EdgeCut      int64                     `json:"edge_cut"`
+	MaxImbalance float64                   `json:"max_imbalance"`
+	Quality      pmetrics.PartitionQuality `json:"quality"`
+	Part         []int32                   `json:"part"`
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the partition latency
+// histogram. Partitions range from sub-millisecond (cache-sized toy meshes)
+// to minutes (full-scale PPRIME_NOZZLE), so the buckets span five decades.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120}
+
+// histogram is a fixed-bucket cumulative histogram (Prometheus semantics).
+type histogram struct {
+	counts []int64 // per bucket, non-cumulative; rendered cumulatively
+	inf    int64
+	sum    float64
+	total  int64
+}
+
+func (h *histogram) observe(v float64) {
+	h.sum += v
+	h.total++
+	for i, ub := range latencyBuckets {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// serverMetrics collects the daemon's counters and histograms. Gauges
+// (queue depth, in-flight jobs, cache occupancy) are sampled from the server
+// at render time rather than stored. All methods are safe for concurrent
+// use.
+type serverMetrics struct {
+	mu sync.Mutex
+
+	requests  map[string]int64 // "endpoint|code" -> count
+	partRuns  map[string]int64 // strategy -> actual partitioner executions
+	latencies map[string]*histogram
+
+	cacheHits     int64
+	cacheMisses   int64
+	queueRejected int64
+	jobsCancelled int64
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{
+		requests:  map[string]int64{},
+		partRuns:  map[string]int64{},
+		latencies: map[string]*histogram{},
+	}
+}
+
+func (m *serverMetrics) countRequest(endpoint string, code int) {
+	m.mu.Lock()
+	m.requests[fmt.Sprintf("%s|%d", endpoint, code)]++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) countRun(strategy string, seconds float64) {
+	m.mu.Lock()
+	m.partRuns[strategy]++
+	h := m.latencies[strategy]
+	if h == nil {
+		h = &histogram{counts: make([]int64, len(latencyBuckets))}
+		m.latencies[strategy] = h
+	}
+	h.observe(seconds)
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) countCache(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.cacheHits++
+	} else {
+		m.cacheMisses++
+	}
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) countRejected()  { m.mu.Lock(); m.queueRejected++; m.mu.Unlock() }
+func (m *serverMetrics) countCancelled() { m.mu.Lock(); m.jobsCancelled++; m.mu.Unlock() }
+
+func (m *serverMetrics) snapshotCache() (hits, misses int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheHits, m.cacheMisses
+}
+
+func (m *serverMetrics) snapshotRuns() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.partRuns))
+	for k, v := range m.partRuns {
+		out[k] = v
+	}
+	return out
+}
+
+// gauges are the instantaneous values the server contributes at render time.
+type gauges struct {
+	queueDepth   int
+	inflight     int64
+	cacheBytes   int64
+	cacheEntries int
+	draining     bool
+}
+
+// render writes the whole metric set in Prometheus text exposition format.
+// Label sets are emitted in sorted order so the output is deterministic.
+func (m *serverMetrics) render(w io.Writer, g gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	writeSorted := func(name, help string, vals map[string]int64, label string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{%s} %d\n", name, fmt.Sprintf(label, splitKey(k)...), vals[k])
+		}
+	}
+
+	writeSorted("tempartd_requests_total", "HTTP requests by endpoint and status code.",
+		m.requests, `endpoint=%q,code=%q`)
+	writeSorted("tempartd_partition_runs_total", "Partitioner executions by strategy (cache hits and dedup joins excluded).",
+		m.partRuns, `strategy=%q`)
+
+	fmt.Fprintf(w, "# HELP tempartd_partition_latency_seconds Partition execution latency by strategy.\n")
+	fmt.Fprintf(w, "# TYPE tempartd_partition_latency_seconds histogram\n")
+	strategies := make([]string, 0, len(m.latencies))
+	for s := range m.latencies {
+		strategies = append(strategies, s)
+	}
+	sort.Strings(strategies)
+	for _, s := range strategies {
+		h := m.latencies[s]
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "tempartd_partition_latency_seconds_bucket{strategy=%q,le=%q} %d\n", s, trimFloat(ub), cum)
+		}
+		fmt.Fprintf(w, "tempartd_partition_latency_seconds_bucket{strategy=%q,le=\"+Inf\"} %d\n", s, cum+h.inf)
+		fmt.Fprintf(w, "tempartd_partition_latency_seconds_sum{strategy=%q} %g\n", s, h.sum)
+		fmt.Fprintf(w, "tempartd_partition_latency_seconds_count{strategy=%q} %d\n", s, h.total)
+	}
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("tempartd_cache_hits_total", "Partition requests served from the content-addressed cache.", m.cacheHits)
+	counter("tempartd_cache_misses_total", "Partition requests that missed the cache.", m.cacheMisses)
+	if tot := m.cacheHits + m.cacheMisses; tot > 0 {
+		fmt.Fprintf(w, "# HELP tempartd_cache_hit_ratio Fraction of lookups served from cache.\n# TYPE tempartd_cache_hit_ratio gauge\ntempartd_cache_hit_ratio %g\n",
+			float64(m.cacheHits)/float64(tot))
+	}
+	counter("tempartd_queue_rejected_total", "Requests rejected with 429 because the admission queue was full.", m.queueRejected)
+	counter("tempartd_jobs_cancelled_total", "Jobs stopped before completion by disconnect, deadline or explicit cancel.", m.jobsCancelled)
+	gauge("tempartd_queue_depth", "Jobs waiting in the admission queue.", int64(g.queueDepth))
+	gauge("tempartd_inflight_jobs", "Jobs currently executing on the worker pool.", g.inflight)
+	gauge("tempartd_cache_bytes", "Bytes held by the result cache.", g.cacheBytes)
+	gauge("tempartd_cache_entries", "Entries held by the result cache.", int64(g.cacheEntries))
+	draining := int64(0)
+	if g.draining {
+		draining = 1
+	}
+	gauge("tempartd_draining", "1 while the server is draining for shutdown.", draining)
+}
+
+// splitKey turns "endpoint|code" into label values for the format string.
+func splitKey(k string) []any {
+	out := []any{}
+	start := 0
+	for i := 0; i < len(k); i++ {
+		if k[i] == '|' {
+			out = append(out, k[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, k[start:])
+}
+
+// trimFloat formats a bucket bound the way Prometheus clients expect
+// (no trailing zeros, no scientific notation for these magnitudes).
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,297 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"mime"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"tempart/internal/mesh"
+	"tempart/internal/partition"
+)
+
+// Request limits. They bound what a single request can make the daemon
+// allocate or compute, mirroring the hardened mesh.Decode limits.
+const (
+	maxK          = 1 << 14
+	maxTrials     = 64
+	maxInitTrials = 256
+	maxPasses     = 256
+	maxScale      = 2.0
+)
+
+// OptionsSpec is the wire form of partition.Options. Zero values mean
+// "server default", exactly as in the library.
+type OptionsSpec struct {
+	Seed         int64   `json:"seed,omitempty"`
+	ImbalanceTol float64 `json:"imbalance_tol,omitempty"`
+	CoarsenTo    int     `json:"coarsen_to,omitempty"`
+	InitTrials   int     `json:"init_trials,omitempty"`
+	RefinePasses int     `json:"refine_passes,omitempty"`
+	Method       string  `json:"method,omitempty"` // "rb" (default) or "kway"
+	Trials       int     `json:"trials,omitempty"`
+}
+
+// PartitionRequest is a fully decoded, validated partition job description.
+type PartitionRequest struct {
+	// MeshName names a generator ("CYLINDER", "CUBE", "PPRIME_NOZZLE");
+	// empty when the mesh was uploaded.
+	MeshName string      `json:"mesh,omitempty"`
+	Scale    float64     `json:"scale,omitempty"`
+	K        int         `json:"k"`
+	Strategy string      `json:"strategy"`
+	Options  OptionsSpec `json:"options"`
+	// TimeoutMS caps the job's execution time; 0 uses the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Uploaded holds the decoded TMSH mesh for octet-stream requests (nil
+	// for generator requests). meshDigest is the SHA-256 of the raw upload.
+	Uploaded   *mesh.Mesh `json:"-"`
+	meshDigest [32]byte
+
+	strat partition.Strategy
+}
+
+// requestError carries the HTTP status a decode/validation failure maps to.
+type requestError struct {
+	code int
+	msg  string
+}
+
+func (e *requestError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &requestError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// generatorNames lists the meshes servable by name, in /v1/meshes order.
+var generatorNames = []string{"CYLINDER", "CUBE", "PPRIME_NOZZLE"}
+
+func knownGenerator(name string) bool {
+	for _, n := range generatorNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// decodePartitionRequest parses a POST /v1/partition body. Two content types
+// are accepted:
+//
+//   - application/json: the full PartitionRequest object naming a generator.
+//   - application/octet-stream: a raw binary TMSH mesh; k, strategy and
+//     options arrive as query parameters (k, strategy, seed, tol,
+//     coarsen_to, init_trials, refine_passes, method, trials, timeout_ms).
+//
+// The body is capped at maxBody bytes; anything larger fails with 400
+// before significant allocation (the TMSH decoder reads in bounded chunks).
+func decodePartitionRequest(contentType string, query url.Values, body io.Reader, maxBody int64) (*PartitionRequest, error) {
+	mt := contentType
+	if parsed, _, err := mime.ParseMediaType(contentType); err == nil {
+		mt = parsed
+	}
+	limited := &io.LimitedReader{R: body, N: maxBody + 1}
+
+	var req PartitionRequest
+	switch {
+	case mt == "application/octet-stream" || mt == "application/x-tmsh":
+		raw, err := io.ReadAll(limited)
+		if err != nil {
+			return nil, badRequest("reading mesh upload: %v", err)
+		}
+		if int64(len(raw)) > maxBody {
+			return nil, badRequest("mesh upload exceeds %d bytes", maxBody)
+		}
+		m, err := mesh.Decode(bytes.NewReader(raw))
+		if err != nil {
+			return nil, badRequest("invalid TMSH mesh: %v", err)
+		}
+		req.Uploaded = m
+		req.meshDigest = sha256.Sum256(raw)
+		if err := queryInto(&req, query); err != nil {
+			return nil, err
+		}
+	// x-www-form-urlencoded is what bare `curl -d` sends; the body is still
+	// expected to be the JSON request object.
+	case mt == "application/json" || mt == "application/x-www-form-urlencoded" || mt == "":
+		dec := json.NewDecoder(limited)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, badRequest("invalid request JSON: %v", err)
+		}
+		if dec.More() {
+			return nil, badRequest("trailing data after request JSON")
+		}
+	default:
+		return nil, &requestError{code: http.StatusUnsupportedMediaType,
+			msg: fmt.Sprintf("unsupported content type %q (want application/json or application/octet-stream)", contentType)}
+	}
+
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// queryInto fills the scalar fields of an upload request from the URL query.
+func queryInto(req *PartitionRequest, q url.Values) error {
+	geti := func(name string, dst *int) error {
+		if s := q.Get(name); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return badRequest("query %s: %v", name, err)
+			}
+			*dst = v
+		}
+		return nil
+	}
+	for name, dst := range map[string]*int{
+		"k": &req.K, "coarsen_to": &req.Options.CoarsenTo,
+		"init_trials": &req.Options.InitTrials, "refine_passes": &req.Options.RefinePasses,
+		"trials": &req.Options.Trials,
+	} {
+		if err := geti(name, dst); err != nil {
+			return err
+		}
+	}
+	if s := q.Get("seed"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return badRequest("query seed: %v", err)
+		}
+		req.Options.Seed = v
+	}
+	if s := q.Get("timeout_ms"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return badRequest("query timeout_ms: %v", err)
+		}
+		req.TimeoutMS = v
+	}
+	if s := q.Get("tol"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return badRequest("query tol: %v", err)
+		}
+		req.Options.ImbalanceTol = v
+	}
+	req.Strategy = q.Get("strategy")
+	req.Options.Method = q.Get("method")
+	return nil
+}
+
+// validate applies limits and resolves enums. It mutates the request into
+// canonical form (strategy label upper-cased, method normalized) so the
+// cache key is insensitive to equivalent spellings.
+func (r *PartitionRequest) validate() error {
+	if r.Uploaded == nil {
+		if !knownGenerator(r.MeshName) {
+			return badRequest("unknown mesh %q (want one of %s, or an octet-stream TMSH upload)",
+				r.MeshName, strings.Join(generatorNames, ", "))
+		}
+		if !(r.Scale > 0) || r.Scale > maxScale || math.IsNaN(r.Scale) {
+			return badRequest("scale %v out of range (0, %g]", r.Scale, maxScale)
+		}
+	}
+	if r.K < 1 || r.K > maxK {
+		return badRequest("k = %d out of range [1, %d]", r.K, maxK)
+	}
+	strat, err := partition.ParseStrategy(r.Strategy)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	r.strat = strat
+	r.Strategy = strat.String()
+	switch r.Options.Method {
+	case "", "rb":
+		r.Options.Method = "rb"
+	case "kway":
+	default:
+		return badRequest("unknown method %q (want rb or kway)", r.Options.Method)
+	}
+	o := &r.Options
+	if o.Trials < 0 || o.Trials > maxTrials {
+		return badRequest("trials = %d out of range [0, %d]", o.Trials, maxTrials)
+	}
+	if o.InitTrials < 0 || o.InitTrials > maxInitTrials {
+		return badRequest("init_trials = %d out of range [0, %d]", o.InitTrials, maxInitTrials)
+	}
+	if o.RefinePasses < 0 || o.RefinePasses > maxPasses {
+		return badRequest("refine_passes = %d out of range [0, %d]", o.RefinePasses, maxPasses)
+	}
+	if o.CoarsenTo < 0 || o.CoarsenTo > 1<<30 {
+		return badRequest("coarsen_to = %d out of range", o.CoarsenTo)
+	}
+	if o.ImbalanceTol != 0 && (o.ImbalanceTol < 1 || o.ImbalanceTol > 4 || math.IsNaN(o.ImbalanceTol)) {
+		return badRequest("imbalance_tol = %v out of range [1, 4]", o.ImbalanceTol)
+	}
+	if r.TimeoutMS < 0 {
+		return badRequest("timeout_ms = %d is negative", r.TimeoutMS)
+	}
+	return nil
+}
+
+// partitionOptions converts the wire options to library options.
+func (r *PartitionRequest) partitionOptions() partition.Options {
+	o := partition.Options{
+		Seed:         r.Options.Seed,
+		ImbalanceTol: r.Options.ImbalanceTol,
+		CoarsenTo:    r.Options.CoarsenTo,
+		InitTrials:   r.Options.InitTrials,
+		RefinePasses: r.Options.RefinePasses,
+		Trials:       r.Options.Trials,
+	}
+	if r.Options.Method == "kway" {
+		o.Method = partition.DirectKWay
+	}
+	return o
+}
+
+// key computes the request's content address: SHA-256 over the mesh identity
+// (generator name+scale, or the digest of the uploaded bytes) and every
+// option that influences the result. The timeout is deliberately excluded —
+// it changes whether a result arrives, never what it is.
+func (r *PartitionRequest) key() cacheKey {
+	h := sha256.New()
+	h.Write([]byte("tempartd/v1\x00"))
+	if r.Uploaded != nil {
+		h.Write([]byte("tmsh\x00"))
+		h.Write(r.meshDigest[:])
+	} else {
+		fmt.Fprintf(h, "gen\x00%s\x00", r.MeshName)
+		var sb [8]byte
+		binary.LittleEndian.PutUint64(sb[:], math.Float64bits(r.Scale))
+		h.Write(sb[:])
+	}
+	// Canonicalize defaults so an explicit default hashes like an omitted
+	// field. CoarsenTo's default depends on the constraint count, so only
+	// its zero marker is canonical.
+	o := r.Options
+	if o.ImbalanceTol <= 1 {
+		o.ImbalanceTol = 1.05
+	}
+	if o.InitTrials <= 0 {
+		o.InitTrials = 8
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 8
+	}
+	if o.Trials <= 1 {
+		o.Trials = 1
+	}
+	fmt.Fprintf(h, "k=%d strat=%s seed=%d tol=%x coarsen=%d init=%d passes=%d method=%s trials=%d",
+		r.K, r.Strategy, o.Seed, math.Float64bits(o.ImbalanceTol), o.CoarsenTo,
+		o.InitTrials, o.RefinePasses, o.Method, o.Trials)
+	var key cacheKey
+	h.Sum(key[:0])
+	return key
+}

@@ -1,0 +1,381 @@
+// Package server implements tempartd, the partition-as-a-service daemon:
+// an HTTP front-end over internal/core.Decompose with a bounded worker
+// pool, FIFO admission queue (429 + Retry-After on overflow), singleflight
+// deduplication of identical in-flight requests, a content-addressed LRU
+// result cache (SHA-256 of mesh bytes + canonicalized options), request
+// cancellation threaded down into the multilevel partitioner, and a
+// Prometheus-format observability surface.
+//
+// Endpoints:
+//
+//	POST   /v1/partition        run a partition job (sync; ?async=1 for a job id)
+//	GET    /v1/jobs/{id}        job status; embeds the result when done
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/meshes           the named generators the daemon can serve
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /metrics             Prometheus text format
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	goruntime "runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tempart/internal/mesh"
+)
+
+// Config sizes the daemon. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the partition worker-pool size. Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the FIFO admission queue; a full queue answers 429
+	// with Retry-After. Default 64.
+	QueueDepth int
+	// CacheBytes budgets the content-addressed result cache. Default 256 MiB.
+	CacheBytes int64
+	// MaxBodyBytes caps request bodies (mesh uploads). Default 64 MiB.
+	MaxBodyBytes int64
+	// DefaultTimeout caps per-job execution; requests may only shorten it.
+	// Default 5 minutes.
+	DefaultTimeout time.Duration
+	// JobRetention is how many finished jobs stay queryable. Default 1024.
+	JobRetention int
+
+	// execGate, when set, runs inside the worker before partitioning; tests
+	// use it to hold jobs at a deterministic point.
+	execGate func(context.Context, *PartitionRequest) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = goruntime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 1024
+	}
+	return c
+}
+
+// Server is the daemon state. Create with New, serve with Handler, stop
+// with Shutdown.
+type Server struct {
+	cfg     Config
+	cache   *resultCache
+	metrics *serverMetrics
+
+	queue    chan *job
+	wg       sync.WaitGroup
+	inflight atomic.Int64
+	seq      atomic.Int64
+
+	mu       sync.Mutex
+	flights  map[cacheKey]*job
+	jobs     map[string]*job
+	jobOrder []string
+	draining bool
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheBytes),
+		metrics: newServerMetrics(),
+		queue:   make(chan *job, cfg.QueueDepth),
+		flights: map[cacheKey]*job{},
+		jobs:    map[string]*job{},
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the daemon's route table. Method mismatches yield 405
+// via the Go 1.22 pattern router.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/partition", s.instrument("/v1/partition", s.handlePartition))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobCancel))
+	mux.HandleFunc("GET /v1/meshes", s.instrument("/v1/meshes", s.handleMeshes))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Shutdown drains the daemon: new work is refused (503), queued and running
+// jobs finish, workers exit. It returns nil once everything drained, or
+// ctx's error if the deadline passes first (remaining jobs are then
+// cancelled so the process can exit promptly).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.flights {
+			j.cancel()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// instrument wraps a handler with request counting by endpoint and code.
+func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		code := h(w, r)
+		s.metrics.countRequest(endpoint, code)
+	}
+}
+
+// writeJSON emits a JSON response with the given status and returns the
+// status for instrumentation.
+func writeJSON(w http.ResponseWriter, code int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+	return code
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) int {
+	return writeJSON(w, code, errorBody{Error: msg})
+}
+
+// retryAfterSeconds estimates how long until queue space frees up: one
+// average job per worker, floored at 1s. Kept deliberately simple — the
+// point is to give load balancers a backoff signal, not a promise.
+func (s *Server) retryAfterSeconds() int {
+	return 1 + s.cfg.QueueDepth/(2*s.cfg.Workers)
+}
+
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) int {
+	req, err := decodePartitionRequest(r.Header.Get("Content-Type"), r.URL.Query(), r.Body, s.cfg.MaxBodyBytes)
+	if err != nil {
+		var rerr *requestError
+		if errors.As(err, &rerr) {
+			return writeError(w, rerr.code, rerr.msg)
+		}
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+
+	// Content-addressed cache first: a hit costs one map lookup.
+	key := req.key()
+	if payload, ok := s.cache.get(key); ok {
+		s.metrics.countCache(true)
+		w.Header().Set("X-Tempartd-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(payload)
+		return http.StatusOK
+	}
+	s.metrics.countCache(false)
+
+	j, err := s.acquireJob(req)
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.metrics.countRejected()
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		return writeError(w, http.StatusTooManyRequests, "admission queue full; retry later")
+	case errors.Is(err, errDraining):
+		return writeError(w, http.StatusServiceUnavailable, "server is draining")
+	case err != nil:
+		return writeError(w, http.StatusInternalServerError, err.Error())
+	}
+
+	if r.URL.Query().Get("async") == "1" {
+		// The async submitter's reference is held until completion or an
+		// explicit DELETE; the job outlives this HTTP exchange.
+		return writeJSON(w, http.StatusAccepted, map[string]string{
+			"job_id": j.id,
+			"status": j.getState().String(),
+			"url":    "/v1/jobs/" + j.id,
+		})
+	}
+
+	select {
+	case <-j.done:
+		s.releaseJob(j)
+		return s.writeJobOutcome(w, j)
+	case <-r.Context().Done():
+		// Client went away: drop our reference. If we were the last party,
+		// the job's context is cancelled and the partitioner unwinds at its
+		// next boundary. Nothing useful can be written to a dead client.
+		s.releaseJob(j)
+		return statusClientClosedRequest
+	}
+}
+
+// writeJobOutcome renders a completed job.
+func (s *Server) writeJobOutcome(w http.ResponseWriter, j *job) int {
+	if j.getState() == jobDone {
+		w.Header().Set("X-Tempartd-Cache", "miss")
+		w.Header().Set("X-Tempartd-Elapsed-Ms", strconv.FormatInt(j.elapsed.Milliseconds(), 10))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(j.payload)
+		return http.StatusOK
+	}
+	code := j.status
+	if code == 0 {
+		code = http.StatusInternalServerError
+	}
+	return writeError(w, code, j.errMsg)
+}
+
+// jobView is the /v1/jobs/{id} representation.
+type jobView struct {
+	ID        string          `json:"id"`
+	State     string          `json:"state"`
+	Mesh      string          `json:"mesh,omitempty"`
+	K         int             `json:"k"`
+	Strategy  string          `json:"strategy"`
+	CreatedMS int64           `json:"created_unix_ms"`
+	ElapsedMS int64           `json:"elapsed_ms,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+func (s *Server) lookupJob(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) int {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		return writeError(w, http.StatusNotFound, "unknown job id")
+	}
+	v := jobView{
+		ID:        j.id,
+		State:     j.getState().String(),
+		Mesh:      j.req.MeshName,
+		K:         j.req.K,
+		Strategy:  j.req.Strategy,
+		CreatedMS: j.created.UnixMilli(),
+	}
+	select {
+	case <-j.done:
+		v.ElapsedMS = j.elapsed.Milliseconds()
+		v.Error = j.errMsg
+		if j.getState() == jobDone {
+			v.Result = json.RawMessage(j.payload)
+		}
+	default:
+	}
+	return writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) int {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		return writeError(w, http.StatusNotFound, "unknown job id")
+	}
+	select {
+	case <-j.done:
+		return writeJSON(w, http.StatusConflict, map[string]string{
+			"state": j.getState().String(), "error": "job already finished",
+		})
+	default:
+	}
+	// Cancel unconditionally: an explicit DELETE overrides other waiters.
+	j.cancel()
+	return writeJSON(w, http.StatusAccepted, map[string]string{"state": "cancelling"})
+}
+
+// meshView describes one named generator for /v1/meshes.
+type meshView struct {
+	Name           string `json:"name"`
+	Description    string `json:"description"`
+	CellsFullScale int    `json:"cells_full_scale"`
+	TemporalLevels int    `json:"temporal_levels"`
+}
+
+func (s *Server) handleMeshes(w http.ResponseWriter, r *http.Request) int {
+	sum := func(counts []int64) int {
+		var t int64
+		for _, c := range counts {
+			t += c
+		}
+		return int(t)
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{"meshes": []meshView{
+		{Name: "CYLINDER", Description: "graded cylinder with a single hot core (paper Table I)",
+			CellsFullScale: sum(mesh.CylinderCounts), TemporalLevels: len(mesh.CylinderCounts)},
+		{Name: "CUBE", Description: "cube with three disjoint hotspots (paper Table I)",
+			CellsFullScale: sum(mesh.CubeCounts), TemporalLevels: len(mesh.CubeCounts)},
+		{Name: "PPRIME_NOZZLE", Description: "nozzle/jet plume cone (paper Table I)",
+			CellsFullScale: sum(mesh.NozzleCounts), TemporalLevels: len(mesh.NozzleCounts)},
+	}})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	bytes, entries := s.cache.stats()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.render(w, gauges{
+		queueDepth:   len(s.queue),
+		inflight:     s.inflight.Load(),
+		cacheBytes:   bytes,
+		cacheEntries: entries,
+		draining:     draining,
+	})
+}
+
+// String identifies the server in logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("tempartd(workers=%d queue=%d cache=%dMiB)",
+		s.cfg.Workers, s.cfg.QueueDepth, s.cfg.CacheBytes>>20)
+}

@@ -8,6 +8,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -104,11 +105,11 @@ type Report struct {
 // New partitions the mesh, builds the task graph with object lists, and
 // initialises the FV state with a Gaussian blob centred on the mesh's hot
 // region (minimum-level cells).
-func New(m *mesh.Mesh, cfg Config) (*Solver, error) {
+func New(ctx context.Context, m *mesh.Mesh, cfg Config) (*Solver, error) {
 	if cfg.NumDomains < 1 {
 		return nil, fmt.Errorf("solver: NumDomains = %d", cfg.NumDomains)
 	}
-	res, err := partition.PartitionMesh(m, cfg.NumDomains, cfg.Strategy, cfg.PartOpts)
+	res, err := partition.PartitionMesh(ctx, m, cfg.NumDomains, cfg.Strategy, cfg.PartOpts)
 	if err != nil {
 		return nil, err
 	}

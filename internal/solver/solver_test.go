@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"testing"
 
 	"tempart/internal/flusim"
@@ -12,14 +13,14 @@ import (
 
 func TestNewRejectsBadConfig(t *testing.T) {
 	m := mesh.Cube(0.01)
-	if _, err := New(m, Config{NumDomains: 0}); err == nil {
+	if _, err := New(context.Background(), m, Config{NumDomains: 0}); err == nil {
 		t.Fatal("accepted 0 domains")
 	}
 }
 
 func TestRunConservesMass(t *testing.T) {
 	m := mesh.Cylinder(0.0005)
-	s, err := New(m, Config{NumDomains: 4, Strategy: partition.MCTL, Workers: 2})
+	s, err := New(context.Background(), m, Config{NumDomains: 4, Strategy: partition.MCTL, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestRunConservesMass(t *testing.T) {
 
 func TestRunMatchesSerialReference(t *testing.T) {
 	m := mesh.Cube(0.02)
-	s, err := New(m, Config{NumDomains: 3, Strategy: partition.SCOC, Workers: 3, Policy: runtime.WorkStealing})
+	s, err := New(context.Background(), m, Config{NumDomains: 3, Strategy: partition.SCOC, Workers: 3, Policy: runtime.WorkStealing})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestRunMatchesSerialReference(t *testing.T) {
 
 func TestVirtualMakespanBounds(t *testing.T) {
 	m := mesh.Cylinder(0.0005)
-	s, err := New(m, Config{NumDomains: 8, Strategy: partition.MCTL, Workers: 2})
+	s, err := New(context.Background(), m, Config{NumDomains: 8, Strategy: partition.MCTL, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestVirtualMakespanBounds(t *testing.T) {
 
 func TestUnitMakespan(t *testing.T) {
 	m := mesh.Cube(0.02)
-	s, err := New(m, Config{NumDomains: 4, Strategy: partition.SCOC})
+	s, err := New(context.Background(), m, Config{NumDomains: 4, Strategy: partition.SCOC})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestUnitMakespan(t *testing.T) {
 
 func TestTraceRecordedOnLastIteration(t *testing.T) {
 	m := mesh.Cube(0.01)
-	s, err := New(m, Config{NumDomains: 2, Strategy: partition.MCTL, Workers: 2, RecordTrace: true})
+	s, err := New(context.Background(), m, Config{NumDomains: 2, Strategy: partition.MCTL, Workers: 2, RecordTrace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestProductionStyleGain(t *testing.T) {
 	m := mesh.Nozzle(0.01)
 	cluster := flusim.Cluster{NumProcs: 6, WorkersPerProc: 4}
 	virtual := func(strat partition.Strategy) int64 {
-		s, err := New(m, Config{NumDomains: 12, Strategy: strat, Workers: 1})
+		s, err := New(context.Background(), m, Config{NumDomains: 12, Strategy: strat, Workers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -152,7 +153,7 @@ func TestProductionStyleGain(t *testing.T) {
 
 func TestEulerModelThroughRuntime(t *testing.T) {
 	m := mesh.Cube(0.05)
-	s, err := New(m, Config{
+	s, err := New(context.Background(), m, Config{
 		NumDomains: 4, Strategy: partition.MCTL, Workers: 3,
 		Policy: runtime.WorkStealing, Model: Euler,
 	})

@@ -1,6 +1,7 @@
 package taskgraph
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -179,7 +180,7 @@ func TestWorkConservation(t *testing.T) {
 	wantCellWork := scheme.IterationWork(m.Census())
 
 	for _, strat := range []partition.Strategy{partition.SCOC, partition.MCTL} {
-		r, err := partition.PartitionMesh(m, 4, strat, partition.Options{Seed: 1})
+		r, err := partition.PartitionMesh(context.Background(), m, 4, strat, partition.Options{Seed: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -326,7 +327,7 @@ func TestTaskTupleUniquenessProperty(t *testing.T) {
 	f := func(seed int64, kRaw uint8) bool {
 		k := 2 + int(kRaw%5)
 		m := mesh.Cube(0.01)
-		r, err := partition.PartitionMesh(m, k, partition.MCTL, partition.Options{Seed: seed})
+		r, err := partition.PartitionMesh(context.Background(), m, k, partition.MCTL, partition.Options{Seed: seed})
 		if err != nil {
 			return false
 		}
@@ -364,7 +365,7 @@ func TestMCTLProducesMoreFirstPhaseTasks(t *testing.T) {
 	m := mesh.Cylinder(0.001)
 	k := 8
 	domainsInPhase := func(strat partition.Strategy) int {
-		r, err := partition.PartitionMesh(m, k, strat, partition.Options{Seed: 3})
+		r, err := partition.PartitionMesh(context.Background(), m, k, strat, partition.Options{Seed: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -479,7 +480,7 @@ func TestBuildIterationsChains(t *testing.T) {
 // tails overlap the next iteration's head.
 func TestIterationPipelining(t *testing.T) {
 	m := mesh.Cylinder(0.0005)
-	r, err := partition.PartitionMesh(m, 8, partition.SCOC, partition.Options{Seed: 1})
+	r, err := partition.PartitionMesh(context.Background(), m, 8, partition.SCOC, partition.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

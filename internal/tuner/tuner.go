@@ -12,6 +12,7 @@
 package tuner
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -69,7 +70,7 @@ type Result struct {
 // Tune sweeps domain counts for the mesh on the target cluster and returns
 // the candidate with the smallest simulated makespan (ties broken toward
 // fewer domains, which means less communication and runtime overhead).
-func Tune(m *mesh.Mesh, cfg Config) (*Result, error) {
+func Tune(ctx context.Context, m *mesh.Mesh, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Cluster.NumProcs < 1 {
 		return nil, fmt.Errorf("tuner: NumProcs = %d", cfg.Cluster.NumProcs)
@@ -82,7 +83,7 @@ func Tune(m *mesh.Mesh, cfg Config) (*Result, error) {
 		if m.NumCells()/domains < cfg.MinCellsPerDomain {
 			break
 		}
-		part, err := partition.PartitionMesh(m, domains, cfg.Strategy, cfg.PartOpts)
+		part, err := partition.PartitionMesh(ctx, m, domains, cfg.Strategy, cfg.PartOpts)
 		if err != nil {
 			return nil, fmt.Errorf("tuner: k=%d: %w", domains, err)
 		}

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestTuneFindsFinerGranularity(t *testing.T) {
 	// On a multi-level mesh with SC_OC, finer granularity improves the
 	// schedule (pipelining) — the tuner must not stop at 1 domain/proc.
 	m := mesh.Cylinder(0.002)
-	res, err := Tune(m, Config{
+	res, err := Tune(context.Background(), m, Config{
 		Cluster:  flusim.Cluster{NumProcs: 8, WorkersPerProc: 4},
 		Strategy: partition.SCOC,
 		PartOpts: partition.Options{Seed: 1},
@@ -43,11 +44,11 @@ func TestTuneCommLatencyPrefersCoarser(t *testing.T) {
 	// than the free-communication optimum.
 	m := mesh.Cylinder(0.001)
 	cl := flusim.Cluster{NumProcs: 4, WorkersPerProc: 4}
-	free, err := Tune(m, Config{Cluster: cl, Strategy: partition.MCTL, PartOpts: partition.Options{Seed: 2}})
+	free, err := Tune(context.Background(), m, Config{Cluster: cl, Strategy: partition.MCTL, PartOpts: partition.Options{Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	costly, err := Tune(m, Config{
+	costly, err := Tune(context.Background(), m, Config{
 		Cluster: cl, Strategy: partition.MCTL, PartOpts: partition.Options{Seed: 2},
 		CommLatency: 2000,
 	})
@@ -68,7 +69,7 @@ func TestTuneCommLatencyPrefersCoarser(t *testing.T) {
 
 func TestTuneStopsAtMinCells(t *testing.T) {
 	m := mesh.Cube(0.02) // ~3k cells
-	res, err := Tune(m, Config{
+	res, err := Tune(context.Background(), m, Config{
 		Cluster:           flusim.Cluster{NumProcs: 4, WorkersPerProc: 2},
 		Strategy:          partition.SCOC,
 		MinCellsPerDomain: 200,
@@ -84,11 +85,11 @@ func TestTuneStopsAtMinCells(t *testing.T) {
 
 func TestTuneErrors(t *testing.T) {
 	m := mesh.Cube(0.01)
-	if _, err := Tune(m, Config{}); err == nil {
+	if _, err := Tune(context.Background(), m, Config{}); err == nil {
 		t.Error("accepted zero processes")
 	}
 	// Mesh too small for any candidate.
-	if _, err := Tune(mesh.Strip(nil), Config{
+	if _, err := Tune(context.Background(), mesh.Strip(nil), Config{
 		Cluster: flusim.Cluster{NumProcs: 4, WorkersPerProc: 1},
 	}); err == nil {
 		t.Error("accepted empty mesh")
@@ -97,7 +98,7 @@ func TestTuneErrors(t *testing.T) {
 
 func TestResultString(t *testing.T) {
 	m := mesh.Cube(0.05)
-	res, err := Tune(m, Config{
+	res, err := Tune(context.Background(), m, Config{
 		Cluster:  flusim.Cluster{NumProcs: 2, WorkersPerProc: 2},
 		Strategy: partition.MCTL,
 	})
