@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"tempart/internal/experiments"
 )
@@ -33,7 +36,9 @@ func main() {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 		return
 	}
-	out, err := experiments.Run(*exp, experiments.Params{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	out, err := experiments.Run(ctx, *exp, experiments.Params{
 		Scale: *scale, Seed: *seed, GanttWidth: *width,
 	})
 	if err != nil {

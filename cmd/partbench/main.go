@@ -62,11 +62,18 @@ func main() {
 		commLat  = flag.Int64("comm-latency", 0, "time units per cross-process dependency edge")
 		kway     = flag.Bool("kway", false, "also run SC_OC/MC_TL with the direct k-way method")
 		asJSON   = flag.Bool("json", false, "emit one JSON report instead of the table")
+		doRepart = flag.Bool("repart", false, "run the drift/repartition comparison instead of the strategy table")
+		epochs   = flag.Int("epochs", 5, "drift epochs for -repart")
+		step     = flag.Float64("drift-step", 0.05, "hotspot displacement per epoch, as a fraction of the mesh's x extent (-repart)")
 	)
 	flag.Parse()
 
 	m, err := core.LoadMesh(*meshName, *scale)
 	check(err)
+	if *doRepart {
+		runRepart(m, *domains, *procs, *workers, *seed, *commLat, *epochs, *step, *asJSON)
+		return
+	}
 	if !*asJSON {
 		fmt.Printf("mesh %s: %d cells, census %v\n", m.Name, m.NumCells(), m.Census())
 		fmt.Printf("%d domains on %d procs × %d cores, comm latency %d\n\n", *domains, *procs, *workers, *commLat)

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"tempart/internal/flusim"
+	"tempart/internal/mesh"
+	"tempart/internal/partition"
+	"tempart/internal/repart"
+	"tempart/internal/taskgraph"
+)
+
+// repartRow is one policy at one drift epoch: keep the stale epoch-0
+// partition, repartition from scratch, or repartition incrementally.
+type repartRow struct {
+	Epoch        int     `json:"epoch"`
+	Shift        float64 `json:"shift"`
+	Policy       string  `json:"policy"` // stale | scratch | incremental
+	Mode         string  `json:"mode,omitempty"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EdgeCut      int64   `json:"edge_cut"`
+	MaxImbalance float64 `json:"max_imbalance"`
+	Makespan     int64   `json:"makespan"`
+	MovedCells   int     `json:"moved_cells"`
+	MovedBytes   int64   `json:"moved_bytes"`
+}
+
+type repartReport struct {
+	Mesh      string      `json:"mesh"`
+	Cells     int         `json:"cells"`
+	Census    []int64     `json:"census"`
+	Domains   int         `json:"domains"`
+	Procs     int         `json:"procs"`
+	Workers   int         `json:"workers"`
+	Seed      int64       `json:"seed"`
+	Epochs    int         `json:"epochs"`
+	DriftStep float64     `json:"drift_step"`
+	Rows      []repartRow `json:"rows"`
+}
+
+// runRepart drives a migrating hotspot across the mesh and compares the three
+// repartitioning policies on makespan, edge cut and migration volume — the
+// CLI face of the drift experiment, at whatever mesh/cluster the flags chose.
+func runRepart(m *mesh.Mesh, domains, procs, workers int, seed, commLat int64, epochs int, step float64, asJSON bool) {
+	ctx := context.Background()
+	cluster := flusim.Cluster{NumProcs: int(procs), WorkersPerProc: int(workers)}
+	procOf := flusim.BlockMap(domains, procs)
+	counts := m.Census()
+
+	// Hotspot geometry from the mesh bounding box: a short segment on the x
+	// axis through the centre, displaced by step·extent per epoch.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	zmin, zmax := math.Inf(1), math.Inf(-1)
+	for i := range m.CX {
+		xmin, xmax = math.Min(xmin, float64(m.CX[i])), math.Max(xmax, float64(m.CX[i]))
+		ymin, ymax = math.Min(ymin, float64(m.CY[i])), math.Max(ymax, float64(m.CY[i]))
+		zmin, zmax = math.Min(zmin, float64(m.CZ[i])), math.Max(zmax, float64(m.CZ[i]))
+	}
+	extent := xmax - xmin
+	yc, zc := (ymin+ymax)/2, (zmin+zmax)/2
+
+	stale, err := partition.PartitionMesh(ctx, m, domains, partition.MCTL, partition.Options{Seed: seed})
+	check(err)
+	scrPart := append([]int32(nil), stale.Part...)
+	incPart := append([]int32(nil), stale.Part...)
+
+	simulate := func(part []int32) (*flusim.Result, int64) {
+		tg, err := taskgraph.Build(m, part, domains, taskgraph.Options{})
+		check(err)
+		sim, err := flusim.Simulate(tg, procOf, flusim.Config{Cluster: cluster, CommLatency: commLat})
+		check(err)
+		return sim, sim.Makespan
+	}
+
+	rep := repartReport{
+		Mesh: m.Name, Cells: m.NumCells(), Census: counts,
+		Domains: domains, Procs: procs, Workers: workers, Seed: seed,
+		Epochs: epochs, DriftStep: step,
+	}
+	if !asJSON {
+		fmt.Printf("repartition study: %s, %d cells, %d domains on %d procs × %d cores, step %.2f·x-extent\n\n",
+			m.Name, m.NumCells(), domains, procs, workers, step)
+		fmt.Printf("%6s %6s %-12s %8s %9s %10s %6s %10s %10s %12s\n",
+			"epoch", "shift", "policy", "mode", "time", "edge cut", "imb", "makespan", "moved", "moved bytes")
+	}
+	emit := func(r repartRow) {
+		rep.Rows = append(rep.Rows, r)
+		if !asJSON {
+			fmt.Printf("%6d %6.2f %-12s %8s %9s %10d %6.2f %10d %10d %12d\n",
+				r.Epoch, r.Shift, r.Policy, r.Mode,
+				time.Duration(r.WallSeconds*float64(time.Second)).Round(time.Millisecond),
+				r.EdgeCut, r.MaxImbalance, r.Makespan, r.MovedCells, r.MovedBytes)
+		}
+	}
+
+	for e := 0; e < epochs; e++ {
+		shift := step * extent * float64(e)
+		x0 := xmin + 0.45*extent + shift
+		score := func(x, y, z float64) float64 {
+			return distToSegment(x, y, z, x0, yc, zc, x0+0.1*extent, yc, zc)
+		}
+		m.ReassignLevels(score, counts)
+		g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})
+		migBytes := repart.MeshMigrationBytes(m)
+
+		_, staleSpan := simulate(stale.Part)
+		staleRes := partition.NewResult(g, stale.Part, domains)
+		emit(repartRow{Epoch: e, Shift: shift, Policy: "stale",
+			EdgeCut: staleRes.EdgeCut, MaxImbalance: staleRes.MaxImbalance(), Makespan: staleSpan})
+
+		t0 := time.Now()
+		scr, err := repart.Repartition(ctx, g, partition.NewResult(g, scrPart, domains),
+			repart.Options{Mode: repart.Scratch, Part: partition.Options{Seed: seed + int64(e)}, MigBytes: migBytes})
+		check(err)
+		scrWall := time.Since(t0).Seconds()
+		scrPart = scr.Part
+		_, scrSpan := simulate(scrPart)
+		emit(repartRow{Epoch: e, Shift: shift, Policy: "scratch", Mode: scr.Mode.String(),
+			WallSeconds: scrWall, EdgeCut: scr.EdgeCut, MaxImbalance: scr.MaxImbalance(),
+			Makespan: scrSpan, MovedCells: scr.Stats.MovedCells, MovedBytes: scr.Stats.MovedBytes})
+
+		t0 = time.Now()
+		inc, err := repart.Repartition(ctx, g, partition.NewResult(g, incPart, domains),
+			repart.Options{Mode: repart.Auto, Part: partition.Options{Seed: seed + int64(e)}, MigBytes: migBytes})
+		check(err)
+		incWall := time.Since(t0).Seconds()
+		incPart = inc.Part
+		_, incSpan := simulate(incPart)
+		emit(repartRow{Epoch: e, Shift: shift, Policy: "incremental", Mode: inc.Mode.String(),
+			WallSeconds: incWall, EdgeCut: inc.EdgeCut, MaxImbalance: inc.MaxImbalance(),
+			Makespan: incSpan, MovedCells: inc.Stats.MovedCells, MovedBytes: inc.Stats.MovedBytes})
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(&rep))
+	}
+}
+
+// distToSegment is the drifting-hotspot scoring helper.
+func distToSegment(x, y, z, ax, ay, az, bx, by, bz float64) float64 {
+	vx, vy, vz := bx-ax, by-ay, bz-az
+	wx, wy, wz := x-ax, y-ay, z-az
+	vv := vx*vx + vy*vy + vz*vz
+	t := 0.0
+	if vv > 0 {
+		t = (wx*vx + wy*vy + wz*vz) / vv
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+	}
+	dx, dy, dz := x-(ax+t*vx), y-(ay+t*vy), z-(az+t*vz)
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}

@@ -10,37 +10,58 @@ import (
 	"tempart/internal/flusim"
 	"tempart/internal/mesh"
 	"tempart/internal/partition"
+	"tempart/internal/repart"
 	"tempart/internal/taskgraph"
 )
 
 // DriftResult studies what the paper's §III-A assumption ("temporal levels
 // experience minimal evolution across iterations") buys: a hot region that
 // migrates through the mesh slowly degrades a stale MC_TL decomposition. For
-// each drift epoch the experiment compares the makespan under the epoch-0
-// partition against a freshly recomputed one, quantifying when
-// repartitioning becomes worthwhile.
+// each drift epoch the experiment compares three policies — keep the stale
+// epoch-0 partition, repartition from scratch, and repartition incrementally
+// (repart.Auto, warm-started from the previous epoch) — on makespan, edge cut
+// and migration volume. Scratch restores quality but redistributes most of
+// the mesh; incremental should land near scratch's makespan while moving a
+// fraction of the bytes.
 type DriftResult struct {
-	Cluster core.Cluster
-	Rows    []DriftRow
+	Cluster core.Cluster `json:"cluster"`
+	Rows    []DriftRow   `json:"rows"`
 }
 
 // DriftRow is one drift epoch.
 type DriftRow struct {
-	Epoch int
+	Epoch int `json:"epoch"`
 	// Shift is the hotspot displacement in domain-length units.
-	Shift float64
-	// StaleMakespan uses the epoch-0 partition; FreshMakespan repartitions.
-	StaleMakespan, FreshMakespan int64
+	Shift float64 `json:"shift"`
+	// StaleMakespan uses the epoch-0 partition; FreshMakespan repartitions
+	// from scratch; IncMakespan repartitions incrementally.
+	StaleMakespan int64 `json:"stale_makespan"`
+	FreshMakespan int64 `json:"fresh_makespan"`
+	IncMakespan   int64 `json:"inc_makespan"`
 	// DegradationPct = 100·(stale/fresh − 1).
-	DegradationPct float64
+	DegradationPct float64 `json:"degradation_pct"`
+	// IncGapPct = 100·(inc/fresh − 1): how far incremental trails scratch.
+	IncGapPct float64 `json:"inc_gap_pct"`
 	// StaleLevelImbalance is the worst per-level imbalance of the stale
 	// decomposition at this epoch.
-	StaleLevelImbalance float64
+	StaleLevelImbalance float64 `json:"stale_level_imbalance"`
+	// Edge cut of each policy's partition at this epoch.
+	StaleEdgeCut int64 `json:"stale_edge_cut"`
+	FreshEdgeCut int64 `json:"fresh_edge_cut"`
+	IncEdgeCut   int64 `json:"inc_edge_cut"`
+	// IncMode is the strategy repart.Auto resolved to.
+	IncMode string `json:"inc_mode"`
+	// Migration volume of each repartitioning policy, relative to its own
+	// previous epoch's assignment.
+	ScratchMovedCells int   `json:"scratch_moved_cells"`
+	IncMovedCells     int   `json:"inc_moved_cells"`
+	ScratchMovedBytes int64 `json:"scratch_moved_bytes"`
+	IncMovedBytes     int64 `json:"inc_moved_bytes"`
 }
 
 // Drift runs the study on a CYLINDER-like mesh whose hot core migrates along
-// the x axis.
-func Drift(p Params) (*DriftResult, error) {
+// the x axis. The context cancels the partitioners mid-run.
+func Drift(ctx context.Context, p Params) (*DriftResult, error) {
 	p = p.withDefaults()
 	const (
 		domains = 64
@@ -49,12 +70,23 @@ func Drift(p Params) (*DriftResult, error) {
 	cluster := core.Cluster{NumProcs: 16, WorkersPerProc: 8}
 	m := mesh.Cylinder(p.Scale)
 
-	// Epoch-0 partition.
-	stale, err := partition.PartitionMesh(context.Background(), m, domains, partition.MCTL, partition.Options{Seed: p.Seed})
+	// Epoch-0 partition: the "stale" assignment every epoch is judged by,
+	// and the starting point of both repartitioning chains.
+	stale, err := partition.PartitionMesh(ctx, m, domains, partition.MCTL, partition.Options{Seed: p.Seed})
 	if err != nil {
 		return nil, err
 	}
 	procOf := flusim.BlockMap(domains, cluster.NumProcs)
+	scrPart := append([]int32(nil), stale.Part...)
+	incPart := append([]int32(nil), stale.Part...)
+
+	simulate := func(part []int32) (*flusim.Result, error) {
+		tg, err := taskgraph.Build(m, part, domains, taskgraph.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return flusim.Simulate(tg, procOf, flusim.Config{Cluster: cluster})
+	}
 
 	res := &DriftResult{Cluster: cluster}
 	for e := 0; e < epochs; e++ {
@@ -63,31 +95,37 @@ func Drift(p Params) (*DriftResult, error) {
 			return distToSegmentXYZ(x, y, z, 0.9+shift, 0.5, 0.5, 1.1+shift, 0.5, 0.5)
 		}
 		m.ReassignLevels(score, mesh.CylinderCounts)
+		g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})
+		migBytes := repart.MeshMigrationBytes(m)
 
-		staleTG, err := taskgraph.Build(m, stale.Part, domains, taskgraph.Options{})
-		if err != nil {
-			return nil, err
-		}
-		staleSim, err := flusim.Simulate(staleTG, procOf, flusim.Config{Cluster: cluster})
+		staleSim, err := simulate(stale.Part)
 		if err != nil {
 			return nil, err
 		}
 
-		fresh, err := partition.PartitionMesh(context.Background(), m, domains, partition.MCTL, partition.Options{Seed: p.Seed + int64(e)})
+		scr, err := repart.Repartition(ctx, g, partition.NewResult(g, scrPart, domains),
+			repart.Options{Mode: repart.Scratch, Part: partition.Options{Seed: p.Seed + int64(e)}, MigBytes: migBytes})
 		if err != nil {
 			return nil, err
 		}
-		freshTG, err := taskgraph.Build(m, fresh.Part, domains, taskgraph.Options{})
-		if err != nil {
-			return nil, err
-		}
-		freshSim, err := flusim.Simulate(freshTG, procOf, flusim.Config{Cluster: cluster})
+		scrPart = scr.Part
+		freshSim, err := simulate(scrPart)
 		if err != nil {
 			return nil, err
 		}
 
-		gl := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})
-		staleLvl := partition.NewResult(gl, stale.Part, domains)
+		inc, err := repart.Repartition(ctx, g, partition.NewResult(g, incPart, domains),
+			repart.Options{Mode: repart.Auto, Part: partition.Options{Seed: p.Seed + int64(e)}, MigBytes: migBytes})
+		if err != nil {
+			return nil, err
+		}
+		incPart = inc.Part
+		incSim, err := simulate(incPart)
+		if err != nil {
+			return nil, err
+		}
+
+		staleLvl := partition.NewResult(g, stale.Part, domains)
 		worst := 0.0
 		for _, v := range staleLvl.Imbalance() {
 			if v > worst {
@@ -99,8 +137,18 @@ func Drift(p Params) (*DriftResult, error) {
 			Shift:               shift,
 			StaleMakespan:       staleSim.Makespan,
 			FreshMakespan:       freshSim.Makespan,
+			IncMakespan:         incSim.Makespan,
 			DegradationPct:      100 * (float64(staleSim.Makespan)/float64(freshSim.Makespan) - 1),
+			IncGapPct:           100 * (float64(incSim.Makespan)/float64(freshSim.Makespan) - 1),
 			StaleLevelImbalance: worst,
+			StaleEdgeCut:        staleLvl.EdgeCut,
+			FreshEdgeCut:        scr.EdgeCut,
+			IncEdgeCut:          inc.EdgeCut,
+			IncMode:             inc.Mode.String(),
+			ScratchMovedCells:   scr.Stats.MovedCells,
+			IncMovedCells:       inc.Stats.MovedCells,
+			ScratchMovedBytes:   scr.Stats.MovedBytes,
+			IncMovedBytes:       inc.Stats.MovedBytes,
 		})
 	}
 	return res, nil
@@ -127,13 +175,16 @@ func distToSegmentXYZ(x, y, z, ax, ay, az, bx, by, bz float64) float64 {
 // String renders the drift table.
 func (r *DriftResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Drift study — stale vs fresh MC_TL partition as the hot core migrates (%d procs × %d cores)\n",
+	fmt.Fprintf(&b, "Drift study — stale vs scratch vs incremental MC_TL partition as the hot core migrates (%d procs × %d cores)\n",
 		r.Cluster.NumProcs, r.Cluster.WorkersPerProc)
-	fmt.Fprintf(&b, "%6s %7s %12s %12s %12s %10s\n", "epoch", "shift", "stale span", "fresh span", "degradation", "stale imb")
+	fmt.Fprintf(&b, "%6s %6s %11s %11s %11s %9s %8s %8s %10s %10s %10s\n",
+		"epoch", "shift", "stale span", "fresh span", "inc span", "degrad", "inc gap", "mode", "scr moved", "inc moved", "stale imb")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%6d %7.2f %12d %12d %11.1f%% %10.2f\n",
-			row.Epoch, row.Shift, row.StaleMakespan, row.FreshMakespan, row.DegradationPct, row.StaleLevelImbalance)
+		fmt.Fprintf(&b, "%6d %6.2f %11d %11d %11d %8.1f%% %7.1f%% %8s %10d %10d %10.2f\n",
+			row.Epoch, row.Shift, row.StaleMakespan, row.FreshMakespan, row.IncMakespan,
+			row.DegradationPct, row.IncGapPct, row.IncMode,
+			row.ScratchMovedCells, row.IncMovedCells, row.StaleLevelImbalance)
 	}
-	b.WriteString("(epoch 0 ≈ 0%: partition matches; degradation grows with drift ⇒ repartition when it exceeds the partitioning cost)\n")
+	b.WriteString("(stale degrades with drift; incremental tracks the fresh makespan while moving far fewer cells than scratch)\n")
 	return b.String()
 }

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -45,24 +46,25 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
-// Runner is the signature every experiment implements.
-type Runner func(Params) (fmt.Stringer, error)
+// Runner is the signature every experiment implements. The context cancels
+// long partitioning or simulation phases mid-run.
+type Runner func(context.Context, Params) (fmt.Stringer, error)
 
 // registry maps experiment ids to runners.
 var registry = map[string]Runner{
-	"table1": func(p Params) (fmt.Stringer, error) { return Table1(p) },
-	"fig5":   func(p Params) (fmt.Stringer, error) { return Fig5(p) },
-	"fig6":   func(p Params) (fmt.Stringer, error) { return Fig6(p) },
-	"fig7":   func(p Params) (fmt.Stringer, error) { return Fig7(p) },
-	"fig8":   func(p Params) (fmt.Stringer, error) { return Fig8(p) },
-	"fig9":   func(p Params) (fmt.Stringer, error) { return Fig9(p) },
-	"fig10":  func(p Params) (fmt.Stringer, error) { return Fig10(p) },
-	"fig11":  func(p Params) (fmt.Stringer, error) { return Fig11(p) },
-	"fig12":  func(p Params) (fmt.Stringer, error) { return Fig12(p) },
-	"fig13":  func(p Params) (fmt.Stringer, error) { return Fig13(p) },
+	"table1": func(_ context.Context, p Params) (fmt.Stringer, error) { return Table1(p) },
+	"fig5":   func(_ context.Context, p Params) (fmt.Stringer, error) { return Fig5(p) },
+	"fig6":   func(_ context.Context, p Params) (fmt.Stringer, error) { return Fig6(p) },
+	"fig7":   func(_ context.Context, p Params) (fmt.Stringer, error) { return Fig7(p) },
+	"fig8":   func(_ context.Context, p Params) (fmt.Stringer, error) { return Fig8(p) },
+	"fig9":   func(_ context.Context, p Params) (fmt.Stringer, error) { return Fig9(p) },
+	"fig10":  func(_ context.Context, p Params) (fmt.Stringer, error) { return Fig10(p) },
+	"fig11":  func(_ context.Context, p Params) (fmt.Stringer, error) { return Fig11(p) },
+	"fig12":  func(_ context.Context, p Params) (fmt.Stringer, error) { return Fig12(p) },
+	"fig13":  func(_ context.Context, p Params) (fmt.Stringer, error) { return Fig13(p) },
 	// Extensions beyond the paper's figures:
-	"drift": func(p Params) (fmt.Stringer, error) { return Drift(p) },
-	"halo":  func(p Params) (fmt.Stringer, error) { return Halo(p) },
+	"drift": func(ctx context.Context, p Params) (fmt.Stringer, error) { return Drift(ctx, p) },
+	"halo":  func(_ context.Context, p Params) (fmt.Stringer, error) { return Halo(p) },
 }
 
 // IDs returns the known experiment identifiers, sorted.
@@ -76,11 +78,11 @@ func IDs() []string {
 }
 
 // Run dispatches an experiment by id ("table1", "fig5", ... or "all").
-func Run(id string, p Params) (string, error) {
+func Run(ctx context.Context, id string, p Params) (string, error) {
 	if id == "all" {
 		var b strings.Builder
 		for _, each := range IDs() {
-			out, err := Run(each, p)
+			out, err := Run(ctx, each, p)
 			if err != nil {
 				return "", fmt.Errorf("%s: %w", each, err)
 			}
@@ -92,7 +94,7 @@ func Run(id string, p Params) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs(), ", "))
 	}
-	res, err := r(p)
+	res, err := r(ctx, p)
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -22,7 +23,7 @@ func TestIDsComplete(t *testing.T) {
 }
 
 func TestRunUnknown(t *testing.T) {
-	if _, err := Run("fig99", tiny()); err == nil {
+	if _, err := Run(context.Background(), "fig99", tiny()); err == nil {
 		t.Fatal("accepted unknown experiment")
 	}
 }
@@ -208,7 +209,7 @@ func TestRunAllRenders(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow aggregate")
 	}
-	out, err := Run("all", tiny())
+	out, err := Run(context.Background(), "all", tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestRunAllRenders(t *testing.T) {
 }
 
 func TestDriftDegradesMonotonically(t *testing.T) {
-	r, err := Drift(tiny())
+	r, err := Drift(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,6 +242,22 @@ func TestDriftDegradesMonotonically(t *testing.T) {
 	if last.StaleLevelImbalance <= r.Rows[0].StaleLevelImbalance {
 		t.Errorf("stale imbalance did not grow: %.2f -> %.2f",
 			r.Rows[0].StaleLevelImbalance, last.StaleLevelImbalance)
+	}
+	// Incremental chain: every epoch resolves a mode and produces a
+	// schedule; across the drifting epochs it migrates fewer cells in total
+	// than the scratch chain.
+	var incMoved, scrMoved int
+	for _, row := range r.Rows {
+		if row.IncMode == "" || row.IncMakespan <= 0 {
+			t.Errorf("epoch %d: incomplete incremental row %+v", row.Epoch, row)
+		}
+		if row.Epoch >= 1 {
+			incMoved += row.IncMovedCells
+			scrMoved += row.ScratchMovedCells
+		}
+	}
+	if incMoved >= scrMoved {
+		t.Errorf("incremental moved %d cells in total, scratch %d — expected fewer", incMoved, scrMoved)
 	}
 }
 

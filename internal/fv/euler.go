@@ -74,6 +74,14 @@ func NewEulerState(m *mesh.Mesh, p EulerParams) *EulerState {
 // Mesh returns the state's mesh.
 func (s *EulerState) Mesh() *mesh.Mesh { return s.m }
 
+// RefreshLevels re-derives the level-dependent caches (temporal scheme, face
+// time steps) after the mesh's temporal levels changed in place. Call it
+// only between iterations, when the face accumulators are drained.
+func (s *EulerState) RefreshLevels() {
+	s.scheme = s.m.Scheme()
+	s.precomputeFaces()
+}
+
 func (s *EulerState) precomputeFaces() {
 	m := s.m
 	nf := m.NumFaces()

@@ -99,6 +99,15 @@ func (s *State) Mesh() *mesh.Mesh { return s.m }
 // Params returns the physics parameters.
 func (s *State) Params() Params { return s.p }
 
+// RefreshLevels re-derives the level-dependent caches (temporal scheme and
+// per-face time steps) after the mesh's temporal levels changed in place —
+// e.g. by mesh.ReassignLevels during a solver-loop repartition. Call it only
+// between iterations, when all face accumulators have been drained.
+func (s *State) RefreshLevels() {
+	s.scheme = s.m.Scheme()
+	s.precomputeFaceGeometry()
+}
+
 func (s *State) precomputeFaceGeometry() {
 	m := s.m
 	nf := m.NumFaces()

@@ -1,0 +1,100 @@
+package mesh
+
+import (
+	"testing"
+
+	"tempart/internal/temporal"
+)
+
+// reassignScore is a fixed hotspot: distance from a point near the cylinder
+// core, so low scores (fine levels) cluster spatially.
+func reassignScore(x, y, z float64) float64 {
+	dx, dy, dz := x-1.0, y-0.5, z-0.5
+	return dx*dx + dy*dy + dz*dz
+}
+
+func TestReassignLevelsCensusConservation(t *testing.T) {
+	m := Cylinder(0.002)
+	n := int64(m.NumCells())
+	counts := []int64{40, 30, 20, 10} // fractions, deliberately not summing to n
+	m.ReassignLevels(reassignScore, counts)
+
+	census := m.Census()
+	if len(census) != len(counts) {
+		t.Fatalf("census has %d levels, want %d", len(census), len(counts))
+	}
+	var sum int64
+	for _, c := range census {
+		sum += c
+	}
+	if sum != n {
+		t.Fatalf("census sums to %d, mesh has %d cells", sum, n)
+	}
+	if m.MaxLevel != temporal.Level(len(counts)-1) {
+		t.Fatalf("MaxLevel = %d, want %d", m.MaxLevel, len(counts)-1)
+	}
+	// Quotas are re-apportioned over the cell total, so each level's share
+	// tracks counts' fractions (±len(counts) absorbs rounding and the
+	// non-empty-level guarantee).
+	var totalCounts int64
+	for _, c := range counts {
+		totalCounts += c
+	}
+	for i, c := range census {
+		want := float64(counts[i]) / float64(totalCounts) * float64(n)
+		if d := float64(c) - want; d > float64(len(counts)) || d < -float64(len(counts)) {
+			t.Errorf("level %d census %d, want ≈ %.0f", i, c, want)
+		}
+	}
+}
+
+func TestReassignLevelsDeterministic(t *testing.T) {
+	counts := []int64{3, 2, 1}
+	m1 := Cylinder(0.002)
+	m2 := Cylinder(0.002)
+	m1.ReassignLevels(reassignScore, counts)
+	m2.ReassignLevels(reassignScore, counts)
+	for c := range m1.Level {
+		if m1.Level[c] != m2.Level[c] {
+			t.Fatalf("cell %d: %d vs %d — reassignment not deterministic", c, m1.Level[c], m2.Level[c])
+		}
+	}
+	// Idempotent: reassigning with the same score and counts changes nothing.
+	before := append([]temporal.Level(nil), m1.Level...)
+	m1.ReassignLevels(reassignScore, counts)
+	for c := range before {
+		if m1.Level[c] != before[c] {
+			t.Fatalf("cell %d changed level on identical reassignment", c)
+		}
+	}
+}
+
+func TestReassignLevelsKeepsGeometry(t *testing.T) {
+	m := Cylinder(0.002)
+	faces := len(m.Faces)
+	interior := m.NumInteriorFaces
+	vol0 := m.Volume[0]
+	m.ReassignLevels(reassignScore, []int64{1, 1})
+	if len(m.Faces) != faces || m.NumInteriorFaces != interior || m.Volume[0] != vol0 {
+		t.Fatal("ReassignLevels must not touch geometry")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("mesh invalid after reassignment: %v", err)
+	}
+}
+
+func TestReassignLevelsZeroQuotaStillPopulated(t *testing.T) {
+	// A zero count still yields a non-empty level when cells suffice: the
+	// apportioner steals from the largest level so every τ exists.
+	m := Cylinder(0.002)
+	m.ReassignLevels(reassignScore, []int64{1000, 0, 1})
+	census := m.Census()
+	if len(census) != 3 {
+		t.Fatalf("census = %v, want 3 levels", census)
+	}
+	for i, c := range census {
+		if c == 0 {
+			t.Errorf("level %d empty despite %d cells available", i, m.NumCells())
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package partition
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary partition-result format, mirroring the mesh's TMSH layout so the
+// daemon can persist results and warm-start incremental repartitions from
+// them:
+//
+//	magic  "TPRT"            4 bytes
+//	version u32              currently 1
+//	numParts u32, ncon u32, numVertices u64
+//	part     numVertices × i32
+//	weights  numParts × ncon × i64
+//	edgeCut  i64
+const (
+	resultMagic   = "TPRT"
+	resultVersion = 1
+
+	// Decode hardening caps, aligned with the mesh decoder's limits: a
+	// forged header may not force allocations beyond what a real workload
+	// could produce.
+	maxDecodeParts    = 1 << 24
+	maxDecodeNCon     = 1 << 10
+	maxDecodeVertices = 1 << 33
+)
+
+// Encode serialises the result in the TPRT binary layout.
+func (r *Result) Encode(w io.Writer) error {
+	ncon := 0
+	if len(r.PartWeights) > 0 {
+		ncon = len(r.PartWeights[0])
+	}
+	if len(r.PartWeights) != r.NumParts {
+		return fmt.Errorf("partition: %d weight rows for %d parts", len(r.PartWeights), r.NumParts)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if _, err := bw.WriteString(resultMagic); err != nil {
+		return err
+	}
+	for _, v := range []any{uint32(resultVersion), uint32(r.NumParts), uint32(ncon), uint64(len(r.Part))} {
+		if err := write(v); err != nil {
+			return err
+		}
+	}
+	if err := write(r.Part); err != nil {
+		return err
+	}
+	for p, row := range r.PartWeights {
+		if len(row) != ncon {
+			return fmt.Errorf("partition: weight row %d has %d constraints, want %d", p, len(row), ncon)
+		}
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	if err := write(r.EdgeCut); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodeResult deserialises a result written by Encode and validates that
+// every assignment lies in [0, NumParts). Like the mesh decoder, arrays are
+// read in bounded chunks so a forged header cannot force a huge allocation
+// before the (truncated) input runs out.
+func DecodeResult(r io.Reader) (*Result, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("partition: reading magic: %w", err)
+	}
+	if string(magic) != resultMagic {
+		return nil, fmt.Errorf("partition: bad magic %q", magic)
+	}
+	var version, numParts, ncon uint32
+	var numVertices uint64
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != resultVersion {
+		return nil, fmt.Errorf("partition: unsupported result version %d", version)
+	}
+	if err := read(&numParts); err != nil {
+		return nil, err
+	}
+	if err := read(&ncon); err != nil {
+		return nil, err
+	}
+	if err := read(&numVertices); err != nil {
+		return nil, err
+	}
+	if numParts == 0 || numParts > maxDecodeParts || ncon > maxDecodeNCon || numVertices > maxDecodeVertices {
+		return nil, fmt.Errorf("partition: implausible header (%d parts, %d constraints, %d vertices)",
+			numParts, ncon, numVertices)
+	}
+
+	out := &Result{NumParts: int(numParts)}
+	const chunkElems = 1 << 20
+	for n := numVertices; n > 0; {
+		c := n
+		if c > chunkElems {
+			c = chunkElems
+		}
+		buf := make([]int32, c)
+		if err := read(buf); err != nil {
+			return nil, err
+		}
+		out.Part = append(out.Part, buf...)
+		n -= c
+	}
+	for _, p := range out.Part {
+		if p < 0 || p >= int32(numParts) {
+			return nil, fmt.Errorf("partition: assignment %d out of range [0,%d)", p, numParts)
+		}
+	}
+	out.PartWeights = make([][]int64, numParts)
+	for p := range out.PartWeights {
+		row := make([]int64, ncon)
+		if err := read(row); err != nil {
+			return nil, err
+		}
+		out.PartWeights[p] = row
+	}
+	if err := read(&out.EdgeCut); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package partition
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"tempart/internal/mesh"
+)
+
+func TestResultEncodeDecodeRoundTrip(t *testing.T) {
+	m := mesh.Cylinder(0.002)
+	res, err := PartitionMesh(context.Background(), m, 8, MCTL, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, got) {
+		t.Errorf("round trip mismatch:\n in %+v\nout %+v", res, got)
+	}
+
+	// Re-encoding must be byte-identical (the daemon content-addresses
+	// results by the hash of their encoding).
+	var buf2 bytes.Buffer
+	if err := got.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("re-encoding is not canonical")
+	}
+}
+
+func TestResultJSONTags(t *testing.T) {
+	r := &Result{Part: []int32{0, 1, 0}, NumParts: 2,
+		PartWeights: [][]int64{{2}, {1}}, EdgeCut: 5}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"part"`, `"num_parts"`, `"part_weights"`, `"edge_cut"`} {
+		if !bytes.Contains(b, []byte(field)) {
+			t.Errorf("JSON %s missing field %s", b, field)
+		}
+	}
+	var back Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*r, back) {
+		t.Errorf("JSON round trip mismatch: %+v vs %+v", *r, back)
+	}
+}
+
+func TestDecodeResultRejectsCorruption(t *testing.T) {
+	res := &Result{Part: []int32{0, 1, 1, 0}, NumParts: 2,
+		PartWeights: [][]int64{{2}, {2}}, EdgeCut: 1}
+	var buf bytes.Buffer
+	if err := res.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"bad magic":    append([]byte("NOPE"), good[4:]...),
+		"truncated":    good[:len(good)-9],
+		"empty":        {},
+		"bad version":  append(append([]byte{}, good[:4]...), append([]byte{9, 0, 0, 0}, good[8:]...)...),
+		"out of range": func() []byte { b := append([]byte{}, good...); b[20] = 0x7f; return b }(),
+	}
+	for name, data := range cases {
+		if _, err := DecodeResult(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+// FuzzDecodeResult hardens the TPRT decoder the same way FuzzDecode hardens
+// the mesh decoder: arbitrary bytes must either fail cleanly or produce a
+// result that re-encodes and re-decodes to the same value.
+func FuzzDecodeResult(f *testing.F) {
+	res := &Result{Part: []int32{0, 1, 2, 1}, NumParts: 3,
+		PartWeights: [][]int64{{1, 0}, {2, 1}, {1, 1}}, EdgeCut: 3}
+	var seed bytes.Buffer
+	if err := res.Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("TPRT"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResult(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, p := range r.Part {
+			if p < 0 || int(p) >= r.NumParts {
+				t.Fatalf("decoded out-of-range assignment %d of %d", p, r.NumParts)
+			}
+		}
+		var buf bytes.Buffer
+		if err := r.Encode(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := DecodeResult(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(r, back) {
+			t.Fatal("re-encode round trip mismatch")
+		}
+	})
+}

@@ -104,12 +104,40 @@ func kwayCaps(g *graph.Graph, k int, tol float64) []int64 {
 	return caps
 }
 
+// moveBias skews refinement gains against moving a vertex off its origin
+// part: leaving origin subtracts pen[v] from the move's gain, returning to
+// origin adds it back, lateral moves between two non-origin parts are
+// neutral. It is how incremental repartitioning (internal/repart) expresses
+// "restore balance, but migrate as little data as possible" through the
+// existing refinement machinery.
+type moveBias struct {
+	origin []int32
+	pen    []int64
+}
+
+// delta returns the gain adjustment for moving v from part `from` to `to`.
+func (b *moveBias) delta(v, from, to int32) int64 {
+	switch b.origin[v] {
+	case from:
+		return -b.pen[v]
+	case to:
+		return b.pen[v]
+	}
+	return 0
+}
+
 // kwayRefine runs greedy k-way boundary refinement passes in place: every
 // boundary vertex may move to the neighbouring part that maximises edge-cut
 // gain, provided the move does not push any constraint of the target part
 // past its cap and does not worsen total violation. Passes stop early when a
 // sweep makes no move.
 func kwayRefine(g *graph.Graph, part []int32, k int, caps []int64, passes int, rng *rand.Rand) {
+	kwayRefineBiased(context.Background(), g, part, k, caps, passes, rng, nil)
+}
+
+// kwayRefineBiased is kwayRefine with an optional migration bias applied to
+// every move's gain. Cancelling ctx stops at the next pass boundary.
+func kwayRefineBiased(ctx context.Context, g *graph.Graph, part []int32, k int, caps []int64, passes int, rng *rand.Rand, bias *moveBias) {
 	n := g.NumVertices()
 	ncon := g.NCon
 
@@ -138,6 +166,9 @@ func kwayRefine(g *graph.Graph, part []int32, k int, caps []int64, passes int, r
 
 	order := rng.Perm(n)
 	for pass := 0; pass < passes; pass++ {
+		if ctx.Err() != nil {
+			return
+		}
 		moves := 0
 		for _, vi := range order {
 			v := int32(vi)
@@ -173,6 +204,9 @@ func kwayRefine(g *graph.Graph, part []int32, k int, caps []int64, passes int, r
 					continue
 				}
 				gain := conn[to] - conn[from]
+				if bias != nil {
+					gain += bias.delta(v, from, to)
+				}
 				// Balance effect of moving v from → to.
 				var overToNew, overFromNew int64
 				for c := 0; c < ncon; c++ {

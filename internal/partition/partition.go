@@ -62,17 +62,20 @@ func (o Options) withDefaults(ncon int) Options {
 	return o
 }
 
-// Result describes a k-way partition of a graph.
+// Result describes a k-way partition of a graph. The JSON tags (and the
+// binary Encode/Decode pair in io.go) exist so results can be persisted and
+// shipped between processes — tempartd stores encoded results to warm-start
+// incremental repartitions.
 type Result struct {
 	// Part maps each vertex to its part in [0, NumParts).
-	Part []int32
+	Part []int32 `json:"part"`
 	// NumParts is k.
-	NumParts int
+	NumParts int `json:"num_parts"`
 	// PartWeights[p][c] is the total weight of constraint c in part p.
-	PartWeights [][]int64
+	PartWeights [][]int64 `json:"part_weights"`
 	// EdgeCut is the total weight of edges whose endpoints lie in
 	// different parts.
-	EdgeCut int64
+	EdgeCut int64 `json:"edge_cut"`
 }
 
 // Imbalance returns, for each constraint, max_p PartWeights[p][c] / ideal,

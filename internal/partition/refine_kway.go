@@ -1,0 +1,60 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"tempart/internal/graph"
+)
+
+// RefineOptions controls RefineKWay.
+type RefineOptions struct {
+	// ImbalanceTol is the per-constraint balance tolerance (default 1.05).
+	ImbalanceTol float64
+	// Passes bounds the refinement sweeps (default 8).
+	Passes int
+	// Seed drives the sweep order.
+	Seed int64
+	// Origin and MovePenalty, when both set (length = vertices), bias
+	// refinement against migration: moving vertex v off Origin[v] reduces
+	// the move's gain by MovePenalty[v] edge-weight units, and moving it
+	// back to Origin[v] adds the same. Balance-restoring moves remain
+	// admissible regardless of penalty — the bias steers which vertices
+	// migrate, it never blocks rebalancing.
+	Origin      []int32
+	MovePenalty []int64
+}
+
+// RefineKWay improves an existing k-way assignment in place with the
+// multi-constraint greedy boundary refinement used by the direct k-way
+// construction, optionally biased against migration (see RefineOptions).
+// Cancelling ctx stops at the next pass boundary; the assignment is always
+// left in a consistent (if less refined) state.
+func RefineKWay(ctx context.Context, g *graph.Graph, part []int32, k int, opt RefineOptions) error {
+	n := g.NumVertices()
+	if len(part) != n {
+		return fmt.Errorf("partition: %d assignments for %d vertices", len(part), n)
+	}
+	if k < 1 {
+		return errBadK(k)
+	}
+	if opt.ImbalanceTol <= 1 {
+		opt.ImbalanceTol = 1.05
+	}
+	if opt.Passes <= 0 {
+		opt.Passes = 8
+	}
+	var bias *moveBias
+	if opt.Origin != nil {
+		if len(opt.Origin) != n || len(opt.MovePenalty) != n {
+			return fmt.Errorf("partition: origin/penalty length %d/%d, want %d",
+				len(opt.Origin), len(opt.MovePenalty), n)
+		}
+		bias = &moveBias{origin: opt.Origin, pen: opt.MovePenalty}
+	}
+	caps := kwayCaps(g, k, opt.ImbalanceTol)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	kwayRefineBiased(ctx, g, part, k, caps, opt.Passes, rng, bias)
+	return nil
+}

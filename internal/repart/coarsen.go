@@ -1,0 +1,153 @@
+package repart
+
+import (
+	"context"
+	"math/rand"
+
+	"tempart/internal/graph"
+	"tempart/internal/partition"
+)
+
+// rlevel is one level of the warm-start hierarchy. origin and pen are the
+// coarse projections of the fine assignment and migration penalties; because
+// matching is part-restricted, every coarse vertex has a single well-defined
+// origin part.
+type rlevel struct {
+	g      *graph.Graph
+	cmap   []int32 // fine vertex → coarse vertex (nil on the finest level)
+	origin []int32
+	pen    []int64
+}
+
+// refineWarm is the warm-started multilevel strategy: coarsen with matching
+// restricted to the old parts, seed the coarsest graph with the projected
+// old assignment, and refine coarsest-to-finest with the migration-penalty
+// bias. part is updated in place.
+func refineWarm(ctx context.Context, g *graph.Graph, part []int32, k int, opt Options) error {
+	opt.Part = optWithRefineDefaults(opt.Part)
+	rng := rand.New(rand.NewSource(opt.Part.Seed))
+
+	coarseTo := 8 * k
+	if min := 128 * g.NCon; min > coarseTo {
+		coarseTo = min
+	}
+
+	levels := []rlevel{{g: g, origin: clone32(part), pen: penalties(g, opt)}}
+	for {
+		cur := levels[len(levels)-1]
+		n := cur.g.NumVertices()
+		if n <= coarseTo || ctx.Err() != nil {
+			break
+		}
+		cmap, ncoarse := matchWithinParts(cur.g, cur.origin, rng)
+		if ncoarse > n*9/10 { // diminishing returns: stop below 10% shrink
+			break
+		}
+		cg := cur.g.Contract(cmap, ncoarse)
+		next := rlevel{
+			g:      cg,
+			origin: make([]int32, ncoarse),
+			pen:    make([]int64, ncoarse),
+		}
+		for v := 0; v < n; v++ {
+			c := cmap[v]
+			next.origin[c] = cur.origin[v]
+			if cur.pen != nil {
+				next.pen[c] += cur.pen[v]
+			}
+		}
+		if cur.pen == nil {
+			next.pen = nil
+		}
+		levels[len(levels)-1].cmap = cmap
+		levels = append(levels, next)
+	}
+
+	// The coarsest assignment is exactly the projected old assignment (the
+	// warm start); refine it at every level on the way back up.
+	cur := clone32(levels[len(levels)-1].origin)
+	for li := len(levels) - 1; li >= 0; li-- {
+		lv := levels[li]
+		err := partition.RefineKWay(ctx, lv.g, cur, k, partition.RefineOptions{
+			ImbalanceTol: opt.Part.ImbalanceTol,
+			Passes:       opt.Part.RefinePasses,
+			Seed:         opt.Part.Seed + int64(li),
+			Origin:       lv.origin,
+			MovePenalty:  lv.pen,
+		})
+		if err != nil {
+			return err
+		}
+		if li > 0 {
+			fine := levels[li-1]
+			next := make([]int32, fine.g.NumVertices())
+			for v := range next {
+				next[v] = cur[fine.cmap[v]]
+			}
+			cur = next
+		}
+	}
+	copy(part, cur)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Refinement can stall above tolerance when the drift concentrated a
+	// level inside one part's interior (no boundary vertex of that level to
+	// move). The diffusive sweep has no such restriction — finish with it
+	// whenever residual imbalance remains.
+	if partition.NewResult(g, part, k).MaxImbalance() > opt.Part.ImbalanceTol {
+		return diffuse(ctx, g, part, k, opt)
+	}
+	return nil
+}
+
+// matchWithinParts is heavy-edge matching restricted to endpoints sharing
+// the same origin part, so the old assignment projects exactly onto the
+// coarse graph. Unmatched vertices map to singleton coarse vertices.
+func matchWithinParts(g *graph.Graph, origin []int32, rng *rand.Rand) (cmap []int32, ncoarse int) {
+	n := g.NumVertices()
+	cmap = make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	for _, vi := range rng.Perm(n) {
+		v := int32(vi)
+		if cmap[v] >= 0 {
+			continue
+		}
+		var mate int32 = -1
+		var bestW int32 = -1
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			u := g.Adjncy[i]
+			if cmap[u] >= 0 || origin[u] != origin[v] {
+				continue
+			}
+			if w := g.AdjWgt[i]; w > bestW {
+				bestW, mate = w, u
+			}
+		}
+		c := int32(ncoarse)
+		ncoarse++
+		cmap[v] = c
+		if mate >= 0 {
+			cmap[mate] = c
+		}
+	}
+	return cmap, ncoarse
+}
+
+func optWithRefineDefaults(o partition.Options) partition.Options {
+	if o.ImbalanceTol <= 1 {
+		o.ImbalanceTol = 1.05
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 8
+	}
+	return o
+}
+
+func clone32(s []int32) []int32 {
+	out := make([]int32, len(s))
+	copy(out, s)
+	return out
+}

@@ -1,0 +1,149 @@
+package repart
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+
+	"tempart/internal/graph"
+)
+
+// diffuse is the diffusive fallback: boundary cells of overloaded parts flow
+// to adjacent underloaded parts until every constraint is back under its
+// cap, preferring the cells that are cheapest to migrate and least connected
+// to their current part. A penalty-biased refinement pass then repairs the
+// edge cut without undoing the balance. part is updated in place.
+func diffuse(ctx context.Context, g *graph.Graph, part []int32, k int, opt Options) error {
+	opt.Part = optWithRefineDefaults(opt.Part)
+	n := g.NumVertices()
+	ncon := g.NCon
+	caps := diffuseCaps(g, k, opt.Part.ImbalanceTol)
+	pen := penalties(g, opt)
+	origin := clone32(part) // pre-diffusion homes, so the polish can send cells back
+
+	pw := make([][]int64, k)
+	for p := range pw {
+		pw[p] = make([]int64, ncon)
+	}
+	for v := 0; v < n; v++ {
+		for c := 0; c < ncon; c++ {
+			pw[part[v]][c] += int64(g.Weight(int32(v), c))
+		}
+	}
+	overOf := func(p int32) int64 {
+		var over int64
+		for c := 0; c < ncon; c++ {
+			if d := pw[p][c] - caps[c]; d > 0 {
+				over += d
+			}
+		}
+		return over
+	}
+
+	// Sweep cells of overloaded parts in ascending migration cost so the
+	// cheap state moves first. A bounded number of sweeps suffices: each
+	// move strictly reduces total overage.
+	rng := rand.New(rand.NewSource(opt.Part.Seed))
+	order := rng.Perm(n)
+	sort.SliceStable(order, func(a, b int) bool { return pen[order[a]] < pen[order[b]] })
+
+	conn := make([]int64, k)
+	touched := make([]int32, 0, 8)
+	const maxSweeps = 32
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		moves := 0
+		for _, vi := range order {
+			v := int32(vi)
+			from := part[v]
+			overFrom := overOf(from)
+			if overFrom == 0 {
+				continue
+			}
+			touched = touched[:0]
+			for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+				p := part[g.Adjncy[i]]
+				if conn[p] == 0 {
+					touched = append(touched, p)
+				}
+				conn[p] += int64(g.AdjWgt[i])
+			}
+			wv := g.WeightVec(v)
+			var best int32 = -1
+			var bestOverDelta, bestGain int64
+			for _, to := range touched {
+				if to == from {
+					continue
+				}
+				var overToNew, overFromNew int64
+				for c := 0; c < ncon; c++ {
+					if d := pw[to][c] + int64(wv[c]) - caps[c]; d > 0 {
+						overToNew += d
+					}
+					if d := pw[from][c] - int64(wv[c]) - caps[c]; d > 0 {
+						overFromNew += d
+					}
+				}
+				overDelta := (overToNew + overFromNew) - (overOf(to) + overFrom)
+				if overDelta >= 0 {
+					continue // diffusion only makes strictly balancing moves
+				}
+				gain := conn[to] - conn[from]
+				if best < 0 || overDelta < bestOverDelta ||
+					(overDelta == bestOverDelta && gain > bestGain) {
+					best, bestOverDelta, bestGain = to, overDelta, gain
+				}
+			}
+			if best >= 0 {
+				for c := 0; c < ncon; c++ {
+					pw[from][c] -= int64(wv[c])
+					pw[best][c] += int64(wv[c])
+				}
+				part[v] = best
+				moves++
+			}
+			for _, p := range touched {
+				conn[p] = 0
+			}
+		}
+		if moves == 0 {
+			break
+		}
+	}
+
+	// Repair the cut the diffusion tore open, without sacrificing balance.
+	return refinePolish(ctx, g, part, k, opt, origin)
+}
+
+// diffuseCaps mirrors the partitioner's per-part per-constraint caps,
+// including the feasibility floors: caps below ceil(ideal) (pigeonhole) or
+// below the heaviest single vertex (indivisibility) are unreachable and
+// would make the sweep thrash.
+func diffuseCaps(g *graph.Graph, k int, tol float64) []int64 {
+	tot := g.TotalWeights()
+	n := g.NumVertices()
+	maxV := make([]int64, g.NCon)
+	for v := 0; v < n; v++ {
+		for c := 0; c < g.NCon; c++ {
+			if w := int64(g.Weight(int32(v), c)); w > maxV[c] {
+				maxV[c] = w
+			}
+		}
+	}
+	caps := make([]int64, g.NCon)
+	for c := range tot {
+		ideal := float64(tot[c]) / float64(k)
+		cap := int64(ideal * tol)
+		if feasible := int64(math.Ceil(ideal - 1e-9)); feasible > cap {
+			cap = feasible
+		}
+		if maxV[c] > cap {
+			cap = maxV[c]
+		}
+		caps[c] = cap
+	}
+	return caps
+}

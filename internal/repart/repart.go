@@ -1,0 +1,319 @@
+// Package repart implements incremental multi-constraint repartitioning.
+//
+// The temporal-adaptive solver periodically recomputes cell time levels as
+// the flow evolves; a partition that balanced every level when it was built
+// drifts out of balance as levels migrate through the mesh. Recomputing a
+// partition from scratch restores balance but relabels most of the mesh,
+// forcing almost every cell's state to move between domains. This package
+// restores per-level balance while keeping cells where they already live:
+// the objective is minimal migration volume (cells that change domain,
+// weighted by their serialized size) subject to the same balance tolerance
+// as the original partition.
+//
+// Two incremental strategies are provided behind one entry point:
+//
+//   - Refine: warm-started multilevel refinement. The dual graph is
+//     coarsened with matching restricted to the old parts (so the old
+//     assignment projects exactly onto every level), then the existing
+//     multi-constraint k-way refinement runs coarsest-to-finest with a
+//     migration-penalty term biasing moves toward cells that are cheap to
+//     ship.
+//
+//   - Diffuse: a diffusive fallback that shifts boundary cells along
+//     overloaded→underloaded part pairs, one constraint at a time, then
+//     polishes the edge cut with penalty-biased refinement. Cheaper than
+//     Refine and sufficient for small drift.
+//
+// Auto (the default) picks a strategy from the measured drift: partitions
+// still inside tolerance are kept untouched, mild drift diffuses, heavy
+// drift warm-starts multilevel refinement, and pathological drift falls back
+// to partitioning from scratch (with a relabeling step that maximises
+// overlap with the old parts so even the scratch path migrates no more than
+// it must).
+package repart
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"tempart/internal/graph"
+	"tempart/internal/metrics"
+	"tempart/internal/partition"
+)
+
+// Mode selects the repartitioning strategy.
+type Mode int
+
+const (
+	// Auto picks a mode from the measured imbalance of the old assignment
+	// on the new graph (see package comment).
+	Auto Mode = iota
+	// Keep returns the old assignment unchanged (weights recomputed).
+	Keep
+	// Diffuse shifts boundary cells from overloaded to underloaded parts,
+	// then polishes with penalty-biased refinement.
+	Diffuse
+	// Refine runs warm-started multilevel refinement from the old
+	// assignment.
+	Refine
+	// Scratch partitions from scratch, then relabels parts to maximise
+	// overlap with the old assignment.
+	Scratch
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case Keep:
+		return "keep"
+	case Diffuse:
+		return "diffuse"
+	case Refine:
+		return "refine"
+	case Scratch:
+		return "scratch"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode is the inverse of String.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range []Mode{Auto, Keep, Diffuse, Refine, Scratch} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return Auto, fmt.Errorf("repart: unknown mode %q (want auto, keep, diffuse, refine or scratch)", s)
+}
+
+// Options controls Repartition.
+type Options struct {
+	// Mode selects the strategy; Auto (the default) decides per call.
+	Mode Mode
+	// Part carries the underlying partitioner options (seed, tolerance,
+	// refinement passes). The tolerance doubles as the repartitioner's
+	// balance target.
+	Part partition.Options
+	// MigrationPenalty scales how strongly refinement resists moving cells
+	// off their current domain, in units of the mean incident edge weight.
+	// 0 uses the default (0.5); negative disables the penalty.
+	MigrationPenalty float64
+	// MigBytes[v], when set, is the serialized size of cell v — the cost of
+	// migrating it. Nil treats all cells as equally expensive.
+	MigBytes []int64
+	// DiffuseThreshold and ScratchThreshold are the Auto policy's imbalance
+	// cut-points: drift at or below DiffuseThreshold diffuses, above
+	// ScratchThreshold partitions from scratch, in between warm-starts
+	// multilevel refinement. Defaults 1.30 and 8.0.
+	DiffuseThreshold float64
+	ScratchThreshold float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MigrationPenalty == 0 {
+		o.MigrationPenalty = 0.5
+	}
+	if o.DiffuseThreshold <= 1 {
+		o.DiffuseThreshold = 1.30
+	}
+	if o.ScratchThreshold <= 1 {
+		o.ScratchThreshold = 8.0
+	}
+	if o.Part.ImbalanceTol <= 1 {
+		o.Part.ImbalanceTol = 1.05
+	}
+	return o
+}
+
+// Result is a repartition outcome: the new partition, the strategy that
+// produced it, and the migration it implies relative to the old assignment.
+type Result struct {
+	*partition.Result
+	// Mode is the strategy actually used (never Auto).
+	Mode Mode
+	// Stats quantifies the migration from the old to the new assignment.
+	Stats metrics.MigrationStats
+}
+
+// Repartition computes a new k-way assignment for g starting from old. The
+// graph must describe the same cells as old (typically the dual graph after
+// mesh.ReassignLevels changed the vertex weights); old.Part is never
+// modified. Cancelling ctx stops at the next strategy-internal boundary and
+// returns the context error.
+func Repartition(ctx context.Context, g *graph.Graph, old *partition.Result, opt Options) (*Result, error) {
+	n := g.NumVertices()
+	k := old.NumParts
+	if len(old.Part) != n {
+		return nil, fmt.Errorf("repart: old assignment has %d cells, graph has %d", len(old.Part), n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("repart: k = %d, want >= 1", k)
+	}
+	if opt.MigBytes != nil && len(opt.MigBytes) != n {
+		return nil, fmt.Errorf("repart: %d migration weights for %d cells", len(opt.MigBytes), n)
+	}
+	opt = opt.withDefaults()
+
+	mode := opt.Mode
+	if mode == Auto {
+		imb := partition.NewResult(g, old.Part, k).MaxImbalance()
+		switch {
+		case imb <= opt.Part.ImbalanceTol:
+			mode = Keep
+		case imb <= opt.DiffuseThreshold:
+			mode = Diffuse
+		case imb <= opt.ScratchThreshold:
+			mode = Refine
+		default:
+			mode = Scratch
+		}
+	}
+
+	part := make([]int32, n)
+	copy(part, old.Part)
+	var err error
+	switch mode {
+	case Keep:
+		// Weights are recomputed below; the assignment stands.
+	case Diffuse:
+		err = diffuse(ctx, g, part, k, opt)
+	case Refine:
+		err = refineWarm(ctx, g, part, k, opt)
+	case Scratch:
+		part, err = scratch(ctx, g, old.Part, k, opt)
+	default:
+		err = fmt.Errorf("repart: unknown mode %v", opt.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("repart: %w", err)
+	}
+
+	res := &Result{
+		Result: partition.NewResult(g, part, k),
+		Mode:   mode,
+		Stats:  metrics.ComputeMigrationStats(old.Part, part, k, opt.MigBytes),
+	}
+	return res, nil
+}
+
+// penalties converts migration byte costs into refinement-gain units:
+// pen[v] = MigrationPenalty · wbar · MigBytes[v]/migbar, floored at 1, where
+// wbar is the mean incident edge weight. This keeps the penalty commensurate
+// with edge-cut gains regardless of the byte scale, so one option value
+// behaves consistently across meshes.
+func penalties(g *graph.Graph, opt Options) []int64 {
+	if opt.MigrationPenalty < 0 {
+		return nil
+	}
+	n := g.NumVertices()
+	var totalEdge float64
+	for _, w := range g.AdjWgt {
+		totalEdge += float64(w)
+	}
+	wbar := 1.0
+	if n > 0 && totalEdge > 0 {
+		wbar = totalEdge / float64(n)
+	}
+	migbar := 1.0
+	if opt.MigBytes != nil {
+		var tot float64
+		for _, b := range opt.MigBytes {
+			tot += float64(b)
+		}
+		if n > 0 && tot > 0 {
+			migbar = tot / float64(n)
+		}
+	}
+	pen := make([]int64, n)
+	for v := range pen {
+		mig := 1.0
+		if opt.MigBytes != nil {
+			mig = float64(opt.MigBytes[v])
+		}
+		p := int64(math.Round(opt.MigrationPenalty * wbar * mig / migbar))
+		if p < 1 {
+			p = 1
+		}
+		pen[v] = p
+	}
+	return pen
+}
+
+// refinePolish runs penalty-biased k-way refinement on the full graph.
+func refinePolish(ctx context.Context, g *graph.Graph, part []int32, k int, opt Options, origin []int32) error {
+	return partition.RefineKWay(ctx, g, part, k, partition.RefineOptions{
+		ImbalanceTol: opt.Part.ImbalanceTol,
+		Passes:       opt.Part.RefinePasses,
+		Seed:         opt.Part.Seed,
+		Origin:       origin,
+		MovePenalty:  penalties(g, opt),
+	})
+}
+
+// scratch partitions from scratch and then relabels the new parts to
+// maximise byte overlap with the old assignment, so even the fallback path
+// migrates only what the fresh partition forces.
+func scratch(ctx context.Context, g *graph.Graph, oldPart []int32, k int, opt Options) ([]int32, error) {
+	fresh, err := partition.Partition(ctx, g, k, opt.Part)
+	if err != nil {
+		return nil, err
+	}
+	part := fresh.Part
+	relabel := overlapRelabel(oldPart, part, k, opt.MigBytes)
+	for v := range part {
+		part[v] = relabel[part[v]]
+	}
+	return part, nil
+}
+
+// overlapRelabel greedily maps new part labels onto old ones by descending
+// shared byte volume: the (new, old) pair with the largest overlap binds
+// first, and so on until every new label has an old one. Unmatched labels
+// keep distinct spare ids. The result is a permutation new→old.
+func overlapRelabel(oldPart, newPart []int32, k int, bytes []int64) []int32 {
+	overlap := make([][]int64, k)
+	for p := range overlap {
+		overlap[p] = make([]int64, k)
+	}
+	for v := range newPart {
+		var b int64 = 1
+		if bytes != nil {
+			b = bytes[v]
+		}
+		overlap[newPart[v]][oldPart[v]] += b
+	}
+	relabel := make([]int32, k)
+	for i := range relabel {
+		relabel[i] = -1
+	}
+	usedOld := make([]bool, k)
+	for range relabel {
+		var bestNew, bestOld int32 = -1, -1
+		var best int64 = -1
+		for np := 0; np < k; np++ {
+			if relabel[np] >= 0 {
+				continue
+			}
+			for op := 0; op < k; op++ {
+				if usedOld[op] {
+					continue
+				}
+				if overlap[np][op] > best {
+					best, bestNew, bestOld = overlap[np][op], int32(np), int32(op)
+				}
+			}
+		}
+		if bestNew < 0 {
+			break
+		}
+		relabel[bestNew] = bestOld
+		usedOld[bestOld] = true
+	}
+	return relabel
+}

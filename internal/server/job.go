@@ -41,6 +41,20 @@ func (s jobState) String() string {
 	return fmt.Sprintf("jobState(%d)", int32(s))
 }
 
+// jobRequest is the unit of work the worker pool executes. Both plain
+// partitions and warm-started repartitions implement it; the job machinery
+// (admission, singleflight, cancellation, caching) is shared.
+type jobRequest interface {
+	// key is the content address for the result cache and singleflight map.
+	key() cacheKey
+	// base exposes the common request fields (mesh identity, k, strategy,
+	// options, timeout) for job views and the exec gate.
+	base() *PartitionRequest
+	// execute runs the work under ctx and returns the cacheable response
+	// payload and how long the computational core took.
+	execute(ctx context.Context, s *Server) (payload []byte, elapsed time.Duration, err *requestError)
+}
+
 // job is one partition execution. Identical concurrent requests share a
 // single job (singleflight on the content-address key): each interested
 // party holds one reference; when the count drops to zero the job's context
@@ -48,7 +62,7 @@ func (s jobState) String() string {
 type job struct {
 	id  string
 	key cacheKey
-	req *PartitionRequest
+	req jobRequest
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -79,7 +93,7 @@ func (j *job) getState() jobState  { return jobState(j.state.Load()) }
 var errQueueFull = errors.New("admission queue full")
 var errDraining = errors.New("server is draining")
 
-func (s *Server) acquireJob(req *PartitionRequest) (*job, error) {
+func (s *Server) acquireJob(req jobRequest) (*job, error) {
 	key := req.key()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -91,8 +105,8 @@ func (s *Server) acquireJob(req *PartitionRequest) (*job, error) {
 		return j, nil
 	}
 	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+	if req.base().TimeoutMS > 0 {
+		if d := time.Duration(req.base().TimeoutMS) * time.Millisecond; d < timeout {
 			timeout = d
 		}
 	}
@@ -197,53 +211,15 @@ func (s *Server) runJob(j *job) {
 	j.setState(jobRunning)
 
 	if s.cfg.execGate != nil {
-		if err := s.cfg.execGate(j.ctx, j.req); err != nil {
+		if err := s.cfg.execGate(j.ctx, j.req.base()); err != nil {
 			fail(http.StatusInternalServerError, err.Error())
 			return
 		}
 	}
 
-	m := j.req.Uploaded
-	if m == nil {
-		var err error
-		m, err = mesh.ByName(j.req.MeshName, j.req.Scale)
-		if err != nil {
-			fail(http.StatusBadRequest, err.Error())
-			return
-		}
-	}
-	if j.req.K > m.NumCells() {
-		fail(http.StatusBadRequest,
-			fmt.Sprintf("k = %d exceeds the mesh's %d cells", j.req.K, m.NumCells()))
-		return
-	}
-
-	start := time.Now()
-	d, err := core.Decompose(j.ctx, m, j.req.K, j.req.strat, j.req.partitionOptions())
-	elapsed := time.Since(start)
-	if err != nil {
-		fail(http.StatusInternalServerError, err.Error())
-		return
-	}
-	s.metrics.countRun(j.req.Strategy, elapsed.Seconds())
-
-	payload, err := json.Marshal(&PartitionResponse{
-		Mesh: MeshInfo{
-			Name:     m.Name,
-			Cells:    m.NumCells(),
-			MaxLevel: int(m.MaxLevel),
-		},
-		K:            j.req.K,
-		Strategy:     j.req.Strategy,
-		Method:       j.req.Options.Method,
-		Seed:         j.req.Options.Seed,
-		EdgeCut:      d.Result.EdgeCut,
-		MaxImbalance: d.Result.MaxImbalance(),
-		Quality:      d.Quality,
-		Part:         d.Result.Part,
-	})
-	if err != nil {
-		fail(http.StatusInternalServerError, err.Error())
+	payload, elapsed, rerr := j.req.execute(j.ctx, s)
+	if rerr != nil {
+		fail(rerr.code, rerr.msg)
 		return
 	}
 	s.cache.put(j.key, payload)
@@ -252,6 +228,69 @@ func (s *Server) runJob(j *job) {
 	j.status = http.StatusOK
 	j.setState(jobDone)
 	finish()
+}
+
+// base implements jobRequest.
+func (r *PartitionRequest) base() *PartitionRequest { return r }
+
+// resolveMesh materialises the request's mesh (upload or generator) and
+// checks k against the cell count.
+func (r *PartitionRequest) resolveMesh() (*mesh.Mesh, *requestError) {
+	m := r.Uploaded
+	if m == nil {
+		var err error
+		m, err = mesh.ByName(r.MeshName, r.Scale)
+		if err != nil {
+			return nil, &requestError{code: http.StatusBadRequest, msg: err.Error()}
+		}
+	}
+	if r.K > m.NumCells() {
+		return nil, &requestError{code: http.StatusBadRequest,
+			msg: fmt.Sprintf("k = %d exceeds the mesh's %d cells", r.K, m.NumCells())}
+	}
+	return m, nil
+}
+
+// execute implements jobRequest: the full partition pipeline. The encoded
+// result is also stored in the server's partition store under its content
+// hash so later repartition requests can warm-start from it by hash alone.
+func (r *PartitionRequest) execute(ctx context.Context, s *Server) ([]byte, time.Duration, *requestError) {
+	m, rerr := r.resolveMesh()
+	if rerr != nil {
+		return nil, 0, rerr
+	}
+	start := time.Now()
+	d, err := core.Decompose(ctx, m, r.K, r.strat, r.partitionOptions())
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, 0, &requestError{code: http.StatusInternalServerError, msg: err.Error()}
+	}
+	s.metrics.countRun(r.Strategy, elapsed.Seconds())
+
+	partHash, rerr := s.storePartition(d.Result)
+	if rerr != nil {
+		return nil, 0, rerr
+	}
+	payload, err := json.Marshal(&PartitionResponse{
+		Mesh: MeshInfo{
+			Name:     m.Name,
+			Cells:    m.NumCells(),
+			MaxLevel: int(m.MaxLevel),
+		},
+		K:            r.K,
+		Strategy:     r.Strategy,
+		Method:       r.Options.Method,
+		Seed:         r.Options.Seed,
+		EdgeCut:      d.Result.EdgeCut,
+		MaxImbalance: d.Result.MaxImbalance(),
+		Quality:      d.Quality,
+		PartHash:     partHash,
+		Part:         d.Result.Part,
+	})
+	if err != nil {
+		return nil, 0, &requestError{code: http.StatusInternalServerError, msg: err.Error()}
+	}
+	return payload, elapsed, nil
 }
 
 // statusClientClosedRequest is nginx's non-standard 499 "client closed
@@ -277,5 +316,8 @@ type PartitionResponse struct {
 	EdgeCut      int64                     `json:"edge_cut"`
 	MaxImbalance float64                   `json:"max_imbalance"`
 	Quality      pmetrics.PartitionQuality `json:"quality"`
-	Part         []int32                   `json:"part"`
+	// PartHash content-addresses the encoded partition in the daemon's
+	// partition store; POST /v1/repartition can warm-start from it.
+	PartHash string  `json:"part_hash,omitempty"`
+	Part     []int32 `json:"part"`
 }

@@ -12,18 +12,27 @@ import (
 // to minutes (full-scale PPRIME_NOZZLE), so the buckets span five decades.
 var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120}
 
+// migrationBuckets are the upper bounds (bytes) of the repartition migration
+// histogram: from a few cells (1 KiB) to a full-scale mesh (1 GiB).
+var migrationBuckets = []float64{1 << 10, 1 << 14, 1 << 17, 1 << 20, 1 << 23, 1 << 26, 1 << 30}
+
 // histogram is a fixed-bucket cumulative histogram (Prometheus semantics).
 type histogram struct {
-	counts []int64 // per bucket, non-cumulative; rendered cumulatively
+	bounds []float64 // upper bounds, ascending
+	counts []int64   // per bucket, non-cumulative; rendered cumulatively
 	inf    int64
 	sum    float64
 	total  int64
 }
 
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds))}
+}
+
 func (h *histogram) observe(v float64) {
 	h.sum += v
 	h.total++
-	for i, ub := range latencyBuckets {
+	for i, ub := range h.bounds {
 		if v <= ub {
 			h.counts[i]++
 			return
@@ -43,6 +52,16 @@ type serverMetrics struct {
 	partRuns  map[string]int64 // strategy -> actual partitioner executions
 	latencies map[string]*histogram
 
+	// Repartition observability: executions and latency by resolved mode
+	// (so incremental modes can be compared against scratch directly), the
+	// migration volume distribution, and the warm-start (parent part_hash
+	// lookup) hit ratio.
+	repartRuns      map[string]int64 // mode -> executions
+	repartLatencies map[string]*histogram
+	migrationBytes  *histogram
+	parentHits      int64
+	parentMisses    int64
+
 	cacheHits     int64
 	cacheMisses   int64
 	queueRejected int64
@@ -51,9 +70,12 @@ type serverMetrics struct {
 
 func newServerMetrics() *serverMetrics {
 	return &serverMetrics{
-		requests:  map[string]int64{},
-		partRuns:  map[string]int64{},
-		latencies: map[string]*histogram{},
+		requests:        map[string]int64{},
+		partRuns:        map[string]int64{},
+		latencies:       map[string]*histogram{},
+		repartRuns:      map[string]int64{},
+		repartLatencies: map[string]*histogram{},
+		migrationBytes:  newHistogram(migrationBuckets),
 	}
 }
 
@@ -68,10 +90,36 @@ func (m *serverMetrics) countRun(strategy string, seconds float64) {
 	m.partRuns[strategy]++
 	h := m.latencies[strategy]
 	if h == nil {
-		h = &histogram{counts: make([]int64, len(latencyBuckets))}
+		h = newHistogram(latencyBuckets)
 		m.latencies[strategy] = h
 	}
 	h.observe(seconds)
+	m.mu.Unlock()
+}
+
+// countRepart records one repartition execution under its resolved mode.
+func (m *serverMetrics) countRepart(mode string, seconds float64, migBytes int64) {
+	m.mu.Lock()
+	m.repartRuns[mode]++
+	h := m.repartLatencies[mode]
+	if h == nil {
+		h = newHistogram(latencyBuckets)
+		m.repartLatencies[mode] = h
+	}
+	h.observe(seconds)
+	m.migrationBytes.observe(float64(migBytes))
+	m.mu.Unlock()
+}
+
+// countParentLookup tracks warm-start resolution: whether a repartition's
+// parent part_hash was still in the partition store.
+func (m *serverMetrics) countParentLookup(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.parentHits++
+	} else {
+		m.parentMisses++
+	}
 	m.mu.Unlock()
 }
 
@@ -155,6 +203,46 @@ func (m *serverMetrics) render(w io.Writer, g gauges) {
 		fmt.Fprintf(w, "tempartd_partition_latency_seconds_count{strategy=%q} %d\n", s, h.total)
 	}
 
+	writeSorted("tempartd_repart_runs_total", "Repartitioner executions by resolved mode.",
+		m.repartRuns, `mode=%q`)
+
+	writeHist := func(name, help, label string, hists map[string]*histogram) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		keys := make([]string, 0, len(hists))
+		for k := range hists {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h := hists[k]
+			var cum int64
+			for i, ub := range h.bounds {
+				cum += h.counts[i]
+				fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, k, trimFloat(ub), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, k, cum+h.inf)
+			fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, k, h.sum)
+			fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, k, h.total)
+		}
+	}
+	writeHist("tempartd_repart_latency_seconds",
+		"Repartition execution latency by resolved mode (compare incremental modes against scratch).",
+		"mode", m.repartLatencies)
+
+	fmt.Fprintf(w, "# HELP tempartd_repart_migration_bytes Serialized bytes moved between domains per repartition.\n")
+	fmt.Fprintf(w, "# TYPE tempartd_repart_migration_bytes histogram\n")
+	{
+		h := m.migrationBytes
+		var cum int64
+		for i, ub := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "tempartd_repart_migration_bytes_bucket{le=%q} %d\n", trimFloat(ub), cum)
+		}
+		fmt.Fprintf(w, "tempartd_repart_migration_bytes_bucket{le=\"+Inf\"} %d\n", cum+h.inf)
+		fmt.Fprintf(w, "tempartd_repart_migration_bytes_sum %g\n", h.sum)
+		fmt.Fprintf(w, "tempartd_repart_migration_bytes_count %d\n", h.total)
+	}
+
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -166,6 +254,12 @@ func (m *serverMetrics) render(w io.Writer, g gauges) {
 	if tot := m.cacheHits + m.cacheMisses; tot > 0 {
 		fmt.Fprintf(w, "# HELP tempartd_cache_hit_ratio Fraction of lookups served from cache.\n# TYPE tempartd_cache_hit_ratio gauge\ntempartd_cache_hit_ratio %g\n",
 			float64(m.cacheHits)/float64(tot))
+	}
+	counter("tempartd_repart_parent_hits_total", "Repartition warm starts whose parent part_hash was found in the partition store.", m.parentHits)
+	counter("tempartd_repart_parent_misses_total", "Repartition warm starts whose parent part_hash was missing (evicted or unknown).", m.parentMisses)
+	if tot := m.parentHits + m.parentMisses; tot > 0 {
+		fmt.Fprintf(w, "# HELP tempartd_repart_warm_start_hit_ratio Fraction of parent part_hash lookups that hit the partition store.\n# TYPE tempartd_repart_warm_start_hit_ratio gauge\ntempartd_repart_warm_start_hit_ratio %g\n",
+			float64(m.parentHits)/float64(tot))
 	}
 	counter("tempartd_queue_rejected_total", "Requests rejected with 429 because the admission queue was full.", m.queueRejected)
 	counter("tempartd_jobs_cancelled_total", "Jobs stopped before completion by disconnect, deadline or explicit cancel.", m.jobsCancelled)

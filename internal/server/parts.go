@@ -1,0 +1,54 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+
+	"tempart/internal/partition"
+)
+
+// The partition store content-addresses encoded partition results (TPRT
+// bytes keyed by their SHA-256) so repartition requests can warm-start from
+// a prior result by hash alone, without re-uploading the assignment. It
+// reuses the byte-budgeted LRU of the response cache; entries are immutable.
+
+// storePartition encodes res, inserts it under its content hash and returns
+// the hash in hex — the part_hash clients quote back to /v1/repartition.
+func (s *Server) storePartition(res *partition.Result) (string, *requestError) {
+	var buf bytes.Buffer
+	if err := res.Encode(&buf); err != nil {
+		return "", &requestError{code: http.StatusInternalServerError,
+			msg: fmt.Sprintf("encoding partition result: %v", err)}
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	s.parts.put(cacheKey(sum), buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// loadPartition resolves a part_hash back to a decoded result. A miss is the
+// caller's problem to surface (the hash may simply have been evicted); it is
+// also counted toward the warm-start hit ratio.
+func (s *Server) loadPartition(hash string) (*partition.Result, *requestError) {
+	raw, err := hex.DecodeString(hash)
+	if err != nil || len(raw) != 32 {
+		return nil, &requestError{code: http.StatusBadRequest,
+			msg: fmt.Sprintf("parent_hash %q is not a 64-character hex SHA-256", hash)}
+	}
+	var key cacheKey
+	copy(key[:], raw)
+	payload, ok := s.parts.get(key)
+	s.metrics.countParentLookup(ok)
+	if !ok {
+		return nil, &requestError{code: http.StatusNotFound,
+			msg: fmt.Sprintf("no stored partition with hash %s (expired or never computed here); re-partition or supply the assignment inline via \"parent\"", hash)}
+	}
+	res, derr := partition.DecodeResult(bytes.NewReader(payload))
+	if derr != nil {
+		return nil, &requestError{code: http.StatusInternalServerError,
+			msg: fmt.Sprintf("stored partition %s is corrupt: %v", hash, derr)}
+	}
+	return res, nil
+}

@@ -1,0 +1,320 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"tempart/internal/mesh"
+	"tempart/internal/temporal"
+)
+
+func postRepart(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/repartition", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/repartition: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return resp, b
+}
+
+// TestRepartitionWarmStartChain drives the intended workflow: partition once,
+// quote the returned part_hash back to /v1/repartition, and get an
+// incremental result plus migration stats.
+func TestRepartitionWarmStartChain(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	resp, body := postJSON(t, ts.URL, smallReq(7))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partition: status %d body %s", resp.StatusCode, body)
+	}
+	var pr PartitionResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.PartHash) != 64 {
+		t.Fatalf("partition response part_hash = %q, want 64 hex chars", pr.PartHash)
+	}
+
+	req := fmt.Sprintf(`{"mesh":"CYLINDER","scale":0.002,"k":4,"strategy":"MC_TL","options":{"seed":8},"parent_hash":%q}`, pr.PartHash)
+	resp2, body2 := postRepart(t, ts.URL, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repartition: status %d body %s", resp2.StatusCode, body2)
+	}
+	var rr RepartitionResponse
+	if err := json.Unmarshal(body2, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.ParentHash != pr.PartHash {
+		t.Fatalf("response parent_hash = %q, want %q", rr.ParentHash, pr.PartHash)
+	}
+	if len(rr.PartHash) != 64 {
+		t.Fatalf("repartition part_hash = %q, want 64 hex chars", rr.PartHash)
+	}
+	if len(rr.Part) != rr.Mesh.Cells || rr.Mesh.Cells == 0 {
+		t.Fatalf("len(part) = %d, cells = %d", len(rr.Part), rr.Mesh.Cells)
+	}
+	switch rr.Mode {
+	case "keep", "diffuse", "refine", "scratch":
+	default:
+		t.Fatalf("unresolved mode %q", rr.Mode)
+	}
+	if rr.Migration.TotalCells != rr.Mesh.Cells {
+		t.Fatalf("migration stats cover %d cells, mesh has %d", rr.Migration.TotalCells, rr.Mesh.Cells)
+	}
+	if rr.MaxImbalance < 1 {
+		t.Fatalf("max_imbalance = %v, want >= 1", rr.MaxImbalance)
+	}
+
+	// The new result is itself stored: chain a second repartition off it.
+	req3 := fmt.Sprintf(`{"mesh":"CYLINDER","scale":0.002,"k":4,"strategy":"MC_TL","options":{"seed":9},"parent_hash":%q,"mode":"refine"}`, rr.PartHash)
+	resp3, body3 := postRepart(t, ts.URL, req3)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("chained repartition: status %d body %s", resp3.StatusCode, body3)
+	}
+
+	m := fetchMetrics(t, ts.URL)
+	for _, want := range []string{
+		"tempartd_repart_runs_total{mode=",
+		"tempartd_repart_latency_seconds_bucket{mode=",
+		"tempartd_repart_migration_bytes_count 2",
+		"tempartd_repart_parent_hits_total 2",
+		"tempartd_repart_parent_misses_total 0",
+		"tempartd_repart_warm_start_hit_ratio 1",
+	} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, m)
+		}
+	}
+}
+
+func TestRepartitionInlineParent(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	m := mesh.Cylinder(0.002)
+	n := m.NumCells()
+	// A deliberately lopsided parent: first half part 0, second half part 1.
+	parent := make([]string, n)
+	for i := range parent {
+		parent[i] = "0"
+		if i >= n/2 {
+			parent[i] = "1"
+		}
+	}
+	req := fmt.Sprintf(`{"mesh":"CYLINDER","scale":0.002,"k":2,"strategy":"SC_OC","options":{"seed":3},"parent":[%s],"mode":"auto"}`,
+		strings.Join(parent, ","))
+	resp, body := postRepart(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	var rr RepartitionResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Mode == "scratch" {
+		t.Fatalf("auto resolved to scratch for a mild imbalance")
+	}
+
+	// Inline parents never touch the store, so no warm-start lookups counted.
+	mtx := fetchMetrics(t, ts.URL)
+	if strings.Contains(mtx, "tempartd_repart_warm_start_hit_ratio") {
+		t.Fatalf("inline parent must not contribute to warm-start ratio:\n%s", mtx)
+	}
+}
+
+func TestRepartitionUnknownParentHash(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	req := `{"mesh":"CYLINDER","scale":0.002,"k":4,"strategy":"MC_TL","parent_hash":"` + strings.Repeat("ab", 32) + `"}`
+	resp, body := postRepart(t, ts.URL, req)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404; body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "parent") {
+		t.Fatalf("error body should mention the parent: %s", body)
+	}
+	m := fetchMetrics(t, ts.URL)
+	if !strings.Contains(m, "tempartd_repart_parent_misses_total 1") {
+		t.Fatalf("expected one parent miss:\n%s", m)
+	}
+}
+
+func TestRepartitionCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, body := postJSON(t, ts.URL, smallReq(11))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partition: status %d", resp.StatusCode)
+	}
+	var pr PartitionResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	req := fmt.Sprintf(`{"mesh":"CYLINDER","scale":0.002,"k":4,"strategy":"MC_TL","options":{"seed":12},"parent_hash":%q}`, pr.PartHash)
+
+	r1, b1 := postRepart(t, ts.URL, req)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first repartition: status %d body %s", r1.StatusCode, b1)
+	}
+	if got := r1.Header.Get("X-Tempartd-Cache"); got != "miss" {
+		t.Fatalf("first repartition cache header = %q, want miss", got)
+	}
+	r2, b2 := postRepart(t, ts.URL, req)
+	if got := r2.Header.Get("X-Tempartd-Cache"); got != "hit" {
+		t.Fatalf("second repartition cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("cached repartition returned different bytes")
+	}
+
+	// Changing only the mode is a different content address: miss again.
+	r3, _ := postRepart(t, ts.URL, strings.Replace(req, `"parent_hash"`, `"mode":"scratch","parent_hash"`, 1))
+	if got := r3.Header.Get("X-Tempartd-Cache"); r3.StatusCode == http.StatusOK && got == "hit" {
+		t.Fatalf("distinct mode must not hit the cache")
+	}
+}
+
+func TestRepartitionValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	hash := strings.Repeat("cd", 32)
+	base := `"mesh":"CYLINDER","scale":0.002,"k":4,"strategy":"MC_TL"`
+	cases := []struct {
+		name, body string
+		wantSubstr string
+	}{
+		{"neither parent", `{` + base + `}`, "exactly one of"},
+		{"both parents", `{` + base + `,"parent_hash":"` + hash + `","parent":[0,1,2,3]}`, "exactly one of"},
+		{"bad mode", `{` + base + `,"parent_hash":"` + hash + `","mode":"sideways"}`, "mode"},
+		{"penalty out of range", `{` + base + `,"parent_hash":"` + hash + `","migration_penalty":1e6}`, "migration_penalty"},
+		{"parent value out of range", `{` + base + `,"parent":[0,1,2,99]}`, "parent[3]"},
+		{"geometric strategy", `{"mesh":"CYLINDER","scale":0.002,"k":4,"strategy":"GEOM_RCB","parent_hash":"` + hash + `"}`, "no graph constraints"},
+		{"short hash", `{` + base + `,"parent_hash":"abc123"}`, "hex"},
+		{"unknown field", `{` + base + `,"parent_hash":"` + hash + `","grandparent":"x"}`, "unknown"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postRepart(t, ts.URL, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body %s", resp.StatusCode, body)
+			}
+			if !strings.Contains(string(body), tc.wantSubstr) {
+				t.Fatalf("error %s does not mention %q", body, tc.wantSubstr)
+			}
+		})
+	}
+}
+
+// TestRepartitionOctetStream uploads a mesh, partitions it, then repartitions
+// the same upload warm-started via query parameters.
+func TestRepartitionOctetStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	m := mesh.Strip([]temporal.Level{0, 0, 1, 1, 2, 2, 0, 1})
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/partition?k=2&strategy=SC_OC&seed=4",
+		"application/octet-stream", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload partition: status %d body %s", resp.StatusCode, body)
+	}
+	var pr PartitionResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+
+	resp2, err := http.Post(ts.URL+"/v1/repartition?k=2&strategy=SC_OC&seed=5&mode=refine&parent_hash="+pr.PartHash,
+		"application/octet-stream", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("upload repartition: status %d body %s", resp2.StatusCode, body2)
+	}
+	var rr RepartitionResponse
+	if err := json.Unmarshal(body2, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Part) != m.NumCells() {
+		t.Fatalf("len(part) = %d, want %d", len(rr.Part), m.NumCells())
+	}
+}
+
+func TestRepartitionAsync(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, body := postJSON(t, ts.URL, smallReq(21))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partition: status %d", resp.StatusCode)
+	}
+	var pr PartitionResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+
+	req := fmt.Sprintf(`{"mesh":"CYLINDER","scale":0.002,"k":4,"strategy":"MC_TL","options":{"seed":22},"parent_hash":%q}`, pr.PartHash)
+	r, err := http.Post(ts.URL+"/v1/repartition?async=1", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: status %d body %s", r.StatusCode, b)
+	}
+	var acc struct {
+		URL string `json:"url"`
+	}
+	if err := json.Unmarshal(b, &acc); err != nil || acc.URL == "" {
+		t.Fatalf("bad accept body %s: %v", b, err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		jr, err := http.Get(ts.URL + acc.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v jobView
+		if err := json.NewDecoder(jr.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		jr.Body.Close()
+		if v.State == "done" {
+			var rr RepartitionResponse
+			if err := json.Unmarshal(v.Result, &rr); err != nil {
+				t.Fatalf("job result: %v", err)
+			}
+			if rr.ParentHash != pr.PartHash {
+				t.Fatalf("job result parent_hash = %q, want %q", rr.ParentHash, pr.PartHash)
+			}
+			return
+		}
+		if v.State == "failed" || v.State == "cancelled" {
+			t.Fatalf("job ended %q: %s", v.State, v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never completed, still %q", v.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -40,6 +40,9 @@ type Config struct {
 	QueueDepth int
 	// CacheBytes budgets the content-addressed result cache. Default 256 MiB.
 	CacheBytes int64
+	// PartStoreBytes budgets the partition store (encoded results kept for
+	// repartition warm starts, addressed by part_hash). Default 128 MiB.
+	PartStoreBytes int64
 	// MaxBodyBytes caps request bodies (mesh uploads). Default 64 MiB.
 	MaxBodyBytes int64
 	// DefaultTimeout caps per-job execution; requests may only shorten it.
@@ -63,6 +66,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 256 << 20
 	}
+	if c.PartStoreBytes <= 0 {
+		c.PartStoreBytes = 128 << 20
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
@@ -80,6 +86,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	cache   *resultCache
+	parts   *resultCache // encoded partition results by content hash
 	metrics *serverMetrics
 
 	queue    chan *job
@@ -100,6 +107,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		cache:   newResultCache(cfg.CacheBytes),
+		parts:   newResultCache(cfg.PartStoreBytes),
 		metrics: newServerMetrics(),
 		queue:   make(chan *job, cfg.QueueDepth),
 		flights: map[cacheKey]*job{},
@@ -117,6 +125,7 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/partition", s.instrument("/v1/partition", s.handlePartition))
+	mux.HandleFunc("POST /v1/repartition", s.instrument("/v1/repartition", s.handleRepartition))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobGet))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobCancel))
 	mux.HandleFunc("GET /v1/meshes", s.instrument("/v1/meshes", s.handleMeshes))
@@ -190,13 +199,32 @@ func (s *Server) retryAfterSeconds() int {
 func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) int {
 	req, err := decodePartitionRequest(r.Header.Get("Content-Type"), r.URL.Query(), r.Body, s.cfg.MaxBodyBytes)
 	if err != nil {
-		var rerr *requestError
-		if errors.As(err, &rerr) {
-			return writeError(w, rerr.code, rerr.msg)
-		}
-		return writeError(w, http.StatusBadRequest, err.Error())
+		return writeDecodeError(w, err)
 	}
+	return s.serveJob(w, r, req)
+}
 
+// handleRepartition shares the partition endpoint's whole flow — caching,
+// admission, singleflight, backpressure, cancellation — over a warm-started
+// incremental repartition job.
+func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) int {
+	req, err := decodeRepartitionRequest(r.Header.Get("Content-Type"), r.URL.Query(), r.Body, s.cfg.MaxBodyBytes)
+	if err != nil {
+		return writeDecodeError(w, err)
+	}
+	return s.serveJob(w, r, req)
+}
+
+func writeDecodeError(w http.ResponseWriter, err error) int {
+	var rerr *requestError
+	if errors.As(err, &rerr) {
+		return writeError(w, rerr.code, rerr.msg)
+	}
+	return writeError(w, http.StatusBadRequest, err.Error())
+}
+
+// serveJob runs a decoded request through cache, admission and (a)sync wait.
+func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, req jobRequest) int {
 	// Content-addressed cache first: a hit costs one map lookup.
 	key := req.key()
 	if payload, ok := s.cache.get(key); ok {
@@ -285,12 +313,13 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) int {
 	if j == nil {
 		return writeError(w, http.StatusNotFound, "unknown job id")
 	}
+	base := j.req.base()
 	v := jobView{
 		ID:        j.id,
 		State:     j.getState().String(),
-		Mesh:      j.req.MeshName,
-		K:         j.req.K,
-		Strategy:  j.req.Strategy,
+		Mesh:      base.MeshName,
+		K:         base.K,
+		Strategy:  base.Strategy,
 		CreatedMS: j.created.UnixMilli(),
 	}
 	select {

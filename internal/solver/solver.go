@@ -63,6 +63,10 @@ type Config struct {
 	EulerParams fv.EulerParams
 	// RecordTrace captures wall-clock spans of the last iteration.
 	RecordTrace bool
+	// Repart, when set, re-assesses temporal levels periodically during Run
+	// and repartitions the mesh in place with internal/repart (see
+	// RepartPolicy).
+	Repart *RepartPolicy
 }
 
 // kernels is the model-independent interface the runtime drives.
@@ -71,6 +75,9 @@ type kernels interface {
 	UpdateCells(cells []int32)
 	Mass() float64
 	CheckFinite() error
+	// RefreshLevels rebuilds level-dependent caches after the mesh's
+	// temporal levels changed in place (only legal between iterations).
+	RefreshLevels()
 }
 
 // Solver holds the assembled pipeline.
@@ -85,7 +92,15 @@ type Solver struct {
 
 	k   kernels
 	cfg Config
+	// part is the current domain assignment in the solver mesh's own cell
+	// order (Solver.Mesh is a domain-ordered copy of the input mesh, so
+	// Partition.Part — input order — cannot index it).
+	part []int32
 }
+
+// CurrentPart returns the current domain assignment over Solver.Mesh's cell
+// order. It changes when a Repart policy fires; callers must not modify it.
+func (s *Solver) CurrentPart() []int32 { return s.part }
 
 // Report summarises a multi-iteration run.
 type Report struct {
@@ -100,6 +115,8 @@ type Report struct {
 	Trace *trace.Trace
 	// MassDriftRel is |mass_end − mass_start| / |mass_start|.
 	MassDriftRel float64
+	// Repartitions records every in-run repartition a Repart policy fired.
+	Repartitions []RepartEvent
 }
 
 // New partitions the mesh, builds the task graph with object lists, and
@@ -142,7 +159,7 @@ func NewFromPartition(m *mesh.Mesh, res *partition.Result, cfg Config) (*Solver,
 	if err != nil {
 		return nil, err
 	}
-	s := &Solver{Mesh: ordered, Partition: res, TG: tg, cfg: cfg}
+	s := &Solver{Mesh: ordered, Partition: res, TG: tg, cfg: cfg, part: newPart}
 	cx, cy, cz := hotCentroid(ordered)
 	switch cfg.Model {
 	case Euler:
@@ -189,12 +206,21 @@ func (s *Solver) kernel(task *taskgraph.Task) {
 // between (the cross-iteration dependency chain collapses to a barrier since
 // the last tasks of iteration i write what the first tasks of i+1 read).
 func (s *Solver) Run(iterations int) (*Report, error) {
+	return s.RunContext(context.Background(), iterations)
+}
+
+// RunContext is Run with cancellation: ctx is checked between iterations and
+// threaded through repartitioning when a Repart policy is configured.
+func (s *Solver) RunContext(ctx context.Context, iterations int) (*Report, error) {
 	if iterations < 1 {
 		return nil, fmt.Errorf("solver: iterations = %d", iterations)
 	}
 	rep := &Report{}
 	mass0 := s.k.Mass()
 	for it := 0; it < iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("solver: %w", err)
+		}
 		cfg := runtime.Config{
 			Workers: s.cfg.Workers,
 			Policy:  s.cfg.Policy,
@@ -218,6 +244,11 @@ func (s *Solver) Run(iterations int) (*Report, error) {
 			}
 		}
 		rep.Trace = r.Trace
+		if s.cfg.Repart != nil && it+1 < iterations {
+			if err := s.maybeRepartition(ctx, it, rep); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if err := s.k.CheckFinite(); err != nil {
 		return nil, err
