@@ -15,7 +15,9 @@ type MigrationStats struct {
 	// MovedBytes is the serialized size of the cells that move.
 	MovedBytes int64 `json:"moved_bytes"`
 	// SendBytes[p] is the volume domain p ships out; RecvBytes[p] the volume
-	// it takes in. Their totals both equal MovedBytes.
+	// it takes in. Their totals both equal MovedBytes when every part label
+	// lies in [0, k); cells with out-of-range labels still count toward
+	// MovedCells/MovedBytes but are excluded from the per-domain volumes.
 	SendBytes []int64 `json:"send_bytes,omitempty"`
 	RecvBytes []int64 `json:"recv_bytes,omitempty"`
 	// MaxFlowBytes is max_p(SendBytes[p] + RecvBytes[p]) — the migration
@@ -51,10 +53,10 @@ func ComputeMigrationStats(oldPart, newPart []int32, k int, bytes []int64) Migra
 		}
 		s.MovedCells++
 		s.MovedBytes += b
-		if from := oldPart[v]; int(from) < k {
+		if from := oldPart[v]; from >= 0 && int(from) < k {
 			s.SendBytes[from] += b
 		}
-		if to := newPart[v]; int(to) < k {
+		if to := newPart[v]; to >= 0 && int(to) < k {
 			s.RecvBytes[to] += b
 		}
 	}

@@ -1,0 +1,45 @@
+package metrics
+
+import "testing"
+
+func TestComputeMigrationStats(t *testing.T) {
+	oldPart := []int32{0, 0, 1, 1}
+	newPart := []int32{0, 1, 1, 0}
+	bytes := []int64{10, 20, 30, 40}
+	s := ComputeMigrationStats(oldPart, newPart, 2, bytes)
+	if s.TotalCells != 4 || s.MovedCells != 2 {
+		t.Errorf("cells %d/%d, want 4/2", s.TotalCells, s.MovedCells)
+	}
+	if s.TotalBytes != 100 || s.MovedBytes != 60 {
+		t.Errorf("bytes %d/%d, want 100/60", s.TotalBytes, s.MovedBytes)
+	}
+	var send, recv int64
+	for p := 0; p < 2; p++ {
+		send += s.SendBytes[p]
+		recv += s.RecvBytes[p]
+	}
+	if send != s.MovedBytes || recv != s.MovedBytes {
+		t.Errorf("send/recv totals %d/%d != moved %d", send, recv, s.MovedBytes)
+	}
+	if s.MaxFlowBytes != 60 {
+		t.Errorf("max flow %d, want 60 (part 0 sends 20 and receives 40)", s.MaxFlowBytes)
+	}
+}
+
+// TestComputeMigrationStatsOutOfRangeLabels: labels outside [0, k) — negative
+// included — must not panic; the cells count toward MovedCells/MovedBytes but
+// are excluded from the per-domain volumes, as documented.
+func TestComputeMigrationStatsOutOfRangeLabels(t *testing.T) {
+	oldPart := []int32{-1, 0, 5}
+	newPart := []int32{0, -2, 9}
+	s := ComputeMigrationStats(oldPart, newPart, 2, nil)
+	if s.MovedCells != 3 || s.MovedBytes != 3 {
+		t.Errorf("moved %d cells / %d bytes, want 3/3", s.MovedCells, s.MovedBytes)
+	}
+	if s.SendBytes[0] != 1 || s.SendBytes[1] != 0 {
+		t.Errorf("send = %v, want [1 0]", s.SendBytes)
+	}
+	if s.RecvBytes[0] != 1 || s.RecvBytes[1] != 0 {
+		t.Errorf("recv = %v, want [1 0]", s.RecvBytes)
+	}
+}

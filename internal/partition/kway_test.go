@@ -109,6 +109,31 @@ func TestKWayRefineImprovesCut(t *testing.T) {
 	}
 }
 
+func TestRefineKWayOriginWithoutPenalty(t *testing.T) {
+	// A nil MovePenalty alongside Origin means zero bias, not an error:
+	// repart relies on this when the migration penalty is disabled.
+	g := graph.Grid(12, 12)
+	part := make([]int32, g.NumVertices())
+	for i := range part {
+		part[i] = int32(i % 3)
+	}
+	origin := make([]int32, len(part))
+	copy(origin, part)
+	if err := RefineKWay(context.Background(), g, part, 3, RefineOptions{Origin: origin}); err != nil {
+		t.Fatalf("RefineKWay with nil MovePenalty: %v", err)
+	}
+	if err := NewResult(g, part, 3).Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Length mismatches are still rejected.
+	if err := RefineKWay(context.Background(), g, part, 3, RefineOptions{Origin: origin[:1]}); err == nil {
+		t.Error("accepted short origin")
+	}
+	if err := RefineKWay(context.Background(), g, part, 3, RefineOptions{Origin: origin, MovePenalty: []int64{1}}); err == nil {
+		t.Error("accepted short penalty")
+	}
+}
+
 func TestMethodString(t *testing.T) {
 	if RecursiveBisection.String() != "rb" || DirectKWay.String() != "kway" {
 		t.Error("method labels wrong")

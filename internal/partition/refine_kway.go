@@ -21,7 +21,8 @@ type RefineOptions struct {
 	// the move's gain by MovePenalty[v] edge-weight units, and moving it
 	// back to Origin[v] adds the same. Balance-restoring moves remain
 	// admissible regardless of penalty — the bias steers which vertices
-	// migrate, it never blocks rebalancing.
+	// migrate, it never blocks rebalancing. Origin with a nil MovePenalty
+	// is a zero bias: refinement runs unbiased.
 	Origin      []int32
 	MovePenalty []int64
 }
@@ -47,11 +48,15 @@ func RefineKWay(ctx context.Context, g *graph.Graph, part []int32, k int, opt Re
 	}
 	var bias *moveBias
 	if opt.Origin != nil {
-		if len(opt.Origin) != n || len(opt.MovePenalty) != n {
-			return fmt.Errorf("partition: origin/penalty length %d/%d, want %d",
-				len(opt.Origin), len(opt.MovePenalty), n)
+		if len(opt.Origin) != n {
+			return fmt.Errorf("partition: origin length %d, want %d", len(opt.Origin), n)
 		}
-		bias = &moveBias{origin: opt.Origin, pen: opt.MovePenalty}
+		if opt.MovePenalty != nil {
+			if len(opt.MovePenalty) != n {
+				return fmt.Errorf("partition: penalty length %d, want %d", len(opt.MovePenalty), n)
+			}
+			bias = &moveBias{origin: opt.Origin, pen: opt.MovePenalty}
+		}
 	}
 	caps := kwayCaps(g, k, opt.ImbalanceTol)
 	rng := rand.New(rand.NewSource(opt.Seed))

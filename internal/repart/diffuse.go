@@ -42,11 +42,14 @@ func diffuse(ctx context.Context, g *graph.Graph, part []int32, k int, opt Optio
 	}
 
 	// Sweep cells of overloaded parts in ascending migration cost so the
-	// cheap state moves first. A bounded number of sweeps suffices: each
-	// move strictly reduces total overage.
+	// cheap state moves first (any order when the penalty is disabled and
+	// pen is nil). A bounded number of sweeps suffices: each move strictly
+	// reduces total overage.
 	rng := rand.New(rand.NewSource(opt.Part.Seed))
 	order := rng.Perm(n)
-	sort.SliceStable(order, func(a, b int) bool { return pen[order[a]] < pen[order[b]] })
+	if pen != nil {
+		sort.SliceStable(order, func(a, b int) bool { return pen[order[a]] < pen[order[b]] })
+	}
 
 	conn := make([]int64, k)
 	touched := make([]int32, 0, 8)

@@ -206,7 +206,9 @@ func Repartition(ctx context.Context, g *graph.Graph, old *partition.Result, opt
 // pen[v] = MigrationPenalty · wbar · MigBytes[v]/migbar, floored at 1, where
 // wbar is the mean incident edge weight. This keeps the penalty commensurate
 // with edge-cut gains regardless of the byte scale, so one option value
-// behaves consistently across meshes.
+// behaves consistently across meshes. A negative MigrationPenalty disables
+// the bias: the result is nil, which every consumer (the diffusive sweep's
+// cost ordering and RefineKWay's MovePenalty) treats as zero penalty.
 func penalties(g *graph.Graph, opt Options) []int64 {
 	if opt.MigrationPenalty < 0 {
 		return nil

@@ -117,6 +117,34 @@ func TestRepartitionModesRestoreBalance(t *testing.T) {
 	}
 }
 
+// TestRepartitionNegativePenaltyDisablesBias: MigrationPenalty < 0 is the
+// documented "no penalty" setting; every incremental mode must run unbiased
+// rather than panic (diffuse sorted a nil penalty slice) or error (refine
+// passed a nil MovePenalty that RefineKWay rejected).
+func TestRepartitionNegativePenaltyDisablesBias(t *testing.T) {
+	for _, mode := range []Mode{Auto, Diffuse, Refine, Scratch} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m, old := driftedCylinder(t, 0.002, 8, 0.3)
+			g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})
+			before := partition.NewResult(g, old.Part, 8).MaxImbalance()
+			res, err := Repartition(context.Background(), g, old, Options{
+				Mode:             mode,
+				MigrationPenalty: -1,
+				MigBytes:         MeshMigrationBytes(m),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if after := res.MaxImbalance(); after >= before {
+				t.Errorf("imbalance %.3f did not improve on %.3f", after, before)
+			}
+			if err := res.Validate(g); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
 func TestIncrementalMovesLessThanScratch(t *testing.T) {
 	m, old := driftedCylinder(t, 0.002, 8, 0.2)
 	g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})

@@ -132,6 +132,38 @@ func TestRepartitionInlineParent(t *testing.T) {
 	}
 }
 
+// TestRepartitionNegativePenalty: migration_penalty = -1 is in the accepted
+// range and documented to disable the bias; the job must complete instead of
+// panicking on the worker goroutine (which took the whole daemon down).
+func TestRepartitionNegativePenalty(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	m := mesh.Cylinder(0.002)
+	n := m.NumCells()
+	parent := make([]string, n)
+	for i := range parent {
+		parent[i] = "0"
+		if i >= n/2 {
+			parent[i] = "1"
+		}
+	}
+	for _, mode := range []string{"diffuse", "refine", "auto"} {
+		req := fmt.Sprintf(`{"mesh":"CYLINDER","scale":0.002,"k":2,"strategy":"MC_TL","options":{"seed":5},"parent":[%s],"mode":%q,"migration_penalty":-1}`,
+			strings.Join(parent, ","), mode)
+		resp, body := postRepart(t, ts.URL, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mode %s: status %d body %s", mode, resp.StatusCode, body)
+		}
+		var rr RepartitionResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatal(err)
+		}
+		if len(rr.Part) != n {
+			t.Fatalf("mode %s: len(part) = %d, want %d", mode, len(rr.Part), n)
+		}
+	}
+}
+
 func TestRepartitionUnknownParentHash(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 
