@@ -41,14 +41,15 @@ type result struct {
 }
 
 type report struct {
-	Mesh    string   `json:"mesh"`
-	Cells   int      `json:"cells"`
-	Census  []int64  `json:"census"`
-	Domains int      `json:"domains"`
-	Procs   int      `json:"procs"`
-	Workers int      `json:"workers"`
-	Seed    int64    `json:"seed"`
-	Results []result `json:"results"`
+	Mesh     string   `json:"mesh"`
+	Cells    int      `json:"cells"`
+	Census   []int64  `json:"census"`
+	Domains  int      `json:"domains"`
+	Procs    int      `json:"procs"`
+	Workers  int      `json:"workers"`
+	Seed     int64    `json:"seed"`
+	Parallel int      `json:"parallel"`
+	Results  []result `json:"results"`
 }
 
 func main() {
@@ -59,6 +60,7 @@ func main() {
 		procs    = flag.Int("procs", 16, "emulated processes")
 		workers  = flag.Int("workers", 32, "cores per process")
 		seed     = flag.Int64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", 0, "partitioner worker goroutines (0 = GOMAXPROCS, 1 = serial); the result is identical at every setting")
 		commLat  = flag.Int64("comm-latency", 0, "time units per cross-process dependency edge")
 		kway     = flag.Bool("kway", false, "also run SC_OC/MC_TL with the direct k-way method")
 		asJSON   = flag.Bool("json", false, "emit one JSON report instead of the table")
@@ -71,7 +73,7 @@ func main() {
 	m, err := core.LoadMesh(*meshName, *scale)
 	check(err)
 	if *doRepart {
-		runRepart(m, *domains, *procs, *workers, *seed, *commLat, *epochs, *step, *asJSON)
+		runRepart(m, *domains, *procs, *workers, *parallel, *seed, *commLat, *epochs, *step, *asJSON)
 		return
 	}
 	if !*asJSON {
@@ -85,16 +87,16 @@ func main() {
 		opt   partition.Options
 	}
 	jobs := []job{
-		{"SC_OC(rb)", partition.SCOC, partition.Options{Seed: *seed}},
-		{"MC_TL(rb)", partition.MCTL, partition.Options{Seed: *seed}},
-		{"UNIT(rb)", partition.UnitCells, partition.Options{Seed: *seed}},
+		{"SC_OC(rb)", partition.SCOC, partition.Options{Seed: *seed, Parallelism: *parallel}},
+		{"MC_TL(rb)", partition.MCTL, partition.Options{Seed: *seed, Parallelism: *parallel}},
+		{"UNIT(rb)", partition.UnitCells, partition.Options{Seed: *seed, Parallelism: *parallel}},
 		{"GEOM_RCB", partition.GeomRCB, partition.Options{}},
 		{"SFC", partition.SFC, partition.Options{}},
 	}
 	if *kway {
 		jobs = append(jobs,
-			job{"SC_OC(kway)", partition.SCOC, partition.Options{Seed: *seed, Method: partition.DirectKWay}},
-			job{"MC_TL(kway)", partition.MCTL, partition.Options{Seed: *seed, Method: partition.DirectKWay}},
+			job{"SC_OC(kway)", partition.SCOC, partition.Options{Seed: *seed, Method: partition.DirectKWay, Parallelism: *parallel}},
+			job{"MC_TL(kway)", partition.MCTL, partition.Options{Seed: *seed, Method: partition.DirectKWay, Parallelism: *parallel}},
 		)
 	}
 
@@ -106,6 +108,7 @@ func main() {
 	rep := report{
 		Mesh: m.Name, Cells: m.NumCells(), Census: m.Census(),
 		Domains: *domains, Procs: *procs, Workers: *workers, Seed: *seed,
+		Parallel: *parallel,
 	}
 	for _, j := range jobs {
 		t0 := time.Now()

@@ -46,7 +46,7 @@ type repartReport struct {
 // runRepart drives a migrating hotspot across the mesh and compares the three
 // repartitioning policies on makespan, edge cut and migration volume — the
 // CLI face of the drift experiment, at whatever mesh/cluster the flags chose.
-func runRepart(m *mesh.Mesh, domains, procs, workers int, seed, commLat int64, epochs int, step float64, asJSON bool) {
+func runRepart(m *mesh.Mesh, domains, procs, workers, parallel int, seed, commLat int64, epochs int, step float64, asJSON bool) {
 	ctx := context.Background()
 	cluster := flusim.Cluster{NumProcs: int(procs), WorkersPerProc: int(workers)}
 	procOf := flusim.BlockMap(domains, procs)
@@ -65,7 +65,7 @@ func runRepart(m *mesh.Mesh, domains, procs, workers int, seed, commLat int64, e
 	extent := xmax - xmin
 	yc, zc := (ymin+ymax)/2, (zmin+zmax)/2
 
-	stale, err := partition.PartitionMesh(ctx, m, domains, partition.MCTL, partition.Options{Seed: seed})
+	stale, err := partition.PartitionMesh(ctx, m, domains, partition.MCTL, partition.Options{Seed: seed, Parallelism: parallel})
 	check(err)
 	scrPart := append([]int32(nil), stale.Part...)
 	incPart := append([]int32(nil), stale.Part...)
@@ -116,7 +116,7 @@ func runRepart(m *mesh.Mesh, domains, procs, workers int, seed, commLat int64, e
 
 		t0 := time.Now()
 		scr, err := repart.Repartition(ctx, g, partition.NewResult(g, scrPart, domains),
-			repart.Options{Mode: repart.Scratch, Part: partition.Options{Seed: seed + int64(e)}, MigBytes: migBytes})
+			repart.Options{Mode: repart.Scratch, Part: partition.Options{Seed: seed + int64(e), Parallelism: parallel}, MigBytes: migBytes})
 		check(err)
 		scrWall := time.Since(t0).Seconds()
 		scrPart = scr.Part
@@ -127,7 +127,7 @@ func runRepart(m *mesh.Mesh, domains, procs, workers int, seed, commLat int64, e
 
 		t0 = time.Now()
 		inc, err := repart.Repartition(ctx, g, partition.NewResult(g, incPart, domains),
-			repart.Options{Mode: repart.Auto, Part: partition.Options{Seed: seed + int64(e)}, MigBytes: migBytes})
+			repart.Options{Mode: repart.Auto, Part: partition.Options{Seed: seed + int64(e), Parallelism: parallel}, MigBytes: migBytes})
 		check(err)
 		incWall := time.Since(t0).Seconds()
 		incPart = inc.Part

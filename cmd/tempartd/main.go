@@ -30,6 +30,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		workers      = flag.Int("workers", 0, "partition worker pool size (0 = GOMAXPROCS)")
+		parallel     = flag.Int("parallel", 0, "per-request partitioner parallelism cap (0 = GOMAXPROCS/workers)")
 		queueDepth   = flag.Int("queue", 64, "admission queue depth (overflow answers 429)")
 		cacheMB      = flag.Int64("cache-mb", 256, "result cache budget in MiB")
 		maxBodyMB    = flag.Int64("max-body-mb", 64, "maximum request body (mesh upload) in MiB")
@@ -44,6 +45,7 @@ func main() {
 		CacheBytes:     *cacheMB << 20,
 		MaxBodyBytes:   *maxBodyMB << 20,
 		DefaultTimeout: *timeout,
+		MaxParallelism: *parallel,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -9,6 +9,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Graph is an undirected graph in CSR form. Every undirected edge {u,v}
@@ -171,33 +172,90 @@ func (g *Graph) Components() ([]int32, int) {
 // coarse edge weights are the sums of fine edge weights between the two
 // coarse endpoints. Fine edges internal to a coarse vertex disappear.
 func (g *Graph) Contract(cmap []int32, ncoarse int) *Graph {
-	n := g.NumVertices()
+	return g.ContractP(cmap, ncoarse, nil)
+}
+
+// posPool recycles the -1-filled position tables contractRange uses. The
+// algorithm restores every touched entry to -1 before returning, so a pooled
+// table is clean by construction and only first use (or growth) pays the
+// fill.
+var posPool = sync.Pool{New: func() any { return new([]int32) }}
+
+func getPosTable(n int) *[]int32 {
+	p := posPool.Get().(*[]int32)
+	if cap(*p) < n {
+		*p = make([]int32, n)
+		for i := range *p {
+			(*p)[i] = -1
+		}
+	}
+	*p = (*p)[:cap(*p)]
+	return p
+}
+
+// ContractP is Contract with the row assembly sharded over the pool's
+// workers. Every coarse vertex's weight and adjacency row depend only on its
+// own fine vertices, so shards write disjoint state and the merged result is
+// bit-identical to the serial contraction for any pool width.
+func (g *Graph) ContractP(cmap []int32, ncoarse int, pool *Pool) *Graph {
 	cg := &Graph{
 		NCon: g.NCon,
 		VWgt: make([]int32, ncoarse*g.NCon),
 		Xadj: make([]int32, ncoarse+1),
 	}
-	for v := 0; v < n; v++ {
-		cv := int(cmap[v])
-		for c := 0; c < g.NCon; c++ {
-			cg.VWgt[cv*g.NCon+c] += g.VWgt[v*g.NCon+c]
-		}
-	}
-	// Two passes: count distinct coarse neighbours, then fill. A scratch
-	// table maps coarse neighbour -> position for the coarse vertex being
-	// assembled.
-	pos := make([]int32, ncoarse)
-	for i := range pos {
-		pos[i] = -1
-	}
 	// Group fine vertices by coarse vertex for cache-friendly assembly.
 	order, starts := groupByCoarse(cmap, ncoarse)
 
-	var adj []int32
-	var wgt []int32
-	touched := make([]int32, 0, 64)
+	bounds := pool.Bounds(ncoarse, 1024)
+	nshards := len(bounds) - 1
+	type rows struct{ adj, wgt []int32 }
+	outs := make([]rows, nshards)
+	pool.RunN(nshards, func(s int) {
+		adj, wgt := g.contractRange(cg, cmap, order, starts, bounds[s], bounds[s+1])
+		outs[s] = rows{adj, wgt}
+	})
+
+	// contractRange left per-row lengths in Xadj[cv+1]; prefix-sum them into
+	// offsets, then splice the shard rows (contiguous per shard) into place.
 	for cv := 0; cv < ncoarse; cv++ {
+		cg.Xadj[cv+1] += cg.Xadj[cv]
+	}
+	if nshards == 1 {
+		cg.Adjncy, cg.AdjWgt = outs[0].adj, outs[0].wgt
+		return cg
+	}
+	total := int(cg.Xadj[ncoarse])
+	cg.Adjncy = make([]int32, total)
+	cg.AdjWgt = make([]int32, total)
+	pool.RunN(nshards, func(s int) {
+		off := cg.Xadj[bounds[s]]
+		copy(cg.Adjncy[off:], outs[s].adj)
+		copy(cg.AdjWgt[off:], outs[s].wgt)
+	})
+	return cg
+}
+
+// contractRange assembles coarse vertices [lo, hi): it accumulates their
+// weights into cg.VWgt, records each row's length in cg.Xadj[cv+1], and
+// returns the concatenated adjacency/weight rows for the range.
+func (g *Graph) contractRange(cg *Graph, cmap, order, starts []int32, lo, hi int) (adj, wgt []int32) {
+	posBuf := getPosTable(len(cg.Xadj) - 1)
+	defer posPool.Put(posBuf)
+	pos := *posBuf
+
+	edgeCap := 0
+	for _, v := range order[starts[lo]:starts[hi]] {
+		edgeCap += int(g.Xadj[v+1] - g.Xadj[v])
+	}
+	adj = make([]int32, 0, edgeCap)
+	wgt = make([]int32, 0, edgeCap)
+	touched := make([]int32, 0, 64)
+	for cv := lo; cv < hi; cv++ {
+		rowStart := len(adj)
 		for _, v := range order[starts[cv]:starts[cv+1]] {
+			for c := 0; c < g.NCon; c++ {
+				cg.VWgt[cv*g.NCon+c] += g.VWgt[int(v)*g.NCon+c]
+			}
 			for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
 				cu := cmap[g.Adjncy[i]]
 				if int(cu) == cv {
@@ -217,11 +275,9 @@ func (g *Graph) Contract(cmap []int32, ncoarse int) *Graph {
 			pos[cu] = -1
 		}
 		touched = touched[:0]
-		cg.Xadj[cv+1] = int32(len(adj))
+		cg.Xadj[cv+1] = int32(len(adj) - rowStart)
 	}
-	cg.Adjncy = adj
-	cg.AdjWgt = wgt
-	return cg
+	return adj, wgt
 }
 
 // groupByCoarse returns fine vertices ordered by their coarse vertex, plus
@@ -249,8 +305,37 @@ func groupByCoarse(cmap []int32, ncoarse int) (order []int32, starts []int32) {
 // be distinct). It returns the subgraph and the mapping from subgraph vertex
 // index to original vertex id.
 func (g *Graph) Subgraph(vertices []int32) (*Graph, []int32) {
+	sg, _ := g.SubgraphWith(vertices, nil)
+	orig := make([]int32, len(vertices))
+	copy(orig, vertices)
+	return sg, orig
+}
+
+// Scratch holds reusable buffers for repeated graph extractions. A zero
+// Scratch is ready to use; buffers grow on demand and are restored to their
+// clean state before each call returns, so one Scratch can serve any number
+// of sequential SubgraphWith calls on graphs up to its high-water size. A
+// Scratch must not be shared between concurrent callers.
+type Scratch struct {
+	local []int32 // global vertex id -> local index, -1 when unset
+}
+
+// SubgraphWith is Subgraph backed by caller-provided scratch (nil allocates
+// fresh buffers). Unlike Subgraph it returns the input slice itself as the
+// index→id mapping instead of a copy; the caller owns both and may reuse the
+// slice once the mapping is no longer needed.
+func (g *Graph) SubgraphWith(vertices []int32, sc *Scratch) (*Graph, []int32) {
 	n := len(vertices)
-	local := make(map[int32]int32, n)
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	if len(sc.local) < g.NumVertices() {
+		sc.local = make([]int32, g.NumVertices())
+		for i := range sc.local {
+			sc.local[i] = -1
+		}
+	}
+	local := sc.local
 	for i, v := range vertices {
 		local[v] = int32(i)
 	}
@@ -259,11 +344,16 @@ func (g *Graph) Subgraph(vertices []int32) (*Graph, []int32) {
 		Xadj: make([]int32, n+1),
 		VWgt: make([]int32, n*g.NCon),
 	}
-	var adj, wgt []int32
+	edgeCap := 0
+	for _, v := range vertices {
+		edgeCap += int(g.Xadj[v+1] - g.Xadj[v])
+	}
+	adj := make([]int32, 0, edgeCap)
+	wgt := make([]int32, 0, edgeCap)
 	for i, v := range vertices {
 		copy(sg.VWgt[i*g.NCon:(i+1)*g.NCon], g.WeightVec(v))
 		for j := g.Xadj[v]; j < g.Xadj[v+1]; j++ {
-			if lu, ok := local[g.Adjncy[j]]; ok {
+			if lu := local[g.Adjncy[j]]; lu >= 0 {
 				adj = append(adj, lu)
 				wgt = append(wgt, g.AdjWgt[j])
 			}
@@ -272,7 +362,8 @@ func (g *Graph) Subgraph(vertices []int32) (*Graph, []int32) {
 	}
 	sg.Adjncy = adj
 	sg.AdjWgt = wgt
-	orig := make([]int32, n)
-	copy(orig, vertices)
-	return sg, orig
+	for _, v := range vertices {
+		local[v] = -1
+	}
+	return sg, vertices
 }

@@ -1,0 +1,68 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"tempart/internal/mesh"
+)
+
+// BenchmarkPartitionCylinder is the perf contract of the parallel multilevel
+// pipeline: the CI-scale cylinder at several Parallelism settings, with
+// edge-cut and worst per-level imbalance reported alongside ns/op so a speed
+// win that degrades quality is visible in the same output. Because the
+// result is bit-identical across settings, the quality metrics must not move
+// between sub-benchmarks — only ns/op may.
+func BenchmarkPartitionCylinder(b *testing.B) {
+	m := mesh.Cylinder(0.01)
+	const k = 64
+	for _, par := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("parallel=%d", par)
+		if par == 0 {
+			name = "parallel=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *Result
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = PartitionMesh(context.Background(), m, k, MCTL,
+					Options{Seed: 1, Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.EdgeCut), "edge-cut")
+			worst := 0.0
+			for _, v := range res.Imbalance() {
+				if v > worst {
+					worst = v
+				}
+			}
+			b.ReportMetric(worst, "max-level-imb")
+		})
+	}
+}
+
+// BenchmarkPartitionKWayCylinder covers the direct k-way construction, whose
+// coarsening dominates (one deep hierarchy instead of a bisection tree).
+func BenchmarkPartitionKWayCylinder(b *testing.B) {
+	m := mesh.Cylinder(0.01)
+	const k = 64
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			var res *Result
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = PartitionMesh(context.Background(), m, k, MCTL,
+					Options{Seed: 1, Method: DirectKWay, Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.EdgeCut), "edge-cut")
+		})
+	}
+}

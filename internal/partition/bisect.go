@@ -253,6 +253,9 @@ func newVertexHeap() *vertexHeap { return &vertexHeap{} }
 
 func (h *vertexHeap) len() int { return len(h.vs) }
 
+// reset empties the heap while keeping its backing arrays for reuse.
+func (h *vertexHeap) reset() { h.keys, h.vs = h.keys[:0], h.vs[:0] }
+
 func (h *vertexHeap) push(key, v int32) {
 	h.keys = append(h.keys, key)
 	h.vs = append(h.vs, v)

@@ -16,46 +16,94 @@ type level struct {
 // coarsen builds the multilevel hierarchy by repeated heavy-edge matching
 // until the graph has at most coarsenTo vertices or matching stalls (the
 // coarse graph shrinks by less than 10%). It returns the hierarchy from
-// finest (input, cmap nil) to coarsest. Cancelling ctx stops after the
-// current matching level.
-func coarsen(ctx context.Context, g *graph.Graph, coarsenTo int, rng randSource) []level {
+// finest (input, cmap nil) to coarsest. Cancellation is honoured *inside*
+// heavyEdgeMatching (every matchCancelStride vertices), not just between
+// levels, so a cancelled request never pays for a full matching pass — let
+// alone the contraction that would follow it — on a large graph.
+func coarsen(ctx context.Context, g *graph.Graph, coarsenTo int, rng randSource, pool *graph.Pool, sc *scratch) []level {
 	levels := []level{{g: g}}
 	cur := g
 	for cur.NumVertices() > coarsenTo && ctx.Err() == nil {
-		cmap, ncoarse := heavyEdgeMatching(cur, rng)
+		cmap, ncoarse, ok := heavyEdgeMatching(ctx, cur, rng, pool, sc)
+		if !ok {
+			break // cancelled mid-match; do not contract
+		}
 		if float64(ncoarse) > 0.9*float64(cur.NumVertices()) {
 			break // diminishing returns; stop here
 		}
-		cg := cur.Contract(cmap, ncoarse)
+		cg := cur.ContractP(cmap, ncoarse, pool)
 		levels = append(levels, level{g: cg, cmap: cmap})
 		cur = cg
 	}
 	return levels
 }
 
+// matchCancelStride is how many vertices heavyEdgeMatching processes between
+// context checks; it bounds cancellation latency within a matching pass.
+const matchCancelStride = 1024
+
 // heavyEdgeMatching computes a matching that pairs each unmatched vertex with
 // its unmatched neighbour of heaviest connecting edge, visiting vertices in
-// random order. It returns the fine→coarse map and the coarse vertex count.
-// Unmatched vertices become singleton coarse vertices.
-func heavyEdgeMatching(g *graph.Graph, rng randSource) (cmap []int32, ncoarse int) {
+// random order. It returns the fine→coarse map and the coarse vertex count;
+// ok is false when ctx was cancelled before the matching finished (cmap is
+// nil in that case). Unmatched vertices become singleton coarse vertices.
+//
+// The candidate scoring is sharded across the pool: pref[v] precomputes v's
+// first maximum-weight neighbour, which is exactly the vertex the serial scan
+// would pick whenever that neighbour is still unmatched (any earlier
+// neighbour has a strictly smaller weight). The sequential sweep then only
+// falls back to a full scan when the preferred neighbour was already taken,
+// so the matching is bit-identical to the serial algorithm while the bulk of
+// the edge scanning runs in parallel.
+func heavyEdgeMatching(ctx context.Context, g *graph.Graph, rng randSource, pool *graph.Pool, sc *scratch) (cmap []int32, ncoarse int, ok bool) {
+	if ctx.Err() != nil {
+		return nil, 0, false
+	}
 	n := g.NumVertices()
-	match := make([]int32, n)
+
+	pref := growI32(sc.pref, n)
+	sc.pref = pref
+	bounds := pool.Bounds(n, 4096)
+	pool.RunN(len(bounds)-1, func(s int) {
+		for v := bounds[s]; v < bounds[s+1]; v++ {
+			adj := g.Neighbors(int32(v))
+			wgt := g.EdgeWeights(int32(v))
+			var best int32 = -1
+			var bestW int32 = -1
+			for i, u := range adj {
+				if wgt[i] > bestW {
+					best, bestW = u, wgt[i]
+				}
+			}
+			pref[v] = best
+		}
+	})
+
+	match := growI32(sc.match, n)
+	sc.match = match
 	for i := range match {
 		match[i] = -1
 	}
 	order := rng.Perm(n)
-	for _, vi := range order {
+	for oi, vi := range order {
+		if oi%matchCancelStride == 0 && ctx.Err() != nil {
+			return nil, 0, false
+		}
 		v := int32(vi)
 		if match[v] >= 0 {
 			continue
 		}
-		var best int32 = -1
-		var bestW int32 = -1
-		adj := g.Neighbors(v)
-		wgt := g.EdgeWeights(v)
-		for i, u := range adj {
-			if match[u] < 0 && wgt[i] > bestW {
-				best, bestW = u, wgt[i]
+		best := pref[v]
+		if best >= 0 && match[best] >= 0 {
+			// Preferred neighbour already matched; fall back to the scan.
+			best = -1
+			var bestW int32 = -1
+			adj := g.Neighbors(v)
+			wgt := g.EdgeWeights(v)
+			for i, u := range adj {
+				if match[u] < 0 && wgt[i] > bestW {
+					best, bestW = u, wgt[i]
+				}
 			}
 		}
 		if best >= 0 {
@@ -64,6 +112,9 @@ func heavyEdgeMatching(g *graph.Graph, rng randSource) (cmap []int32, ncoarse in
 			match[v] = v // singleton
 		}
 	}
+
+	// cmap outlives the call (it is retained by the level hierarchy), so it
+	// is allocated fresh rather than drawn from the scratch arena.
 	cmap = make([]int32, n)
 	for i := range cmap {
 		cmap[i] = -1
@@ -79,7 +130,7 @@ func heavyEdgeMatching(g *graph.Graph, rng randSource) (cmap []int32, ncoarse in
 		}
 		next++
 	}
-	return cmap, int(next)
+	return cmap, int(next), true
 }
 
 // projectAssignment pushes a coarse 0/1 (or k-way) assignment down one level:

@@ -50,19 +50,38 @@ func DualPhase(ctx context.Context, m *mesh.Mesh, numProcs, domainsPerProc int, 
 	for c, p := range phase1.Part {
 		byProc[p] = append(byProc[p], int32(c))
 	}
-	for p := 0; p < numProcs; p++ {
+	// The per-process SC_OC subproblems are independent (disjoint cell sets,
+	// disjoint domain ranges), so they fan out across workers. Each
+	// subproblem keeps its derived seed and splits the parallelism budget so
+	// outer × inner concurrency stays near the configured bound; results are
+	// identical to the serial loop because nothing depends on completion
+	// order.
+	par := graph.Parallelism(opt.Parallelism)
+	innerPar := par / numProcs
+	if innerPar < 1 {
+		innerPar = 1
+	}
+	errs := make([]error, numProcs)
+	forEach(par, numProcs, func(p int) {
 		sub, orig := subgraphOf(scGraph, byProc[p])
 		subOpt := opt
 		subOpt.Seed = opt.Seed + int64(p) + 1
+		subOpt.Parallelism = innerPar
 		inner, err := Partition(ctx, sub, domainsPerProc, subOpt)
 		if err != nil {
-			return nil, err
+			errs[p] = err
+			return
 		}
 		for i, d := range inner.Part {
 			res.Domain[orig[i]] = int32(p*domainsPerProc) + d
 		}
 		for d := 0; d < domainsPerProc; d++ {
 			res.ProcOfDomain[p*domainsPerProc+d] = int32(p)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return res, nil

@@ -47,13 +47,16 @@ func PartitionKWay(ctx context.Context, g *graph.Graph, k int, opt Options) (*Re
 	}
 	opt = opt.withDefaults(g.NCon)
 	rng := rand.New(rand.NewSource(opt.Seed))
+	pool := graph.NewPool(opt.Parallelism)
 
 	// Coarsen once, keeping enough coarse vertices for k parts.
 	coarseTo := opt.CoarsenTo
 	if min := 16 * k; coarseTo < min {
 		coarseTo = min
 	}
-	levels := coarsen(ctx, g, coarseTo, rng)
+	sc := getScratch()
+	levels := coarsen(ctx, g, coarseTo, rng, pool, sc)
+	putScratch(sc)
 	coarsest := levels[len(levels)-1].g
 
 	// Initial k-way on the coarsest graph via recursive bisection.
@@ -62,7 +65,7 @@ func PartitionKWay(ctx context.Context, g *graph.Graph, k int, opt Options) (*Re
 	for i := range vertices {
 		vertices[i] = int32(i)
 	}
-	recursiveBisect(ctx, coarsest, vertices, 0, k, part, opt, rng)
+	recursiveBisect(ctx, coarsest, vertices, 0, k, part, opt, opt.Seed, pool)
 
 	// Uncoarsen with k-way refinement at every level.
 	caps := kwayCaps(g, k, opt.ImbalanceTol)

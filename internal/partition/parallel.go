@@ -1,0 +1,100 @@
+package partition
+
+import (
+	"sync"
+
+	"tempart/internal/graph"
+)
+
+// deriveSeed derives a subtree's RNG seed from its parent's seed and the
+// subtree's (firstPart, k) coordinates via a splitmix64-style mix. Every node
+// of the recursive-bisection tree is uniquely addressed by (firstPart, k), so
+// the seed of any node is a pure function of the root seed and the node's
+// path — never of scheduling — which is what keeps parallel fan-out
+// bit-identical to serial execution for a given Options.Seed.
+func deriveSeed(parent int64, firstPart, k int) int64 {
+	z := uint64(parent) ^ (uint64(uint32(firstPart))*0x9E3779B97F4A7C15 ^
+		uint64(uint32(k))*0xBF58476D1CE4E5B9)
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// scratch is the per-worker buffer arena of the multilevel pipeline. Every
+// O(n) working array that used to be allocated per bisection node, per FM
+// pass or per matching sweep lives here instead; workers take an arena from
+// the pool at each recursion node and return it before fanning out, so the
+// pool holds at most one arena per concurrently active node. Buffers only
+// ever grow; a long-lived process converges to zero steady-state allocation
+// in these paths.
+type scratch struct {
+	gsc   graph.Scratch // Subgraph local-id table
+	split []int32       // stable-partition spill buffer (recursiveBisect)
+	match []int32       // heavy-edge matching state
+	pref  []int32       // precomputed heaviest-neighbour candidates
+
+	// FM refinement state (refineBisection / fmPass).
+	gain   []int32
+	bound  []bool
+	locked []bool
+	moves  []int32
+	heaps  [2]vertexHeap
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// growI32 returns buf resized to n, reallocating only when capacity is short.
+// Contents are unspecified — callers must fully initialise the slice.
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// growBool is growI32 for bool buffers, additionally clearing the slice.
+func growBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+// forEach runs f(0) … f(n-1) on up to workers goroutines (including the
+// caller). Results must not depend on execution order.
+func forEach(workers, n int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 1; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	f(0)
+	wg.Wait()
+}

@@ -16,7 +16,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"tempart/internal/graph"
 )
@@ -44,6 +43,13 @@ type Options struct {
 	// cut). Partitioning is cheap relative to a simulation campaign, so a
 	// handful of trials is a robust quality lever.
 	Trials int
+	// Parallelism bounds the worker goroutines the construction may use
+	// (recursive-bisection fan-out, sharded matching and contraction).
+	// Values <= 0 mean GOMAXPROCS; 1 forces serial execution. For a given
+	// Seed the result is bit-identical at every Parallelism setting: every
+	// subtree of the bisection tree draws from an RNG seeded purely by its
+	// position in the tree, never by scheduling order.
+	Parallelism int
 }
 
 func (o Options) withDefaults(ncon int) Options {
@@ -224,12 +230,12 @@ func partitionRB(ctx context.Context, g *graph.Graph, k int, opt Options) (*Resu
 	part := make([]int32, n)
 	if k > 1 {
 		opt = opt.withDefaults(g.NCon)
-		rng := rand.New(rand.NewSource(opt.Seed))
+		pool := graph.NewPool(opt.Parallelism)
 		vertices := make([]int32, n)
 		for i := range vertices {
 			vertices[i] = int32(i)
 		}
-		recursiveBisect(ctx, g, vertices, 0, k, part, opt, rng)
+		recursiveBisect(ctx, g, vertices, 0, k, part, opt, opt.Seed, pool)
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("partition: %w", err)
 		}

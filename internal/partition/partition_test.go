@@ -271,7 +271,10 @@ func TestDualPhase(t *testing.T) {
 func TestHeavyEdgeMatchingValid(t *testing.T) {
 	g := graph.Grid(10, 10)
 	rng := rand.New(rand.NewSource(1))
-	cmap, nc := heavyEdgeMatching(g, rng)
+	cmap, nc, ok := heavyEdgeMatching(context.Background(), g, rng, nil, new(scratch))
+	if !ok {
+		t.Fatal("heavyEdgeMatching reported cancellation with a live context")
+	}
 	if nc <= g.NumVertices()/3 || nc > g.NumVertices() {
 		t.Errorf("ncoarse = %d out of expected range for %d vertices", nc, g.NumVertices())
 	}
@@ -303,7 +306,7 @@ func TestHeavyEdgeMatchingValid(t *testing.T) {
 func TestCoarsenHierarchyConservesWeight(t *testing.T) {
 	g := graph.Grid(20, 20)
 	rng := rand.New(rand.NewSource(2))
-	levels := coarsen(context.Background(), g, 16, rng)
+	levels := coarsen(context.Background(), g, 16, rng, nil, new(scratch))
 	if len(levels) < 2 {
 		t.Fatal("coarsening produced no levels")
 	}
@@ -335,7 +338,7 @@ func TestFMPassNeverWorsens(t *testing.T) {
 		caps0, caps1 := sideCaps(g, 0.5, 1.05)
 		b := newBisection(g, append([]int32(nil), where...), caps0, caps1)
 		v0, c0 := b.violation(), b.cut()
-		fmPass(b)
+		fmPass(b, new(scratch))
 		v1, c1 := b.violation(), b.cut()
 		return betterState(v1, c1-c0, v0, 0) || (v1 == v0 && c1 == c0)
 	}

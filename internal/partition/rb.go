@@ -2,6 +2,7 @@ package partition
 
 import (
 	"context"
+	"math/rand"
 
 	"tempart/internal/graph"
 )
@@ -12,7 +13,19 @@ import (
 // direct k-way because it yields higher-quality multi-constraint partitions
 // on these meshes. On cancellation the remaining vertices are bulk-assigned
 // so the array stays well formed; the caller turns ctx.Err() into an error.
-func recursiveBisect(ctx context.Context, g *graph.Graph, vertices []int32, firstPart, k int, part []int32, opt Options, rng randSource) {
+//
+// seed is this node's RNG seed; child seeds are derived from it and the
+// child's (firstPart, k) address (see deriveSeed), so every subtree's random
+// stream is a pure function of the root seed and the subtree's position in
+// the bisection tree. After the split, the two subtrees share no state —
+// they recurse on disjoint halves of the vertices buffer and write disjoint
+// entries of part — so they fan out onto the worker pool, and the result is
+// bit-identical to serial execution no matter how the pool schedules them.
+//
+// vertices is consumed: it is repartitioned in place so the recursion reuses
+// one buffer per tree path instead of append-growing fresh left/right slices
+// at every node.
+func recursiveBisect(ctx context.Context, g *graph.Graph, vertices []int32, firstPart, k int, part []int32, opt Options, seed int64, pool *graph.Pool) {
 	if k <= 1 || ctx.Err() != nil {
 		for _, v := range vertices {
 			part[v] = int32(firstPart)
@@ -29,17 +42,40 @@ func recursiveBisect(ctx context.Context, g *graph.Graph, vertices []int32, firs
 	k1 := k / 2
 	frac := float64(k1) / float64(k)
 
-	sg, orig := g.Subgraph(vertices)
-	where := bisectGraph(ctx, sg, frac, opt, rng)
+	sc := getScratch()
+	rng := rand.New(rand.NewSource(seed))
+	sg, orig := g.SubgraphWith(vertices, &sc.gsc) // orig aliases vertices
+	where := bisectGraph(ctx, sg, frac, opt, rng, pool, sc)
 
-	var left, right []int32
-	for i, w := range where {
+	// Stable-partition vertices in place: side-0 vertices slide left (always
+	// to an index ≤ the one being read, so aliasing orig is safe), side-1
+	// vertices spill to scratch and are copied back after.
+	nleft := 0
+	for _, w := range where {
 		if w == 0 {
-			left = append(left, orig[i])
-		} else {
-			right = append(right, orig[i])
+			nleft++
 		}
 	}
-	recursiveBisect(ctx, g, left, firstPart, k1, part, opt, rng)
-	recursiveBisect(ctx, g, right, firstPart+k1, k-k1, part, opt, rng)
+	spill := growI32(sc.split, len(vertices)-nleft)
+	li, ri := 0, 0
+	for i, w := range where {
+		if w == 0 {
+			vertices[li] = orig[i]
+			li++
+		} else {
+			spill[ri] = orig[i]
+			ri++
+		}
+	}
+	copy(vertices[nleft:], spill)
+	sc.split = spill
+	left, right := vertices[:nleft], vertices[nleft:]
+
+	leftSeed := deriveSeed(seed, firstPart, k1)
+	rightSeed := deriveSeed(seed, firstPart+k1, k-k1)
+	putScratch(sc) // children fetch their own arenas
+	pool.Fork(
+		func() { recursiveBisect(ctx, g, left, firstPart, k1, part, opt, leftSeed, pool) },
+		func() { recursiveBisect(ctx, g, right, firstPart+k1, k-k1, part, opt, rightSeed, pool) },
+	)
 }

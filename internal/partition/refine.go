@@ -12,22 +12,26 @@ import (
 // best-gain order under the rule that a move may never increase the balance
 // violation; each pass keeps the best (violation, cut) prefix. Refinement
 // stops when a pass yields no improvement or after maxPasses.
-func refineBisection(b *bisection, maxPasses int) {
+func refineBisection(b *bisection, maxPasses int, sc *scratch) {
 	for pass := 0; pass < maxPasses; pass++ {
-		if !fmPass(b) {
+		if !fmPass(b, sc) {
 			return
 		}
 	}
 }
 
 // fmPass runs one FM pass and reports whether it improved (violation, cut).
-func fmPass(b *bisection) bool {
+// All O(n) working state comes from the scratch arena, so repeated passes
+// (and repeated levels within one bisection) allocate nothing.
+func fmPass(b *bisection, sc *scratch) bool {
 	g := b.g
 	n := g.NumVertices()
 
 	// Gains: ed - id per vertex.
-	gain := make([]int32, n)
-	boundary := make([]bool, n)
+	gain := growI32(sc.gain, n)
+	sc.gain = gain
+	boundary := growBool(sc.bound, n)
+	sc.bound = boundary
 	for v := 0; v < n; v++ {
 		pv := b.where[v]
 		var ed, id int32
@@ -43,8 +47,11 @@ func fmPass(b *bisection) bool {
 	}
 
 	// One heap per move direction (from side s).
-	heaps := [2]*vertexHeap{newVertexHeap(), newVertexHeap()}
-	locked := make([]bool, n)
+	sc.heaps[0].reset()
+	sc.heaps[1].reset()
+	heaps := [2]*vertexHeap{&sc.heaps[0], &sc.heaps[1]}
+	locked := growBool(sc.locked, n)
+	sc.locked = locked
 	for v := 0; v < n; v++ {
 		if boundary[v] {
 			heaps[b.where[v]].push(gain[v], int32(v))
@@ -55,8 +62,7 @@ func fmPass(b *bisection) bool {
 	curViol := startViol
 	var curCutDelta int64 // cut change relative to pass start (negative = better)
 
-	type moveRec struct{ v int32 }
-	var moves []moveRec
+	moves := sc.moves[:0]
 	bestIdx := -1 // moves[:bestIdx+1] is the best prefix
 	bestViol, bestCutDelta := startViol, int64(0)
 
@@ -80,7 +86,7 @@ func fmPass(b *bisection) bool {
 		s := b.where[v]
 		b.move(v)
 		curViol = newViol
-		moves = append(moves, moveRec{v})
+		moves = append(moves, v)
 
 		// Update neighbour gains.
 		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
@@ -107,8 +113,9 @@ func fmPass(b *bisection) bool {
 
 	// Roll back to the best prefix.
 	for i := len(moves) - 1; i > bestIdx; i-- {
-		b.move(moves[i].v)
+		b.move(moves[i])
 	}
+	sc.moves = moves
 	return betterState(bestViol, bestCutDelta, startViol, 0)
 }
 
@@ -226,9 +233,9 @@ func forceBalance(b *bisection) {
 // When ctx is cancelled, remaining trials and refinement passes are skipped
 // (projection still runs so the assignment stays full length); the top-level
 // construction reports the cancellation.
-func bisectGraph(ctx context.Context, g *graph.Graph, frac float64, opt Options, rng randSource) []int32 {
+func bisectGraph(ctx context.Context, g *graph.Graph, frac float64, opt Options, rng randSource, pool *graph.Pool, sc *scratch) []int32 {
 	caps0, caps1 := sideCaps(g, frac, opt.ImbalanceTol)
-	levels := coarsen(ctx, g, opt.CoarsenTo, rng)
+	levels := coarsen(ctx, g, opt.CoarsenTo, rng, pool, sc)
 	coarsest := levels[len(levels)-1].g
 
 	// Initial bisection trials on the coarsest graph.
@@ -240,7 +247,7 @@ func bisectGraph(ctx context.Context, g *graph.Graph, frac float64, opt Options,
 		}
 		where := growBisection(coarsest, frac, caps0, caps1, rng)
 		b := newBisection(coarsest, where, caps0, caps1)
-		refineBisection(b, opt.RefinePasses)
+		refineBisection(b, opt.RefinePasses, sc)
 		viol, cut := b.violation(), b.cut()
 		if bestWhere == nil || betterState(viol, cut, bestViol, bestCut) {
 			bestWhere, bestViol, bestCut = where, viol, cut
@@ -258,7 +265,7 @@ func bisectGraph(ctx context.Context, g *graph.Graph, frac float64, opt Options,
 			continue
 		}
 		b := newBisection(levels[li-1].g, where, caps0, caps1)
-		refineBisection(b, opt.RefinePasses)
+		refineBisection(b, opt.RefinePasses, sc)
 		where = b.where
 	}
 	if ctx.Err() != nil {
@@ -267,7 +274,7 @@ func bisectGraph(ctx context.Context, g *graph.Graph, frac float64, opt Options,
 	// Final balance repair on the finest graph.
 	fb := newBisection(g, where, caps0, caps1)
 	forceBalance(fb)
-	refineBisection(fb, 2)
+	refineBisection(fb, 2, sc)
 	return fb.where
 }
 

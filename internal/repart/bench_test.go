@@ -1,0 +1,49 @@
+package repart
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"tempart/internal/mesh"
+	"tempart/internal/partition"
+)
+
+// BenchmarkRepartitionRefine measures the warm-start refine path on the drift
+// fixture — the per-epoch cost a solver pays when the hot core has moved and
+// the old assignment is patched rather than rebuilt. Edge-cut and worst
+// imbalance ride along so a faster pass that ships a worse partition is
+// visible in the same line.
+func BenchmarkRepartitionRefine(b *testing.B) {
+	m := mesh.Cylinder(0.005)
+	const k = 16
+	old, err := partition.PartitionMesh(context.Background(), m, k, partition.MCTL,
+		partition.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.ReassignLevels(func(x, y, z float64) float64 {
+		return distXYZToSegment(x, y, z, 1.2, 0.5, 0.5, 1.4, 0.5, 0.5)
+	}, mesh.CylinderCounts)
+	g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})
+	migBytes := MeshMigrationBytes(m)
+
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			var res *Result
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err = Repartition(context.Background(), g, old, Options{
+					Mode:     Refine,
+					Part:     partition.Options{Seed: 1, Parallelism: par},
+					MigBytes: migBytes,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.EdgeCut), "edge-cut")
+			b.ReportMetric(res.MaxImbalance(), "max-level-imb")
+		})
+	}
+}

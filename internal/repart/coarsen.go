@@ -26,6 +26,7 @@ type rlevel struct {
 func refineWarm(ctx context.Context, g *graph.Graph, part []int32, k int, opt Options) error {
 	opt.Part = optWithRefineDefaults(opt.Part)
 	rng := rand.New(rand.NewSource(opt.Part.Seed))
+	pool := graph.NewPool(opt.Part.Parallelism)
 
 	coarseTo := 8 * k
 	if min := 128 * g.NCon; min > coarseTo {
@@ -43,7 +44,7 @@ func refineWarm(ctx context.Context, g *graph.Graph, part []int32, k int, opt Op
 		if ncoarse > n*9/10 { // diminishing returns: stop below 10% shrink
 			break
 		}
-		cg := cur.g.Contract(cmap, ncoarse)
+		cg := cur.g.ContractP(cmap, ncoarse, pool)
 		next := rlevel{
 			g:      cg,
 			origin: make([]int32, ncoarse),

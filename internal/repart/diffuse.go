@@ -90,9 +90,20 @@ func diffuse(ctx context.Context, g *graph.Graph, part []int32, k int, opt Optio
 						overFromNew += d
 					}
 				}
-				overDelta := (overToNew + overFromNew) - (overOf(to) + overFrom)
-				if overDelta >= 0 {
-					continue // diffusion only makes strictly balancing moves
+				overTo := overOf(to)
+				overDelta := (overToNew + overFromNew) - (overTo + overFrom)
+				if overDelta > 0 {
+					continue // never worsen total overage
+				}
+				if overDelta == 0 && maxI64(overFromNew, overToNew) >= maxI64(overFrom, overTo) {
+					// Neutral moves are admitted only as "levelling": the
+					// pair's larger overage must strictly shrink. That lets
+					// excess percolate through saturated parts toward distant
+					// spare capacity (a strict-decrease rule dead-ends as soon
+					// as every neighbour sits at its cap) and still
+					// terminates — each levelling move lexicographically
+					// shrinks the sorted per-part overage vector.
+					continue
 				}
 				gain := conn[to] - conn[from]
 				if best < 0 || overDelta < bestOverDelta ||
@@ -119,6 +130,13 @@ func diffuse(ctx context.Context, g *graph.Graph, part []int32, k int, opt Optio
 
 	// Repair the cut the diffusion tore open, without sacrificing balance.
 	return refinePolish(ctx, g, part, k, opt, origin)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // diffuseCaps mirrors the partitioner's per-part per-constraint caps,

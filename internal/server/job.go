@@ -259,8 +259,10 @@ func (r *PartitionRequest) execute(ctx context.Context, s *Server) ([]byte, time
 	if rerr != nil {
 		return nil, 0, rerr
 	}
+	opt := r.partitionOptions()
+	opt.Parallelism = s.cfg.clampParallelism(opt.Parallelism)
 	start := time.Now()
-	d, err := core.Decompose(ctx, m, r.K, r.strat, r.partitionOptions())
+	d, err := core.Decompose(ctx, m, r.K, r.strat, opt)
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, 0, &requestError{code: http.StatusInternalServerError, msg: err.Error()}

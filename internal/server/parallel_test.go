@@ -1,0 +1,68 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestClampParallelism(t *testing.T) {
+	cfg := Config{MaxParallelism: 4}.withDefaults()
+	cases := []struct{ req, want int }{
+		{0, 4},  // unset → the cap
+		{2, 2},  // below the cap → honoured
+		{4, 4},  // at the cap
+		{9, 4},  // above the cap → clamped
+		{-1, 4}, // negative is treated as unset
+	}
+	for _, c := range cases {
+		if got := cfg.clampParallelism(c.req); got != c.want {
+			t.Errorf("clampParallelism(%d) = %d, want %d", c.req, got, c.want)
+		}
+	}
+	if d := (Config{}).withDefaults(); d.MaxParallelism < 1 {
+		t.Errorf("default MaxParallelism = %d, want >= 1", d.MaxParallelism)
+	}
+}
+
+// TestParallelismInvisibleToCacheAndResult: requests differing only in
+// parallelism must hash to one cache entry, and the partitions they return
+// must be identical — the determinism contract surfaced at the HTTP layer.
+func TestParallelismInvisibleToCacheAndResult(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8, MaxParallelism: 8})
+
+	body := func(par int) string {
+		return fmt.Sprintf(`{"mesh":"CYLINDER","scale":0.002,"k":4,"strategy":"MC_TL","options":{"seed":5,"parallelism":%d}}`, par)
+	}
+	var ref string
+	for i, par := range []int{1, 4, 64} { // 64 exceeds the cap: clamped, not rejected
+		resp, b := postJSON(t, ts.URL, body(par))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("parallelism %d: status %d: %s", par, resp.StatusCode, b)
+		}
+		cache := resp.Header.Get("X-Tempartd-Cache")
+		if i == 0 {
+			if cache != "miss" {
+				t.Errorf("first request: cache %q, want miss", cache)
+			}
+			ref = string(b)
+			continue
+		}
+		if cache != "hit" {
+			t.Errorf("parallelism %d: cache %q, want hit (parallelism must not enter the key)", par, cache)
+		}
+		if string(b) != ref {
+			t.Errorf("parallelism %d: response differs from the parallelism=1 partition", par)
+		}
+	}
+
+	// Out-of-range parallelism is a client error, not a silent clamp.
+	resp, b := postJSON(t, ts.URL, body(100000))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("parallelism 100000: status %d, want 400: %s", resp.StatusCode, b)
+	}
+	if !strings.Contains(string(b), "parallelism") {
+		t.Errorf("error body does not name the field: %s", b)
+	}
+}

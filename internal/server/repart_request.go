@@ -210,10 +210,12 @@ func (r *RepartitionRequest) execute(ctx context.Context, s *Server) ([]byte, ti
 
 	g := m.DualGraph(mesh.DualGraphOptions{Constraints: r.repartConstraints()})
 	old := partition.NewResult(g, parentPart, r.K)
+	popt := r.partitionOptions()
+	popt.Parallelism = s.cfg.clampParallelism(popt.Parallelism)
 	start := time.Now()
 	res, err := repart.Repartition(ctx, g, old, repart.Options{
 		Mode:             r.mode,
-		Part:             r.partitionOptions(),
+		Part:             popt,
 		MigrationPenalty: r.MigrationPenalty,
 		MigBytes:         repart.MeshMigrationBytes(m),
 	})

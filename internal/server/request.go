@@ -21,11 +21,12 @@ import (
 // Request limits. They bound what a single request can make the daemon
 // allocate or compute, mirroring the hardened mesh.Decode limits.
 const (
-	maxK          = 1 << 14
-	maxTrials     = 64
-	maxInitTrials = 256
-	maxPasses     = 256
-	maxScale      = 2.0
+	maxK           = 1 << 14
+	maxTrials      = 64
+	maxInitTrials  = 256
+	maxPasses      = 256
+	maxScale       = 2.0
+	maxParallelism = 256
 )
 
 // OptionsSpec is the wire form of partition.Options. Zero values mean
@@ -38,6 +39,10 @@ type OptionsSpec struct {
 	RefinePasses int     `json:"refine_passes,omitempty"`
 	Method       string  `json:"method,omitempty"` // "rb" (default) or "kway"
 	Trials       int     `json:"trials,omitempty"`
+	// Parallelism asks for intra-request worker goroutines; the server
+	// clamps it to its -parallel cap. 0 means "use the server cap". It never
+	// changes the computed partition, only how fast it arrives.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // PartitionRequest is a fully decoded, validated partition job description.
@@ -157,7 +162,7 @@ func queryInto(req *PartitionRequest, q url.Values) error {
 	for name, dst := range map[string]*int{
 		"k": &req.K, "coarsen_to": &req.Options.CoarsenTo,
 		"init_trials": &req.Options.InitTrials, "refine_passes": &req.Options.RefinePasses,
-		"trials": &req.Options.Trials,
+		"trials": &req.Options.Trials, "parallel": &req.Options.Parallelism,
 	} {
 		if err := geti(name, dst); err != nil {
 			return err
@@ -231,6 +236,9 @@ func (r *PartitionRequest) validate() error {
 	if o.CoarsenTo < 0 || o.CoarsenTo > 1<<30 {
 		return badRequest("coarsen_to = %d out of range", o.CoarsenTo)
 	}
+	if o.Parallelism < 0 || o.Parallelism > maxParallelism {
+		return badRequest("parallelism = %d out of range [0, %d]", o.Parallelism, maxParallelism)
+	}
 	if o.ImbalanceTol != 0 && (o.ImbalanceTol < 1 || o.ImbalanceTol > 4 || math.IsNaN(o.ImbalanceTol)) {
 		return badRequest("imbalance_tol = %v out of range [1, 4]", o.ImbalanceTol)
 	}
@@ -249,6 +257,7 @@ func (r *PartitionRequest) partitionOptions() partition.Options {
 		InitTrials:   r.Options.InitTrials,
 		RefinePasses: r.Options.RefinePasses,
 		Trials:       r.Options.Trials,
+		Parallelism:  r.Options.Parallelism,
 	}
 	if r.Options.Method == "kway" {
 		o.Method = partition.DirectKWay
@@ -259,7 +268,10 @@ func (r *PartitionRequest) partitionOptions() partition.Options {
 // key computes the request's content address: SHA-256 over the mesh identity
 // (generator name+scale, or the digest of the uploaded bytes) and every
 // option that influences the result. The timeout is deliberately excluded —
-// it changes whether a result arrives, never what it is.
+// it changes whether a result arrives, never what it is. Parallelism is
+// excluded for the same reason: the fan-out seeding scheme makes the
+// partition bit-identical at every worker count, so requests differing only
+// in parallelism share one cache entry and one in-flight job.
 func (r *PartitionRequest) key() cacheKey {
 	h := sha256.New()
 	h.Write([]byte("tempartd/v1\x00"))

@@ -50,6 +50,12 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// JobRetention is how many finished jobs stay queryable. Default 1024.
 	JobRetention int
+	// MaxParallelism caps the intra-request worker goroutines of the
+	// partitioner (partition.Options.Parallelism); requests may only lower
+	// it. The default, max(1, GOMAXPROCS/Workers), composes with the
+	// admission queue's worker pool: Workers concurrent jobs × the
+	// per-request cap stays near the core count instead of oversubscribing.
+	MaxParallelism int
 
 	// execGate, when set, runs inside the worker before partitioning; tests
 	// use it to hold jobs at a deterministic point.
@@ -78,7 +84,22 @@ func (c Config) withDefaults() Config {
 	if c.JobRetention <= 0 {
 		c.JobRetention = 1024
 	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = goruntime.GOMAXPROCS(0) / c.Workers
+		if c.MaxParallelism < 1 {
+			c.MaxParallelism = 1
+		}
+	}
 	return c
+}
+
+// clampParallelism resolves a request's parallelism against the server cap:
+// 0 (the default) takes the cap itself, anything else may only lower it.
+func (c Config) clampParallelism(requested int) int {
+	if requested <= 0 || requested > c.MaxParallelism {
+		return c.MaxParallelism
+	}
+	return requested
 }
 
 // Server is the daemon state. Create with New, serve with Handler, stop
