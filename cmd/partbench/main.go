@@ -16,9 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"testing"
 	"time"
 
 	"tempart/internal/core"
+	"tempart/internal/eval"
 	"tempart/internal/flusim"
 	"tempart/internal/mesh"
 	"tempart/internal/metrics"
@@ -26,10 +28,21 @@ import (
 	"tempart/internal/taskgraph"
 )
 
+// Pre-PR-4 evaluation-pipeline allocation baselines, measured on CYLINDER
+// scale 0.01 / 128 domains / 16×32 cluster before the epoch-marker Build and
+// reusable Simulator landed. Kept in the JSON report so the ≥3× trajectory
+// stays visible from this PR on.
+const (
+	baselineBuildAllocsOp    = 22374
+	baselineSimulateAllocsOp = 12675
+)
+
 // result is one strategy's row, shared by the table and -json emitters.
 type result struct {
 	Strategy     string    `json:"strategy"`
 	WallSeconds  float64   `json:"wall_seconds"`
+	BuildSeconds float64   `json:"build_seconds"`
+	SimSeconds   float64   `json:"simulate_seconds"`
 	EdgeCut      int64     `json:"edge_cut"`
 	MaxImbalance float64   `json:"max_imbalance"`
 	LevelImb     []float64 `json:"level_imbalance"`
@@ -40,16 +53,30 @@ type result struct {
 	Efficiency   float64   `json:"efficiency"`
 }
 
+// evalSection tracks the evaluation pipeline's own performance: per-strategy
+// build/simulate wall time plus the allocation counts of the two hot
+// entry points, next to their pre-PR-4 baselines.
+type evalSection struct {
+	BuildAllocsOp            float64 `json:"build_allocs_op"`
+	SimulateAllocsOp         float64 `json:"simulate_allocs_op"`
+	BaselineBuildAllocsOp    float64 `json:"pre_pr4_build_allocs_op"`
+	BaselineSimulateAllocsOp float64 `json:"pre_pr4_simulate_allocs_op"`
+	Tasks                    int     `json:"tasks"`
+	Deps                     int     `json:"deps"`
+	BuildTasksPerSec         float64 `json:"build_tasks_per_sec"`
+}
+
 type report struct {
-	Mesh     string   `json:"mesh"`
-	Cells    int      `json:"cells"`
-	Census   []int64  `json:"census"`
-	Domains  int      `json:"domains"`
-	Procs    int      `json:"procs"`
-	Workers  int      `json:"workers"`
-	Seed     int64    `json:"seed"`
-	Parallel int      `json:"parallel"`
-	Results  []result `json:"results"`
+	Mesh     string       `json:"mesh"`
+	Cells    int          `json:"cells"`
+	Census   []int64      `json:"census"`
+	Domains  int          `json:"domains"`
+	Procs    int          `json:"procs"`
+	Workers  int          `json:"workers"`
+	Seed     int64        `json:"seed"`
+	Parallel int          `json:"parallel"`
+	Results  []result     `json:"results"`
+	Eval     *evalSection `json:"eval,omitempty"`
 }
 
 func main() {
@@ -60,7 +87,7 @@ func main() {
 		procs    = flag.Int("procs", 16, "emulated processes")
 		workers  = flag.Int("workers", 32, "cores per process")
 		seed     = flag.Int64("seed", 1, "random seed")
-		parallel = flag.Int("parallel", 0, "partitioner worker goroutines (0 = GOMAXPROCS, 1 = serial); the result is identical at every setting")
+		parallel = flag.Int("parallel", 0, "worker goroutines for partitioning, task-graph build and evaluation fan-out (0 = GOMAXPROCS, 1 = serial); results are identical at every setting")
 		commLat  = flag.Int64("comm-latency", 0, "time units per cross-process dependency edge")
 		kway     = flag.Bool("kway", false, "also run SC_OC/MC_TL with the direct k-way method")
 		asJSON   = flag.Bool("json", false, "emit one JSON report instead of the table")
@@ -72,8 +99,9 @@ func main() {
 
 	m, err := core.LoadMesh(*meshName, *scale)
 	check(err)
+	ev := eval.New(eval.Options{Parallelism: *parallel})
 	if *doRepart {
-		runRepart(m, *domains, *procs, *workers, *parallel, *seed, *commLat, *epochs, *step, *asJSON)
+		runRepart(ev, m, *domains, *procs, *workers, *parallel, *seed, *commLat, *epochs, *step, *asJSON)
 		return
 	}
 	if !*asJSON {
@@ -101,15 +129,17 @@ func main() {
 	}
 
 	if !*asJSON {
-		fmt.Printf("%-12s %9s %10s %7s %7s %6s %10s %10s %7s\n",
-			"strategy", "time", "edge cut", "imb", "lvlimb", "frag", "makespan", "comm vol", "eff")
+		fmt.Printf("%-12s %9s %9s %9s %10s %7s %7s %6s %10s %10s %7s\n",
+			"strategy", "time", "build", "sim", "edge cut", "imb", "lvlimb", "frag", "makespan", "comm vol", "eff")
 	}
 	cluster := flusim.Cluster{NumProcs: *procs, WorkersPerProc: *workers}
+	procOf := flusim.BlockMap(*domains, *procs)
 	rep := report{
 		Mesh: m.Name, Cells: m.NumCells(), Census: m.Census(),
 		Domains: *domains, Procs: *procs, Workers: *workers, Seed: *seed,
 		Parallel: *parallel,
 	}
+	var mctlPart []int32
 	for _, j := range jobs {
 		t0 := time.Now()
 		res, err := partition.PartitionMesh(context.Background(), m, *domains, j.strat, j.opt)
@@ -117,11 +147,15 @@ func main() {
 		elapsed := time.Since(t0)
 
 		q := metrics.EvaluatePartition(m, res, j.label)
-		tg, err := buildTG(m, res)
+		out, err := ev.Evaluate(eval.Spec{
+			Mesh: m, Part: res.Part, NumDomains: res.NumParts,
+			ProcOf: procOf,
+			Sim:    flusim.Config{Cluster: cluster, CommLatency: *commLat},
+		})
 		check(err)
-		procOf := flusim.BlockMap(*domains, *procs)
-		sim, err := flusim.Simulate(tg, procOf, flusim.Config{Cluster: cluster, CommLatency: *commLat})
-		check(err)
+		if j.label == "MC_TL(rb)" {
+			mctlPart = res.Part
+		}
 
 		worstLvl := 0.0
 		for _, v := range q.LevelImbalance {
@@ -129,27 +163,37 @@ func main() {
 				worstLvl = v
 			}
 		}
-		eff := 0.0
-		if *workers > 0 && sim.Makespan > 0 {
-			eff = float64(sim.TotalWork) / (float64(sim.Makespan) * float64(*procs**workers))
-		}
 		r := result{
 			Strategy:     j.label,
 			WallSeconds:  elapsed.Seconds(),
+			BuildSeconds: out.BuildSeconds,
+			SimSeconds:   out.SimulateSeconds,
 			EdgeCut:      res.EdgeCut,
 			MaxImbalance: res.MaxImbalance(),
 			LevelImb:     q.LevelImbalance,
 			WorstLvlImb:  worstLvl,
 			MaxFragments: q.MaxFragments(),
-			Makespan:     sim.Makespan,
-			CommVolume:   metrics.CommVolume(tg, procOf),
-			Efficiency:   eff,
+			Makespan:     out.Makespan,
+			CommVolume:   out.CommVolume,
+			Efficiency:   out.Efficiency,
 		}
 		rep.Results = append(rep.Results, r)
 		if !*asJSON {
-			fmt.Printf("%-12s %9s %10d %7.2f %7.2f %6d %10d %10d %7.2f\n",
-				r.Strategy, elapsed.Round(time.Millisecond), r.EdgeCut, r.MaxImbalance,
+			fmt.Printf("%-12s %9s %9s %9s %10d %7.2f %7.2f %6d %10d %10d %7.2f\n",
+				r.Strategy, elapsed.Round(time.Millisecond),
+				time.Duration(r.BuildSeconds*float64(time.Second)).Round(time.Microsecond),
+				time.Duration(r.SimSeconds*float64(time.Second)).Round(time.Microsecond),
+				r.EdgeCut, r.MaxImbalance,
 				r.WorstLvlImb, r.MaxFragments, r.Makespan, r.CommVolume, r.Efficiency)
+		}
+	}
+	if mctlPart != nil {
+		rep.Eval = measureEvalPipeline(m, mctlPart, *domains, procOf, cluster, *commLat)
+		if !*asJSON {
+			fmt.Printf("\neval pipeline (MC_TL decomposition): build %.0f allocs/op (pre-PR4 %d), simulate %.0f allocs/op (pre-PR4 %d), %.0f tasks/s built\n",
+				rep.Eval.BuildAllocsOp, baselineBuildAllocsOp,
+				rep.Eval.SimulateAllocsOp, baselineSimulateAllocsOp,
+				rep.Eval.BuildTasksPerSec)
 		}
 	}
 	if *asJSON {
@@ -159,8 +203,49 @@ func main() {
 	}
 }
 
-func buildTG(m *mesh.Mesh, res *partition.Result) (*taskgraph.TaskGraph, error) {
-	return taskgraph.Build(m, res.Part, res.NumParts, taskgraph.Options{})
+// measureEvalPipeline measures the evaluation pipeline's allocation counts
+// and build throughput on the given decomposition. Builds are measured
+// serial (parallel shards add goroutine allocations but identical output);
+// the simulator is measured warmed, which is the steady state every sweep
+// runs in.
+func measureEvalPipeline(m *mesh.Mesh, part []int32, domains int, procOf []int32, cluster flusim.Cluster, commLat int64) *evalSection {
+	opt := taskgraph.Options{Parallelism: 1}
+	tg, err := taskgraph.Build(m, part, domains, opt)
+	check(err)
+	cfg := flusim.Config{Cluster: cluster, CommLatency: commLat}
+
+	buildAllocs := testing.AllocsPerRun(3, func() {
+		if _, err := taskgraph.Build(m, part, domains, opt); err != nil {
+			check(err)
+		}
+	})
+	t0 := time.Now()
+	const buildReps = 3
+	for i := 0; i < buildReps; i++ {
+		if _, err := taskgraph.Build(m, part, domains, opt); err != nil {
+			check(err)
+		}
+	}
+	buildSec := time.Since(t0).Seconds() / buildReps
+
+	sim := flusim.NewSimulator()
+	var res flusim.Result
+	check(sim.SimulateInto(&res, tg, procOf, cfg))
+	simAllocs := testing.AllocsPerRun(3, func() {
+		if err := sim.SimulateInto(&res, tg, procOf, cfg); err != nil {
+			check(err)
+		}
+	})
+
+	return &evalSection{
+		BuildAllocsOp:            buildAllocs,
+		SimulateAllocsOp:         simAllocs,
+		BaselineBuildAllocsOp:    baselineBuildAllocsOp,
+		BaselineSimulateAllocsOp: baselineSimulateAllocsOp,
+		Tasks:                    tg.NumTasks(),
+		Deps:                     tg.NumDeps(),
+		BuildTasksPerSec:         float64(tg.NumTasks()) / buildSec,
+	}
 }
 
 func check(err error) {

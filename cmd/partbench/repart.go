@@ -8,11 +8,11 @@ import (
 	"os"
 	"time"
 
+	"tempart/internal/eval"
 	"tempart/internal/flusim"
 	"tempart/internal/mesh"
 	"tempart/internal/partition"
 	"tempart/internal/repart"
-	"tempart/internal/taskgraph"
 )
 
 // repartRow is one policy at one drift epoch: keep the stale epoch-0
@@ -46,7 +46,11 @@ type repartReport struct {
 // runRepart drives a migrating hotspot across the mesh and compares the three
 // repartitioning policies on makespan, edge cut and migration volume — the
 // CLI face of the drift experiment, at whatever mesh/cluster the flags chose.
-func runRepart(m *mesh.Mesh, domains, procs, workers, parallel int, seed, commLat int64, epochs int, step float64, asJSON bool) {
+// Makespans are scored through the shared evaluator, so a policy that keeps
+// its partition across an epoch boundary still rebuilds the graph only when
+// the levels actually moved (they always do here — but the stale policy's
+// repeated scoring of one partition per epoch hits the cache).
+func runRepart(ev *eval.Evaluator, m *mesh.Mesh, domains, procs, workers, parallel int, seed, commLat int64, epochs int, step float64, asJSON bool) {
 	ctx := context.Background()
 	cluster := flusim.Cluster{NumProcs: int(procs), WorkersPerProc: int(workers)}
 	procOf := flusim.BlockMap(domains, procs)
@@ -70,12 +74,14 @@ func runRepart(m *mesh.Mesh, domains, procs, workers, parallel int, seed, commLa
 	scrPart := append([]int32(nil), stale.Part...)
 	incPart := append([]int32(nil), stale.Part...)
 
-	simulate := func(part []int32) (*flusim.Result, int64) {
-		tg, err := taskgraph.Build(m, part, domains, taskgraph.Options{})
+	simulate := func(part []int32) (*eval.Outcome, int64) {
+		out, err := ev.Evaluate(eval.Spec{
+			Mesh: m, Part: part, NumDomains: domains,
+			ProcOf: procOf,
+			Sim:    flusim.Config{Cluster: cluster, CommLatency: commLat},
+		})
 		check(err)
-		sim, err := flusim.Simulate(tg, procOf, flusim.Config{Cluster: cluster, CommLatency: commLat})
-		check(err)
-		return sim, sim.Makespan
+		return out, out.Makespan
 	}
 
 	rep := repartReport{

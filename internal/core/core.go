@@ -44,7 +44,8 @@ type Decomposition struct {
 	Result   *partition.Result
 	Quality  metrics.PartitionQuality
 
-	tg *taskgraph.TaskGraph
+	parallelism int
+	tg          *taskgraph.TaskGraph
 }
 
 // Decompose partitions the mesh into k domains under the given strategy and
@@ -57,10 +58,11 @@ func Decompose(ctx context.Context, m *mesh.Mesh, k int, strat partition.Strateg
 		return nil, err
 	}
 	return &Decomposition{
-		Mesh:     m,
-		Strategy: strat,
-		Result:   res,
-		Quality:  metrics.EvaluatePartition(m, res, strat.String()),
+		Mesh:        m,
+		Strategy:    strat,
+		Result:      res,
+		Quality:     metrics.EvaluatePartition(m, res, strat.String()),
+		parallelism: opt.Parallelism,
 	}, nil
 }
 
@@ -68,7 +70,8 @@ func Decompose(ctx context.Context, m *mesh.Mesh, k int, strat partition.Strateg
 // first use, cached).
 func (d *Decomposition) TaskGraph() (*taskgraph.TaskGraph, error) {
 	if d.tg == nil {
-		tg, err := taskgraph.Build(d.Mesh, d.Result.Part, d.Result.NumParts, taskgraph.Options{})
+		tg, err := taskgraph.Build(d.Mesh, d.Result.Part, d.Result.NumParts,
+			taskgraph.Options{Parallelism: d.parallelism})
 		if err != nil {
 			return nil, err
 		}

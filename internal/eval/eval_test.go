@@ -1,0 +1,240 @@
+package eval
+
+import (
+	"context"
+	"testing"
+
+	"tempart/internal/flusim"
+	"tempart/internal/mesh"
+	"tempart/internal/metrics"
+	"tempart/internal/partition"
+	"tempart/internal/taskgraph"
+)
+
+func testSpec(t *testing.T) (Spec, *mesh.Mesh, []int32) {
+	t.Helper()
+	m := mesh.Cylinder(0.002)
+	res, err := partition.PartitionMesh(context.Background(), m, 16, partition.MCTL,
+		partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Mesh: m, Part: res.Part, NumDomains: 16,
+		ProcOf: flusim.BlockMap(16, 4),
+		Sim:    flusim.Config{Cluster: flusim.Cluster{NumProcs: 4, WorkersPerProc: 4}},
+	}
+	return spec, m, res.Part
+}
+
+// TestEvaluateMatchesDirectPipeline pins the facade against the underlying
+// Build+Simulate pipeline on every reported number.
+func TestEvaluateMatchesDirectPipeline(t *testing.T) {
+	spec, m, part := testSpec(t)
+	e := New(Options{Parallelism: 1})
+	out, err := e.Evaluate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := taskgraph.Build(m, part, 16, taskgraph.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := flusim.Simulate(tg, spec.ProcOf, spec.Sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Makespan != res.Makespan {
+		t.Errorf("makespan %d, direct pipeline %d", out.Makespan, res.Makespan)
+	}
+	if out.CriticalPath != res.CriticalPath || out.TotalWork != res.TotalWork {
+		t.Errorf("bounds (%d, %d), direct (%d, %d)",
+			out.CriticalPath, out.TotalWork, res.CriticalPath, res.TotalWork)
+	}
+	if want := metrics.CommVolume(tg, spec.ProcOf); out.CommVolume != want {
+		t.Errorf("comm volume %d, want %d", out.CommVolume, want)
+	}
+	if out.NumTasks != tg.NumTasks() || out.NumDeps != tg.NumDeps() {
+		t.Errorf("size (%d, %d), want (%d, %d)", out.NumTasks, out.NumDeps, tg.NumTasks(), tg.NumDeps())
+	}
+	if out.GraphCached {
+		t.Error("first evaluation reported a cached graph")
+	}
+	if out.BuildSeconds <= 0 {
+		t.Error("first evaluation reported no build time")
+	}
+	wantEff := float64(res.TotalWork) / (float64(res.Makespan) * 16)
+	if out.Efficiency != wantEff {
+		t.Errorf("efficiency %g, want %g", out.Efficiency, wantEff)
+	}
+}
+
+// TestGraphCacheHit asserts the second evaluation of the same decomposition
+// reuses the cached graph, and that changing the partition or the levels
+// misses.
+func TestGraphCacheHit(t *testing.T) {
+	spec, m, part := testSpec(t)
+	e := New(Options{Parallelism: 1})
+	if _, err := e.Evaluate(spec); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Evaluate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.GraphCached {
+		t.Error("second evaluation rebuilt the graph")
+	}
+	if out.BuildSeconds != 0 {
+		t.Error("cached evaluation reported build time")
+	}
+
+	// Different strategy, same graph.
+	spec2 := spec
+	spec2.Sim.Strategy = flusim.LIFO
+	out2, err := e.Evaluate(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out2.GraphCached {
+		t.Error("strategy variant rebuilt the graph")
+	}
+
+	// Different partition: miss.
+	part2 := append([]int32(nil), part...)
+	part2[0] = (part2[0] + 1) % 16
+	spec3 := spec
+	spec3.Part = part2
+	out3, err := e.Evaluate(spec3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out3.GraphCached {
+		t.Error("changed partition hit the cache")
+	}
+
+	// In-place level mutation (the ReassignLevels pattern): miss.
+	counts := m.Census()
+	m.ReassignLevels(func(x, y, z float64) float64 { return x + y + z }, counts)
+	out4, err := e.Evaluate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out4.GraphCached {
+		t.Error("mutated levels hit the cache")
+	}
+}
+
+// TestEvaluateAll checks the fan-out path returns the same outcomes as
+// serial Evaluate calls, builds the shared graph once, and works at
+// parallelism > 1.
+func TestEvaluateAll(t *testing.T) {
+	spec, _, _ := testSpec(t)
+	strategies := []flusim.Strategy{flusim.Eager, flusim.LIFO, flusim.CriticalPathFirst, flusim.RandomOrder}
+
+	serial := New(Options{Parallelism: 1})
+	want := make([]*Outcome, len(strategies))
+	for i, s := range strategies {
+		sp := spec
+		sp.Sim.Strategy = s
+		sp.Sim.Seed = 11
+		out, err := serial.Evaluate(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+
+	for _, par := range []int{1, 4} {
+		e := New(Options{Parallelism: par})
+		specs := make([]Spec, len(strategies))
+		for i, s := range strategies {
+			specs[i] = spec
+			specs[i].Sim.Strategy = s
+			specs[i].Sim.Seed = 11
+		}
+		outs, err := e.EvaluateAll(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range outs {
+			if outs[i].Makespan != want[i].Makespan {
+				t.Errorf("parallelism %d, strategy %v: makespan %d, want %d",
+					par, strategies[i], outs[i].Makespan, want[i].Makespan)
+			}
+			if outs[i].CommVolume != want[i].CommVolume {
+				t.Errorf("parallelism %d, strategy %v: comm %d, want %d",
+					par, strategies[i], outs[i].CommVolume, want[i].CommVolume)
+			}
+		}
+		// One graph, shared: only the first spec may have built it.
+		built := 0
+		for _, out := range outs {
+			if !out.GraphCached {
+				built++
+			}
+		}
+		if built != 1 {
+			t.Errorf("parallelism %d: %d graph builds for one decomposition, want 1", par, built)
+		}
+		if got := e.CacheLen(); got != 1 {
+			t.Errorf("parallelism %d: cache holds %d graphs, want 1", par, got)
+		}
+	}
+}
+
+// TestCacheEviction bounds the cache at its configured size.
+func TestCacheEviction(t *testing.T) {
+	spec, _, part := testSpec(t)
+	e := New(Options{Parallelism: 1, GraphCacheSize: 2})
+	for i := 0; i < 4; i++ {
+		p := append([]int32(nil), part...)
+		p[0] = int32(i % 16)
+		sp := spec
+		sp.Part = p
+		if _, err := e.Evaluate(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.CacheLen(); got > 2 {
+		t.Errorf("cache holds %d graphs, capacity 2", got)
+	}
+
+	disabled := New(Options{Parallelism: 1, GraphCacheSize: -1})
+	if _, err := disabled.Evaluate(spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := disabled.CacheLen(); got != 0 {
+		t.Errorf("disabled cache holds %d graphs", got)
+	}
+}
+
+// TestMeshIDKeying: the same content under the same MeshID hits across
+// distinct mesh allocations — the tempartd pattern, where every request
+// re-resolves its mesh.
+func TestMeshIDKeying(t *testing.T) {
+	m1 := mesh.Cylinder(0.002)
+	m2 := mesh.Cylinder(0.002)
+	part := make([]int32, m1.NumCells())
+	for i := range part {
+		part[i] = int32(i % 8)
+	}
+	e := New(Options{Parallelism: 1})
+	mk := func(m *mesh.Mesh) Spec {
+		return Spec{
+			Mesh: m, MeshID: "gen:CYLINDER:0.002", Part: part, NumDomains: 8,
+			ProcOf: flusim.BlockMap(8, 2),
+			Sim:    flusim.Config{Cluster: flusim.Cluster{NumProcs: 2, WorkersPerProc: 2}},
+		}
+	}
+	if _, err := e.Evaluate(mk(m1)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Evaluate(mk(m2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.GraphCached {
+		t.Error("same MeshID + content across allocations missed the cache")
+	}
+}

@@ -7,11 +7,11 @@ import (
 	"strings"
 
 	"tempart/internal/core"
+	"tempart/internal/eval"
 	"tempart/internal/flusim"
 	"tempart/internal/mesh"
 	"tempart/internal/partition"
 	"tempart/internal/repart"
-	"tempart/internal/taskgraph"
 )
 
 // DriftResult studies what the paper's §III-A assumption ("temporal levels
@@ -80,12 +80,13 @@ func Drift(ctx context.Context, p Params) (*DriftResult, error) {
 	scrPart := append([]int32(nil), stale.Part...)
 	incPart := append([]int32(nil), stale.Part...)
 
-	simulate := func(part []int32) (*flusim.Result, error) {
-		tg, err := taskgraph.Build(m, part, domains, taskgraph.Options{})
-		if err != nil {
-			return nil, err
-		}
-		return flusim.Simulate(tg, procOf, flusim.Config{Cluster: cluster})
+	ev := eval.New(eval.Options{})
+	simulate := func(part []int32) (*eval.Outcome, error) {
+		return ev.Evaluate(eval.Spec{
+			Mesh: m, Part: part, NumDomains: domains,
+			ProcOf: procOf,
+			Sim:    flusim.Config{Cluster: cluster},
+		})
 	}
 
 	res := &DriftResult{Cluster: cluster}

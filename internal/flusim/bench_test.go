@@ -1,0 +1,45 @@
+package flusim
+
+import (
+	"testing"
+
+	"tempart/internal/mesh"
+	"tempart/internal/taskgraph"
+)
+
+// BenchmarkSimulate measures steady-state scheduling throughput of a warmed,
+// reusable Simulator on a paper-shaped graph (CYLINDER, 128 domains, 16×8
+// cluster). allocs/op should stay at zero — that is the Simulator's contract.
+func BenchmarkSimulate(b *testing.B) {
+	m := mesh.Cylinder(0.005)
+	part := make([]int32, m.NumCells())
+	for i := range part {
+		part[i] = int32(i % 128)
+	}
+	tg, err := taskgraph.Build(m, part, 128, taskgraph.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	procOf := BlockMap(128, 16)
+	for _, strat := range []Strategy{Eager, LIFO, CriticalPathFirst, RandomOrder} {
+		b.Run(strat.String(), func(b *testing.B) {
+			sim := NewSimulator()
+			var res Result
+			cfg := Config{
+				Cluster:  Cluster{NumProcs: 16, WorkersPerProc: 8},
+				Strategy: strat, Seed: 1,
+			}
+			if err := sim.SimulateInto(&res, tg, procOf, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sim.SimulateInto(&res, tg, procOf, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tg.NumTasks())*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+		})
+	}
+}

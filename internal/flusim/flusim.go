@@ -9,10 +9,17 @@
 // process, with an unbounded-core mode), the task graph generated from a mesh
 // + domain decomposition, the domain→process mapping, and a scheduling
 // strategy. Output is the makespan plus a full execution trace.
+//
+// The simulator core is allocation-lean: a reusable Simulator keeps every
+// per-run buffer (event queue, ready queues, in-degrees, trace spans) and a
+// SimulateInto entry point rewrites a caller-owned Result, so scoring many
+// (partition, mapping, strategy) tuples allocates nothing in steady state.
+// The event queue is a flat 4-ary heap ordered by (time, task) — the same
+// total order the previous container/heap implementation used, so makespans
+// and traces are bit-identical — without interface boxing.
 package flusim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -131,49 +138,120 @@ func RoundRobinMap(numDomains, numProcs int) []int32 {
 
 // Simulate executes the task graph on the configured cluster and returns the
 // makespan and trace. Tasks are pinned to the process owning their domain;
-// within a process any free worker may run them.
+// within a process any free worker may run them. It is a thin wrapper over a
+// throwaway Simulator; callers scoring many configurations should hold a
+// Simulator and use SimulateInto.
 func Simulate(tg *taskgraph.TaskGraph, procOfDomain []int32, cfg Config) (*Result, error) {
+	return NewSimulator().Simulate(tg, procOfDomain, cfg)
+}
+
+// Simulator owns the scratch state of the discrete-event loop so repeated
+// simulations reuse every buffer. A Simulator is not safe for concurrent
+// use; use one per goroutine (each holds its own RandomOrder rng, so
+// concurrent simulations across Simulators are race-free and reproducible).
+type Simulator struct {
+	procOf []int32
+	indeg  []int32
+	blevel []int64
+	procs  []procState
+	events eventQueue
+	touch  []int32
+	src    rand.Source
+	rng    *rand.Rand
+}
+
+// NewSimulator returns an empty Simulator; buffers grow on first use and are
+// retained across runs.
+func NewSimulator() *Simulator {
+	src := rand.NewSource(1)
+	return &Simulator{src: src, rng: rand.New(src)}
+}
+
+// Simulate runs the configuration and returns a fresh Result.
+func (sim *Simulator) Simulate(tg *taskgraph.TaskGraph, procOfDomain []int32, cfg Config) (*Result, error) {
+	res := &Result{}
+	if err := sim.SimulateInto(res, tg, procOfDomain, cfg); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SimulateInto runs the configuration and rewrites res in place, reusing its
+// BusyPerProc and Trace storage; with warmed buffers the call performs no
+// allocations. When cfg.RecordTrace is false res.Trace is set to nil, so a
+// later traced run on the same Result starts a fresh trace.
+func (sim *Simulator) SimulateInto(res *Result, tg *taskgraph.TaskGraph, procOfDomain []int32, cfg Config) error {
 	if cfg.Cluster.NumProcs < 1 {
-		return nil, fmt.Errorf("flusim: NumProcs = %d", cfg.Cluster.NumProcs)
+		return fmt.Errorf("flusim: NumProcs = %d", cfg.Cluster.NumProcs)
 	}
 	if len(procOfDomain) < tg.NumDomains {
-		return nil, fmt.Errorf("flusim: %d domain mappings for %d domains", len(procOfDomain), tg.NumDomains)
+		return fmt.Errorf("flusim: %d domain mappings for %d domains", len(procOfDomain), tg.NumDomains)
 	}
 	for d := 0; d < tg.NumDomains; d++ {
 		if p := procOfDomain[d]; p < 0 || int(p) >= cfg.Cluster.NumProcs {
-			return nil, fmt.Errorf("flusim: domain %d mapped to process %d of %d", d, p, cfg.Cluster.NumProcs)
+			return fmt.Errorf("flusim: domain %d mapped to process %d of %d", d, p, cfg.Cluster.NumProcs)
 		}
 	}
 
 	n := tg.NumTasks()
-	procOf := make([]int32, n)
-	indeg := make([]int32, n)
+	sim.procOf = growInt32(sim.procOf, n)
+	sim.indeg = growInt32(sim.indeg, n)
+	procOf, indeg := sim.procOf, sim.indeg
 	for i := 0; i < n; i++ {
 		procOf[i] = procOfDomain[tg.Tasks[i].Domain]
 		indeg[i] = int32(len(tg.PredsOf(int32(i))))
 	}
 
-	// Priorities for CriticalPathFirst: bottom levels.
+	// Priorities for CriticalPathFirst: bottom levels. Other strategies
+	// never touch (or allocate) them.
 	var blevel []int64
 	if cfg.Strategy == CriticalPathFirst {
-		blevel = bottomLevels(tg)
+		sim.blevel = growInt64(sim.blevel, n)
+		blevel = sim.blevel
+		bottomLevelsInto(blevel, tg)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := sim.rng
+	if cfg.Strategy == RandomOrder {
+		// Reseeding the retained source reproduces exactly the stream of a
+		// fresh rand.New(rand.NewSource(cfg.Seed)) without allocating.
+		sim.src.Seed(cfg.Seed)
+	}
 
-	procs := make([]procState, cfg.Cluster.NumProcs)
+	np := cfg.Cluster.NumProcs
+	if cap(sim.procs) < np {
+		sim.procs = make([]procState, np)
+	}
+	sim.procs = sim.procs[:np]
+	procs := sim.procs
 	for p := range procs {
-		procs[p].free = cfg.Cluster.WorkersPerProc
+		ps := &procs[p]
+		ps.free = cfg.Cluster.WorkersPerProc
 		if cfg.Cluster.Unbounded() {
-			procs[p].free = -1 // sentinel: unlimited
+			ps.free = -1 // sentinel: unlimited
 		}
+		ps.idleWorkers = ps.idleWorkers[:0]
+		ps.nextWorker = 0
+		ps.ready.reset()
 	}
 
-	var events eventHeap
-	tr := &trace.Trace{
-		NumProcs:       cfg.Cluster.NumProcs,
-		WorkersPerProc: cfg.Cluster.WorkersPerProc,
+	events := &sim.events
+	events.reset()
+
+	res.BusyPerProc = growInt64(res.BusyPerProc, np)
+	busy := res.BusyPerProc
+	tr := res.Trace
+	if tr == nil {
+		if cfg.RecordTrace {
+			tr = &trace.Trace{}
+		}
+	} else {
+		tr.Spans = tr.Spans[:0]
 	}
-	busy := make([]int64, cfg.Cluster.NumProcs)
+	if tr != nil {
+		tr.NumProcs = np
+		tr.WorkersPerProc = cfg.Cluster.WorkersPerProc
+		tr.Makespan = 0
+	}
 
 	startTask := func(t int32, now int64) {
 		p := procOf[t]
@@ -188,7 +266,7 @@ func Simulate(tg *taskgraph.TaskGraph, procOfDomain []int32, cfg Config) (*Resul
 			worker = ps.nextVirtualWorker()
 		}
 		end := now + tg.Tasks[t].Cost
-		heap.Push(&events, event{time: end, task: t, worker: worker})
+		events.push(simEvent{time: end, task: t, worker: worker})
 		if cfg.RecordTrace {
 			tr.Spans = append(tr.Spans, trace.Span{
 				Proc: p, Worker: worker, Task: t,
@@ -218,9 +296,9 @@ func Simulate(tg *taskgraph.TaskGraph, procOfDomain []int32, cfg Config) (*Resul
 
 	var now int64
 	completed := 0
-	var touched []int32
-	for events.Len() > 0 {
-		ev := heap.Pop(&events).(event)
+	touched := sim.touch[:0]
+	for events.len() > 0 {
+		ev := events.pop()
 		now = ev.time
 		touched = touched[:0]
 
@@ -245,7 +323,7 @@ func Simulate(tg *taskgraph.TaskGraph, procOfDomain []int32, cfg Config) (*Resul
 			// cross-process edges arrive after the communication latency.
 			for _, s := range tg.SuccsOf(ev.task) {
 				if cfg.CommLatency > 0 && procOf[s] != p {
-					heap.Push(&events, event{time: now + cfg.CommLatency, task: s, kind: evArrival})
+					events.push(simEvent{time: now + cfg.CommLatency, task: s, kind: evArrival})
 					continue
 				}
 				indeg[s]--
@@ -259,28 +337,50 @@ func Simulate(tg *taskgraph.TaskGraph, procOfDomain []int32, cfg Config) (*Resul
 			dispatch(tp, now)
 		}
 	}
+	sim.touch = touched[:0]
 	if completed != n {
-		return nil, fmt.Errorf("flusim: deadlock — %d of %d tasks completed (cyclic dependencies?)", completed, n)
+		return fmt.Errorf("flusim: deadlock — %d of %d tasks completed (cyclic dependencies?)", completed, n)
 	}
 
-	tr.Makespan = now
-	res := &Result{
-		Makespan:     now,
-		BusyPerProc:  busy,
-		CriticalPath: tg.CriticalPath(),
-		TotalWork:    tg.TotalWork(),
-	}
+	res.Makespan = now
+	res.CriticalPath = tg.CriticalPath()
+	res.TotalWork = tg.TotalWork()
 	if cfg.RecordTrace {
+		tr.Makespan = now
 		res.Trace = tr
+	} else {
+		res.Trace = nil
 	}
-	return res, nil
+	return nil
 }
 
-// bottomLevels computes each task's cost-weighted longest path to a sink.
-func bottomLevels(tg *taskgraph.TaskGraph) []int64 {
-	n := tg.NumTasks()
-	bl := make([]int64, n)
-	for t := n - 1; t >= 0; t-- {
+// bottomLevelsAllocated reports whether the last run computed bottom levels
+// (used by the CriticalPathFirst-only allocation regression test).
+func (sim *Simulator) bottomLevelsAllocated() bool { return sim.blevel != nil }
+
+// growInt32 returns a length-n slice reusing buf's storage when possible.
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// growInt64 returns a zeroed length-n slice reusing buf's storage when
+// possible.
+func growInt64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// bottomLevelsInto computes each task's cost-weighted longest path to a sink
+// into bl (len == NumTasks).
+func bottomLevelsInto(bl []int64, tg *taskgraph.TaskGraph) {
+	for t := tg.NumTasks() - 1; t >= 0; t-- {
 		var best int64
 		for _, s := range tg.SuccsOf(int32(t)) {
 			if bl[s] > best {
@@ -289,6 +389,12 @@ func bottomLevels(tg *taskgraph.TaskGraph) []int64 {
 		}
 		bl[t] = best + tg.Tasks[t].Cost
 	}
+}
+
+// bottomLevels computes each task's cost-weighted longest path to a sink.
+func bottomLevels(tg *taskgraph.TaskGraph) []int64 {
+	bl := make([]int64, tg.NumTasks())
+	bottomLevelsInto(bl, tg)
 	return bl
 }
 
@@ -333,6 +439,7 @@ type readyQueue struct {
 
 func (q *readyQueue) len() int     { return len(q.tasks) - q.head }
 func (q *readyQueue) push(t int32) { q.tasks = append(q.tasks, t) }
+func (q *readyQueue) reset()       { q.tasks, q.head = q.tasks[:0], 0 }
 
 func (q *readyQueue) pop(s Strategy, blevel []int64, rng *rand.Rand) int32 {
 	live := q.tasks[q.head:]
@@ -369,9 +476,9 @@ func (q *readyQueue) pop(s Strategy, blevel []int64, rng *rand.Rand) int32 {
 	panic("flusim: unknown strategy")
 }
 
-// event is either a task completion or the arrival of a communicated
+// simEvent is either a task completion or the arrival of a communicated
 // dependency edge.
-type event struct {
+type simEvent struct {
 	time   int64
 	task   int32
 	worker int32
@@ -383,21 +490,66 @@ const (
 	evArrival
 )
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].task < h[j].task
+// eventQueue is a flat 4-ary min-heap over (time, task). Equal-key events
+// can only be duplicate arrivals for the same task at the same instant
+// (a completion for a task never coexists with its arrivals, since the task
+// cannot have started while arrivals are pending), so any heap with this
+// comparator pops the one deterministic event sequence — the simulation is
+// invariant to heap shape and to the old container/heap implementation.
+type eventQueue struct {
+	h []simEvent
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (q *eventQueue) len() int { return len(q.h) }
+func (q *eventQueue) reset()   { q.h = q.h[:0] }
+func eventLess(a, b simEvent) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.task < b.task
+}
+
+func (q *eventQueue) push(e simEvent) {
+	q.h = append(q.h, e)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(q.h[i], q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() simEvent {
+	h := q.h
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	q.h = h[:last]
+	h = q.h
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= len(h) {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > len(h) {
+			end = len(h)
+		}
+		for c := first + 1; c < end; c++ {
+			if eventLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !eventLess(h[min], h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
 }

@@ -1,0 +1,169 @@
+package flusim
+
+import (
+	"testing"
+
+	"tempart/internal/taskgraph"
+	"tempart/internal/temporal"
+)
+
+// fuzzGraph decodes an arbitrary byte string into a small random DAG: byte
+// triples (cost, degree, edge-seed) define each task; predecessors are drawn
+// deterministically from earlier tasks, so IDs stay topological.
+func fuzzGraph(data []byte) *taskgraph.TaskGraph {
+	n := len(data) / 3
+	if n < 1 {
+		return nil
+	}
+	if n > 64 {
+		n = 64
+	}
+	scheme, err := temporal.NewScheme(0)
+	if err != nil {
+		panic(err)
+	}
+	tg := &taskgraph.TaskGraph{NumDomains: 4, Scheme: scheme}
+	predStart := []int32{0}
+	var preds []int32
+	for t := 0; t < n; t++ {
+		cost := int64(data[3*t]%16) + 1
+		deg := int(data[3*t+1] % 4)
+		if deg > t {
+			deg = t
+		}
+		seed := uint32(data[3*t+2])
+		// deg distinct predecessors among [0, t), sorted ascending.
+		start := len(preds)
+		for k := 0; k < deg; k++ {
+			seed = seed*1664525 + 1013904223
+			p := int32(seed % uint32(t))
+			dup := false
+			for _, q := range preds[start:] {
+				if q == p {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				preds = append(preds, p)
+			}
+		}
+		own := preds[start:]
+		for i := 1; i < len(own); i++ {
+			for j := i; j > 0 && own[j-1] > own[j]; j-- {
+				own[j-1], own[j] = own[j], own[j-1]
+			}
+		}
+		predStart = append(predStart, int32(len(preds)))
+		tg.Tasks = append(tg.Tasks, taskgraph.Task{
+			ID: int32(t), Domain: int32(t % 4), NumObjects: 1, Cost: cost,
+		})
+	}
+	tg.PredStart, tg.Preds = predStart, preds
+	return tg
+}
+
+// referenceMakespan is a naive list scheduler used as an oracle: repeatedly
+// pick, among tasks whose predecessors have all finished, the one with the
+// smallest release time (FIFO on ties by id), and run it immediately on its
+// process — cores unbounded, no communication. With unbounded cores every
+// task starts the moment its last predecessor finishes, so the makespan is
+// the critical path, independently of the pick order.
+func referenceMakespan(tg *taskgraph.TaskGraph) int64 {
+	n := tg.NumTasks()
+	finish := make([]int64, n)
+	done := make([]bool, n)
+	var makespan int64
+	for scheduled := 0; scheduled < n; scheduled++ {
+		best := -1
+		var bestStart int64
+		for t := 0; t < n; t++ {
+			if done[t] {
+				continue
+			}
+			ready := true
+			var start int64
+			for _, p := range tg.PredsOf(int32(t)) {
+				if !done[p] {
+					ready = false
+					break
+				}
+				if finish[p] > start {
+					start = finish[p]
+				}
+			}
+			if !ready {
+				continue
+			}
+			if best == -1 || start < bestStart {
+				best, bestStart = t, start
+			}
+		}
+		if best == -1 {
+			panic("reference: no ready task (cycle?)")
+		}
+		finish[best] = bestStart + tg.Tasks[best].Cost
+		done[best] = true
+		if finish[best] > makespan {
+			makespan = finish[best]
+		}
+	}
+	return makespan
+}
+
+// FuzzSimulateVsReference checks Simulate against the naive oracle on random
+// small DAGs: with unbounded cores and Eager scheduling the makespan must
+// equal both the oracle's and the graph's critical path, and the recorded
+// trace must validate. Bounded runs must still validate and respect the
+// critical-path lower bound.
+func FuzzSimulateVsReference(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 3, 1, 7, 5, 2, 9, 2, 3, 4})
+	f.Add([]byte{9, 1, 1, 9, 1, 2, 9, 1, 3, 9, 1, 4, 9, 1, 5})
+	f.Add([]byte{255, 255, 255, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tg := fuzzGraph(data)
+		if tg == nil {
+			return
+		}
+		procOf := BlockMap(tg.NumDomains, 2)
+
+		res, err := Simulate(tg, procOf, Config{
+			Cluster: Cluster{NumProcs: 2}, Strategy: Eager, RecordTrace: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceMakespan(tg)
+		if res.Makespan != want {
+			t.Fatalf("unbounded Eager makespan %d, reference %d", res.Makespan, want)
+		}
+		if cp := tg.CriticalPath(); res.Makespan != cp {
+			t.Fatalf("unbounded Eager makespan %d, critical path %d", res.Makespan, cp)
+		}
+		if err := res.Trace.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Trace.CheckNoWorkerOverlap(); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, s := range []Strategy{Eager, LIFO, CriticalPathFirst, RandomOrder} {
+			bounded, err := Simulate(tg, procOf, Config{
+				Cluster:  Cluster{NumProcs: 2, WorkersPerProc: 1},
+				Strategy: s, Seed: 3, RecordTrace: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bounded.Makespan < want {
+				t.Fatalf("%v bounded makespan %d below critical path %d", s, bounded.Makespan, want)
+			}
+			if err := bounded.Trace.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if err := bounded.Trace.CheckNoWorkerOverlap(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

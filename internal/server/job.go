@@ -273,6 +273,13 @@ func (r *PartitionRequest) execute(ctx context.Context, s *Server) ([]byte, time
 	if rerr != nil {
 		return nil, 0, rerr
 	}
+	var evalRes *EvalResult
+	if r.Evaluate != nil {
+		evalRes, rerr = s.runEval(r.Evaluate, m, r.evalMeshID(), d.Result.Part, r.K)
+		if rerr != nil {
+			return nil, 0, rerr
+		}
+	}
 	payload, err := json.Marshal(&PartitionResponse{
 		Mesh: MeshInfo{
 			Name:     m.Name,
@@ -288,6 +295,7 @@ func (r *PartitionRequest) execute(ctx context.Context, s *Server) ([]byte, time
 		Quality:      d.Quality,
 		PartHash:     partHash,
 		Part:         d.Result.Part,
+		Eval:         evalRes,
 	})
 	if err != nil {
 		return nil, 0, &requestError{code: http.StatusInternalServerError, msg: err.Error()}
@@ -322,4 +330,7 @@ type PartitionResponse struct {
 	// partition store; POST /v1/repartition can warm-start from it.
 	PartHash string  `json:"part_hash,omitempty"`
 	Part     []int32 `json:"part"`
+	// Eval scores the assignment on a simulated cluster when the request
+	// carried an "evaluate" spec.
+	Eval *EvalResult `json:"eval,omitempty"`
 }

@@ -66,6 +66,11 @@ type serverMetrics struct {
 	cacheMisses   int64
 	queueRejected int64
 	jobsCancelled int64
+
+	// Evaluation-pipeline observability: how many requests asked for an
+	// evaluate block, and how often the task graph came from the cache.
+	evalRuns      int64
+	evalGraphHits int64
 }
 
 func newServerMetrics() *serverMetrics {
@@ -129,6 +134,17 @@ func (m *serverMetrics) countCache(hit bool) {
 		m.cacheHits++
 	} else {
 		m.cacheMisses++
+	}
+	m.mu.Unlock()
+}
+
+// countEval records one evaluation-pipeline run and whether its task graph
+// was served from the evaluator's cache.
+func (m *serverMetrics) countEval(graphCached bool) {
+	m.mu.Lock()
+	m.evalRuns++
+	if graphCached {
+		m.evalGraphHits++
 	}
 	m.mu.Unlock()
 }
@@ -261,6 +277,8 @@ func (m *serverMetrics) render(w io.Writer, g gauges) {
 		fmt.Fprintf(w, "# HELP tempartd_repart_warm_start_hit_ratio Fraction of parent part_hash lookups that hit the partition store.\n# TYPE tempartd_repart_warm_start_hit_ratio gauge\ntempartd_repart_warm_start_hit_ratio %g\n",
 			float64(m.parentHits)/float64(tot))
 	}
+	counter("tempartd_eval_runs_total", "Evaluation-pipeline runs (requests carrying an evaluate spec).", m.evalRuns)
+	counter("tempartd_eval_graph_cache_hits_total", "Evaluation runs whose task graph came from the graph cache.", m.evalGraphHits)
 	counter("tempartd_queue_rejected_total", "Requests rejected with 429 because the admission queue was full.", m.queueRejected)
 	counter("tempartd_jobs_cancelled_total", "Jobs stopped before completion by disconnect, deadline or explicit cancel.", m.jobsCancelled)
 	gauge("tempartd_queue_depth", "Jobs waiting in the admission queue.", int64(g.queueDepth))

@@ -57,6 +57,11 @@ type RepartitionResponse struct {
 	ParentHash   string                    `json:"parent_hash,omitempty"`
 	PartHash     string                    `json:"part_hash"`
 	Part         []int32                   `json:"part"`
+	// Eval scores the repartitioned assignment on a simulated cluster when
+	// the request carried an "evaluate" spec. A "keep"-mode repartition
+	// re-scoring its parent's assignment hits the daemon's graph cache
+	// instead of rebuilding the parent's task graph.
+	Eval *EvalResult `json:"eval,omitempty"`
 }
 
 // decodeRepartitionRequest parses a POST /v1/repartition body. The same two
@@ -229,6 +234,13 @@ func (r *RepartitionRequest) execute(ctx context.Context, s *Server) ([]byte, ti
 	if rerr != nil {
 		return nil, 0, rerr
 	}
+	var evalRes *EvalResult
+	if r.Evaluate != nil {
+		evalRes, rerr = s.runEval(r.Evaluate, m, r.evalMeshID(), res.Part, r.K)
+		if rerr != nil {
+			return nil, 0, rerr
+		}
+	}
 	payload, err := json.Marshal(&RepartitionResponse{
 		Mesh: MeshInfo{
 			Name:     m.Name,
@@ -246,6 +258,7 @@ func (r *RepartitionRequest) execute(ctx context.Context, s *Server) ([]byte, ti
 		ParentHash:   r.ParentHash,
 		PartHash:     partHash,
 		Part:         res.Part,
+		Eval:         evalRes,
 	})
 	if err != nil {
 		return nil, 0, &requestError{code: http.StatusInternalServerError, msg: err.Error()}

@@ -56,6 +56,11 @@ type PartitionRequest struct {
 	Options  OptionsSpec `json:"options"`
 	// TimeoutMS caps the job's execution time; 0 uses the server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Evaluate, when present, additionally scores the computed assignment
+	// through the evaluation pipeline (task graph + FLUSIM) and attaches an
+	// EvalResult block to the response. On octet-stream uploads it arrives
+	// as eval_* query parameters.
+	Evaluate *EvalSpec `json:"evaluate,omitempty"`
 
 	// Uploaded holds the decoded TMSH mesh for octet-stream requests (nil
 	// for generator requests). meshDigest is the SHA-256 of the raw upload.
@@ -191,6 +196,11 @@ func queryInto(req *PartitionRequest, q url.Values) error {
 	}
 	req.Strategy = q.Get("strategy")
 	req.Options.Method = q.Get("method")
+	ev, err := evalFromQuery(q)
+	if err != nil {
+		return err
+	}
+	req.Evaluate = ev
 	return nil
 }
 
@@ -244,6 +254,11 @@ func (r *PartitionRequest) validate() error {
 	}
 	if r.TimeoutMS < 0 {
 		return badRequest("timeout_ms = %d is negative", r.TimeoutMS)
+	}
+	if r.Evaluate != nil {
+		if err := r.Evaluate.validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -303,6 +318,12 @@ func (r *PartitionRequest) key() cacheKey {
 	fmt.Fprintf(h, "k=%d strat=%s seed=%d tol=%x coarsen=%d init=%d passes=%d method=%s trials=%d",
 		r.K, r.Strategy, o.Seed, math.Float64bits(o.ImbalanceTol), o.CoarsenTo,
 		o.InitTrials, o.RefinePasses, o.Method, o.Trials)
+	// The evaluation spec changes the response body (an extra result block),
+	// so it is part of the address — but only when present, keeping the keys
+	// of plain partition requests stable across daemon versions.
+	if r.Evaluate != nil {
+		r.Evaluate.hashInto(h)
+	}
 	var key cacheKey
 	h.Sum(key[:0])
 	return key

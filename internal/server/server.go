@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tempart/internal/eval"
 	"tempart/internal/mesh"
 )
 
@@ -109,6 +110,12 @@ type Server struct {
 	cache   *resultCache
 	parts   *resultCache // encoded partition results by content hash
 	metrics *serverMetrics
+	// eval scores assignments for requests carrying an "evaluate" spec. It
+	// is shared across jobs so its task-graph cache survives between
+	// requests: meshes are keyed by stable content ids (generator name+scale
+	// or upload digest), so re-scoring the same decomposition — notably a
+	// repartition in "keep" mode — skips graph construction entirely.
+	eval *eval.Evaluator
 
 	queue    chan *job
 	wg       sync.WaitGroup
@@ -130,6 +137,7 @@ func New(cfg Config) *Server {
 		cache:   newResultCache(cfg.CacheBytes),
 		parts:   newResultCache(cfg.PartStoreBytes),
 		metrics: newServerMetrics(),
+		eval:    eval.New(eval.Options{Parallelism: cfg.MaxParallelism}),
 		queue:   make(chan *job, cfg.QueueDepth),
 		flights: map[cacheKey]*job{},
 		jobs:    map[string]*job{},

@@ -155,7 +155,8 @@ func NewFromPartition(m *mesh.Mesh, res *partition.Result, cfg Config) (*Solver,
 		cfg.FV = fv.DefaultParams()
 	}
 	ordered, newPart, _ := m.ReorderByDomain(res.Part, res.NumParts)
-	tg, err := taskgraph.Build(ordered, newPart, cfg.NumDomains, taskgraph.Options{RecordObjects: true})
+	tg, err := taskgraph.Build(ordered, newPart, cfg.NumDomains,
+		taskgraph.Options{RecordObjects: true, Parallelism: cfg.PartOpts.Parallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,137 @@
+package taskgraph
+
+import (
+	"context"
+	"testing"
+
+	"tempart/internal/mesh"
+	"tempart/internal/partition"
+)
+
+// buildParts returns a representative decomposition for each test mesh.
+func buildPart(t *testing.T, m *mesh.Mesh, domains int) []int32 {
+	t.Helper()
+	res, err := partition.PartitionMesh(context.Background(), m, domains, partition.MCTL,
+		partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("partition %s: %v", m.Name, err)
+	}
+	return res.Part
+}
+
+func graphsIdentical(t *testing.T, want, got *TaskGraph, label string) {
+	t.Helper()
+	if len(want.Tasks) != len(got.Tasks) {
+		t.Fatalf("%s: %d tasks, serial has %d", label, len(got.Tasks), len(want.Tasks))
+	}
+	for i := range want.Tasks {
+		if want.Tasks[i] != got.Tasks[i] {
+			t.Fatalf("%s: task %d = %+v, serial has %+v", label, i, got.Tasks[i], want.Tasks[i])
+		}
+	}
+	if len(want.PredStart) != len(got.PredStart) {
+		t.Fatalf("%s: PredStart length %d, serial has %d", label, len(got.PredStart), len(want.PredStart))
+	}
+	for i := range want.PredStart {
+		if want.PredStart[i] != got.PredStart[i] {
+			t.Fatalf("%s: PredStart[%d] = %d, serial has %d", label, i, got.PredStart[i], want.PredStart[i])
+		}
+	}
+	if len(want.Preds) != len(got.Preds) {
+		t.Fatalf("%s: %d pred edges, serial has %d", label, len(got.Preds), len(want.Preds))
+	}
+	for i := range want.Preds {
+		if want.Preds[i] != got.Preds[i] {
+			t.Fatalf("%s: Preds[%d] = %d, serial has %d", label, i, got.Preds[i], want.Preds[i])
+		}
+	}
+	if len(want.Objects) != len(got.Objects) {
+		t.Fatalf("%s: %d object lists, serial has %d", label, len(got.Objects), len(want.Objects))
+	}
+	for i := range want.Objects {
+		if len(want.Objects[i]) != len(got.Objects[i]) {
+			t.Fatalf("%s: Objects[%d] has %d ids, serial has %d",
+				label, i, len(got.Objects[i]), len(want.Objects[i]))
+		}
+		for j := range want.Objects[i] {
+			if want.Objects[i][j] != got.Objects[i][j] {
+				t.Fatalf("%s: Objects[%d][%d] = %d, serial has %d",
+					label, i, j, got.Objects[i][j], want.Objects[i][j])
+			}
+		}
+	}
+}
+
+// TestBuildParallelByteIdentical pins the tentpole determinism contract: the
+// DAG emitted by a parallel Build (tasks, PredStart, Preds, Objects) is
+// byte-identical to the serial build at every parallelism, on every
+// generator mesh family.
+func TestBuildParallelByteIdentical(t *testing.T) {
+	meshes := []*mesh.Mesh{
+		mesh.Cylinder(0.002),
+		mesh.Cube(0.002),
+		mesh.Nozzle(0.002),
+	}
+	for _, m := range meshes {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			part := buildPart(t, m, 12)
+			serial, err := BuildIterations(m, part, 12, 2,
+				Options{RecordObjects: true, Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := serial.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{2, 8} {
+				got, err := BuildIterations(m, part, 12, 2,
+					Options{RecordObjects: true, Parallelism: par})
+				if err != nil {
+					t.Fatal(err)
+				}
+				graphsIdentical(t, serial, got, m.Name)
+			}
+		})
+	}
+}
+
+// TestBuildDefaultParallelismMatchesSerial covers the Parallelism: 0 default
+// (one worker per core) against the pinned serial output.
+func TestBuildDefaultParallelismMatchesSerial(t *testing.T) {
+	m := mesh.Cylinder(0.002)
+	part := buildPart(t, m, 8)
+	serial, err := Build(m, part, 8, Options{RecordObjects: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Build(m, part, 8, Options{RecordObjects: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsIdentical(t, serial, got, "default parallelism")
+}
+
+// TestBuildScratchReuse exercises the sync.Pool scratch across many builds
+// with varying sizes, so a stale marker/epoch would surface as a wrong DAG.
+func TestBuildScratchReuse(t *testing.T) {
+	m := mesh.Cylinder(0.002)
+	part := buildPart(t, m, 8)
+	want, err := Build(m, part, 8, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallMesh := mesh.Cube(0.001)
+	smallPart := buildPart(t, smallMesh, 4)
+	for i := 0; i < 5; i++ {
+		got, err := Build(m, part, 8, Options{Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphsIdentical(t, want, got, "reuse")
+		// Interleave a smaller build so scratch arenas shrink and regrow.
+		if _, err := Build(smallMesh, smallPart, 4, Options{Parallelism: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

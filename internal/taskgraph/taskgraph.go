@@ -24,12 +24,25 @@
 // Cross-domain dependencies (a task of domain A depending on a task of
 // domain B) are the communications; internal/external task splitting lets a
 // runtime overlap them.
+//
+// Construction is allocation-lean and optionally parallel. Within one
+// (iter, sub, τ, kind) group the tasks write pairwise-disjoint object sets —
+// each face/cell belongs to exactly one (domain, level, external) bucket —
+// and face tasks only read cell writers (updated by the preceding cell
+// groups) while cell tasks only read face writers (committed by the face
+// group of the same phase). Every predecessor therefore has an ID below the
+// group's first ID, so the group's tasks can discover their preds in
+// parallel shards with a serial in-order commit, and the emitted DAG is
+// byte-identical to the serial build at every parallelism.
 package taskgraph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
+	"sync/atomic"
 
+	"tempart/internal/graph"
 	"tempart/internal/mesh"
 	"tempart/internal/temporal"
 )
@@ -82,7 +95,7 @@ type TaskGraph struct {
 	// PredStart/Preds form a CSR list of each task's dependencies.
 	PredStart []int32
 	Preds     []int32
-	// SuccStart/Succs is the transposed CSR (built on demand).
+	// SuccStart/Succs is the transposed CSR (built on demand via SuccsOf).
 	SuccStart []int32
 	Succs     []int32
 
@@ -92,6 +105,16 @@ type TaskGraph struct {
 
 	NumDomains int
 	Scheme     temporal.Scheme
+
+	// Lazily computed derived data, guarded so that many simulations can
+	// share one graph concurrently (the eval fan-out does exactly that).
+	// Task costs must not be mutated after the first SuccsOf/CriticalPath/
+	// TotalWork call.
+	lazyMu      sync.Mutex
+	succsReady  atomic.Bool
+	boundsReady atomic.Bool
+	cp          int64
+	totalWork   int64
 }
 
 // Options tunes task generation.
@@ -103,6 +126,10 @@ type Options struct {
 	// so an executor can run real kernels over them. Lists alias shared
 	// group storage and must be treated as read-only.
 	RecordObjects bool
+	// Parallelism bounds the workers used for dependency discovery: 0 (or
+	// negative) means one per core, 1 means strictly serial. The emitted
+	// graph is byte-identical at every setting.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -125,12 +152,24 @@ func (tg *TaskGraph) NumDeps() int { return len(tg.Preds) }
 func (tg *TaskGraph) PredsOf(t int32) []int32 { return tg.Preds[tg.PredStart[t]:tg.PredStart[t+1]] }
 
 // SuccsOf returns the successor list of task t, building the transpose on
-// first use.
+// first use. Safe for concurrent use.
 func (tg *TaskGraph) SuccsOf(t int32) []int32 {
+	if !tg.succsReady.Load() {
+		tg.ensureSuccs()
+	}
+	return tg.Succs[tg.SuccStart[t]:tg.SuccStart[t+1]]
+}
+
+func (tg *TaskGraph) ensureSuccs() {
+	tg.lazyMu.Lock()
+	defer tg.lazyMu.Unlock()
+	if tg.succsReady.Load() {
+		return
+	}
 	if tg.SuccStart == nil {
 		tg.buildSuccs()
 	}
-	return tg.Succs[tg.SuccStart[t]:tg.SuccStart[t+1]]
+	tg.succsReady.Store(true)
 }
 
 func (tg *TaskGraph) buildSuccs() {
@@ -154,20 +193,33 @@ func (tg *TaskGraph) buildSuccs() {
 	tg.SuccStart, tg.Succs = deg, succs
 }
 
-// TotalWork returns the summed cost of all tasks.
+// TotalWork returns the summed cost of all tasks (cached after first call;
+// safe for concurrent use).
 func (tg *TaskGraph) TotalWork() int64 {
-	var w int64
-	for i := range tg.Tasks {
-		w += tg.Tasks[i].Cost
+	if !tg.boundsReady.Load() {
+		tg.ensureBounds()
 	}
-	return w
+	return tg.totalWork
 }
 
 // CriticalPath returns the longest cost-weighted path through the DAG — the
 // absolute lower bound on any schedule's makespan regardless of core count.
+// Cached after the first call; safe for concurrent use.
 func (tg *TaskGraph) CriticalPath() int64 {
+	if !tg.boundsReady.Load() {
+		tg.ensureBounds()
+	}
+	return tg.cp
+}
+
+func (tg *TaskGraph) ensureBounds() {
+	tg.lazyMu.Lock()
+	defer tg.lazyMu.Unlock()
+	if tg.boundsReady.Load() {
+		return
+	}
 	finish := make([]int64, len(tg.Tasks))
-	var cp int64
+	var cp, work int64
 	for t := range tg.Tasks {
 		var start int64
 		for _, p := range tg.PredsOf(int32(t)) {
@@ -179,8 +231,10 @@ func (tg *TaskGraph) CriticalPath() int64 {
 		if finish[t] > cp {
 			cp = finish[t]
 		}
+		work += tg.Tasks[t].Cost
 	}
-	return cp
+	tg.cp, tg.totalWork = cp, work
+	tg.boundsReady.Store(true)
 }
 
 // Validate checks DAG invariants: topological IDs, in-range domains and
@@ -233,6 +287,42 @@ func Build(m *mesh.Mesh, part []int32, numDomains int, opt Options) (*TaskGraph,
 	return BuildIterations(m, part, numDomains, 1, opt)
 }
 
+// buildScratch is the per-shard scratch arena for dependency discovery: an
+// epoch-stamped marker array replaces the per-task dedup map (marker[w] ==
+// epoch means writer w is already recorded for the current task), and preds/
+// counts accumulate the shard's discovered edges for the serial commit pass.
+type buildScratch struct {
+	marker []int32
+	epoch  int32
+	preds  []int32
+	counts []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
+// getScratch returns a scratch whose marker covers numTasks ids and whose
+// epoch can advance by numTasks without wrapping. A freshly zeroed marker is
+// safe at any epoch ≥ 1 because stale entries are never larger than the
+// epoch they were written at.
+func getScratch(numTasks int) *buildScratch {
+	s := scratchPool.Get().(*buildScratch)
+	if len(s.marker) < numTasks {
+		s.marker = make([]int32, numTasks)
+	}
+	if s.epoch > 1<<30 {
+		clear(s.marker)
+		s.epoch = 0
+	}
+	return s
+}
+
+// pendingTask is one not-yet-committed task of the current phase group.
+type pendingTask struct {
+	domain   int32
+	external bool
+	objs     []int32
+}
+
 // BuildIterations chains several iterations into one DAG without a global
 // barrier between them: the first tasks of iteration i+1 depend only on the
 // tasks of iteration i that last wrote the objects they touch, so a process
@@ -273,12 +363,42 @@ func BuildIterations(m *mesh.Mesh, part []int32, numDomains, iterations int, opt
 
 	// Group objects by (domain, level, external) once; reused every
 	// activation of that level.
-	cellGroups := groupObjects(nc, numDomains, scheme.NumLevels(),
+	numLevels := scheme.NumLevels()
+	cellGroups := groupObjects(nc, numDomains, numLevels,
 		func(i int32) (int32, temporal.Level, bool) { return part[i], m.Level[i], cellExternal[i] })
-	faceGroups := groupObjects(int(nf), numDomains, scheme.NumLevels(),
+	faceGroups := groupObjects(nf, numDomains, numLevels,
 		func(i int32) (int32, temporal.Level, bool) {
 			return faceDomain[i], faceLevel(m, m.Faces[i]), faceExternal[i]
 		})
+
+	// Phase schedule, hoisted out of the iteration loop.
+	nsub := scheme.NumSubiterations()
+	levelsBySub := make([][]temporal.Level, nsub)
+	for sub := 0; sub < nsub; sub++ {
+		levelsBySub[sub] = scheme.ActiveLevels(sub)
+	}
+
+	// Exact task census: every non-empty (domain, ext) bucket of level τ
+	// emits one task per activation of τ per iteration, for each kind.
+	activations := make([]int, numLevels)
+	for sub := 0; sub < nsub; sub++ {
+		for _, tau := range levelsBySub[sub] {
+			activations[tau]++
+		}
+	}
+	totalTasks := 0
+	for tau := 0; tau < numLevels; tau++ {
+		nonEmpty := faceGroups.countNonEmpty(numDomains, tau) + cellGroups.countNonEmpty(numDomains, tau)
+		totalTasks += activations[tau] * nonEmpty
+	}
+	totalTasks *= iterations
+
+	tg.Tasks = make([]Task, 0, totalTasks)
+	if opt.RecordObjects {
+		tg.Objects = make([][]int32, 0, totalTasks)
+	}
+	predStart := make([]int32, 1, totalTasks+1)
+	preds := make([]int32, 0, 4*totalTasks)
 
 	// Last-writer tracking for dependency discovery.
 	lastCellWriter := make([]int32, nc)
@@ -290,85 +410,132 @@ func BuildIterations(m *mesh.Mesh, part []int32, numDomains, iterations int, opt
 		lastFaceWriter[i] = -1
 	}
 
-	var preds []int32
-	predStart := []int32{0}
-	predSet := map[int32]struct{}{}
+	pool := graph.NewPool(opt.Parallelism)
+	width := pool.Width()
+	scratches := make([]*buildScratch, width)
+	for i := range scratches {
+		scratches[i] = getScratch(totalTasks)
+	}
+	defer func() {
+		for _, s := range scratches {
+			scratchPool.Put(s)
+		}
+	}()
+	if nc > 0 && width > 1 {
+		m.CellFaces(0) // force the lazy cell→face index before fanning out
+	}
 
-	addTask := func(iter, sub int32, tau temporal.Level, kind Kind, domain int32, external bool, objects []int32) {
-		id := int32(len(tg.Tasks))
-		clear(predSet)
-		var unitCost int32
+	pending := make([]pendingTask, 0, numDomains*2)
+	kinds := [2]Kind{FaceKind, CellKind}
+
+	// discover finds the preds of pending[pi] (committed as task id) into
+	// scratch s and updates the last-writer maps. Tasks of one group write
+	// disjoint objects, so concurrent discover calls never write the same
+	// last-writer entry, and every pred they read predates the group.
+	discover := func(s *buildScratch, pi int, id int32, kind Kind) {
+		pt := &pending[pi]
+		s.epoch++
+		e := s.epoch
+		base := len(s.preds)
 		if kind == FaceKind {
-			unitCost = opt.FaceCost
-			for _, f := range objects {
+			for _, f := range pt.objs {
 				face := m.Faces[f]
 				// Read adjacent cells.
-				if w := lastCellWriter[face.C0]; w >= 0 {
-					predSet[w] = struct{}{}
+				if w := lastCellWriter[face.C0]; w >= 0 && s.marker[w] != e {
+					s.marker[w] = e
+					s.preds = append(s.preds, w)
 				}
 				if !face.IsBoundary() {
-					if w := lastCellWriter[face.C1]; w >= 0 {
-						predSet[w] = struct{}{}
+					if w := lastCellWriter[face.C1]; w >= 0 && s.marker[w] != e {
+						s.marker[w] = e
+						s.preds = append(s.preds, w)
 					}
 				}
 				// Serialize with the previous writer of this face.
-				if w := lastFaceWriter[f]; w >= 0 {
-					predSet[w] = struct{}{}
+				if w := lastFaceWriter[f]; w >= 0 && s.marker[w] != e {
+					s.marker[w] = e
+					s.preds = append(s.preds, w)
 				}
 				lastFaceWriter[f] = id
 			}
 		} else {
-			unitCost = opt.CellCost
-			for _, c := range objects {
+			for _, c := range pt.objs {
 				// Consume fluxes of every face of the cell.
 				for _, f := range m.CellFaces(c) {
-					if w := lastFaceWriter[f]; w >= 0 {
-						predSet[w] = struct{}{}
+					if w := lastFaceWriter[f]; w >= 0 && s.marker[w] != e {
+						s.marker[w] = e
+						s.preds = append(s.preds, w)
 					}
 				}
 				// Serialize with the previous update of this cell.
-				if w := lastCellWriter[c]; w >= 0 {
-					predSet[w] = struct{}{}
+				if w := lastCellWriter[c]; w >= 0 && s.marker[w] != e {
+					s.marker[w] = e
+					s.preds = append(s.preds, w)
 				}
 				lastCellWriter[c] = id
 			}
 		}
-		delete(predSet, id) // intra-task references are not dependencies
-		start := predStart[len(predStart)-1]
-		for p := range predSet {
-			preds = append(preds, p)
-		}
-		own := preds[start:]
-		sort.Slice(own, func(a, b int) bool { return own[a] < own[b] })
-		predStart = append(predStart, int32(len(preds)))
-
-		tg.Tasks = append(tg.Tasks, Task{
-			ID: id, Iter: iter, Sub: sub, Tau: tau, Kind: kind, Domain: domain,
-			External: external, NumObjects: int32(len(objects)),
-			Cost: int64(unitCost) * int64(len(objects)),
-		})
-		if opt.RecordObjects {
-			tg.Objects = append(tg.Objects, objects)
-		}
+		own := s.preds[base:]
+		slices.Sort(own)
+		s.counts = append(s.counts, int32(len(own)))
 	}
 
-	nsub := scheme.NumSubiterations()
 	for iter := 0; iter < iterations; iter++ {
 		for sub := 0; sub < nsub; sub++ {
-			for _, tau := range scheme.ActiveLevels(sub) {
-				for _, kind := range []Kind{FaceKind, CellKind} {
+			for _, tau := range levelsBySub[sub] {
+				for _, kind := range kinds {
 					groups := faceGroups
+					unitCost := opt.FaceCost
 					if kind == CellKind {
 						groups = cellGroups
+						unitCost = opt.CellCost
 					}
+					pending = pending[:0]
 					for d := 0; d < numDomains; d++ {
 						// External objects first: their results feed other
 						// domains, so runtimes can overlap communication.
 						if objs := groups.get(int32(d), tau, true); len(objs) > 0 {
-							addTask(int32(iter), int32(sub), tau, kind, int32(d), true, objs)
+							pending = append(pending, pendingTask{domain: int32(d), external: true, objs: objs})
 						}
 						if objs := groups.get(int32(d), tau, false); len(objs) > 0 {
-							addTask(int32(iter), int32(sub), tau, kind, int32(d), false, objs)
+							pending = append(pending, pendingTask{domain: int32(d), external: false, objs: objs})
+						}
+					}
+					if len(pending) == 0 {
+						continue
+					}
+					firstID := int32(len(tg.Tasks))
+					bounds := pool.Bounds(len(pending), 1)
+					nShards := len(bounds) - 1
+					pool.RunN(nShards, func(si int) {
+						s := scratches[si]
+						s.preds = s.preds[:0]
+						s.counts = s.counts[:0]
+						for pi := bounds[si]; pi < bounds[si+1]; pi++ {
+							discover(s, pi, firstID+int32(pi), kind)
+						}
+					})
+					// Serial commit, in pending order: shard arenas are
+					// appended back-to-back so the CSR matches the serial
+					// build byte for byte.
+					for si := 0; si < nShards; si++ {
+						s := scratches[si]
+						off := 0
+						for pi := bounds[si]; pi < bounds[si+1]; pi++ {
+							n := int(s.counts[pi-bounds[si]])
+							preds = append(preds, s.preds[off:off+n]...)
+							off += n
+							predStart = append(predStart, int32(len(preds)))
+							pt := &pending[pi]
+							tg.Tasks = append(tg.Tasks, Task{
+								ID: firstID + int32(pi), Iter: int32(iter), Sub: int32(sub),
+								Tau: tau, Kind: kind, Domain: pt.domain,
+								External: pt.external, NumObjects: int32(len(pt.objs)),
+								Cost: int64(unitCost) * int64(len(pt.objs)),
+							})
+							if opt.RecordObjects {
+								tg.Objects = append(tg.Objects, pt.objs)
+							}
 						}
 					}
 				}
@@ -380,29 +547,66 @@ func BuildIterations(m *mesh.Mesh, part []int32, numDomains, iterations int, opt
 	return tg, nil
 }
 
-// objectGroups buckets object ids by (domain, level, external).
+// objectGroups buckets object ids by (domain, level, external) in CSR form:
+// bucket i holds ids[start[i]:start[i+1]], indexed by
+// (domain*numLevels+level)*2 + ext. Ids within a bucket stay ascending.
 type objectGroups struct {
 	numLevels int
-	buckets   [][]int32 // index: (domain*numLevels+level)*2 + ext
+	start     []int32
+	ids       []int32
 }
 
-func (og *objectGroups) get(domain int32, level temporal.Level, external bool) []int32 {
-	i := (int(domain)*og.numLevels + int(level)) * 2
+func (og *objectGroups) bucket(domain, level int, external bool) int {
+	i := (domain*og.numLevels + level) * 2
 	if external {
 		i++
 	}
-	return og.buckets[i]
+	return i
+}
+
+func (og *objectGroups) get(domain int32, level temporal.Level, external bool) []int32 {
+	i := og.bucket(int(domain), int(level), external)
+	return og.ids[og.start[i]:og.start[i+1]]
+}
+
+// countNonEmpty returns how many (domain, ext) buckets of the level hold at
+// least one object.
+func (og *objectGroups) countNonEmpty(numDomains, level int) int {
+	n := 0
+	for d := 0; d < numDomains; d++ {
+		for _, ext := range [2]bool{true, false} {
+			i := og.bucket(d, level, ext)
+			if og.start[i+1] > og.start[i] {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 func groupObjects(n, numDomains, numLevels int, classify func(int32) (int32, temporal.Level, bool)) *objectGroups {
-	og := &objectGroups{numLevels: numLevels, buckets: make([][]int32, numDomains*numLevels*2)}
+	nb := numDomains * numLevels * 2
+	og := &objectGroups{
+		numLevels: numLevels,
+		start:     make([]int32, nb+1),
+		ids:       make([]int32, n),
+	}
+	idx := make([]int32, n)
 	for i := int32(0); i < int32(n); i++ {
 		d, l, ext := classify(i)
-		idx := (int(d)*numLevels + int(l)) * 2
-		if ext {
-			idx++
-		}
-		og.buckets[idx] = append(og.buckets[idx], i)
+		j := og.bucket(int(d), int(l), ext)
+		idx[i] = int32(j)
+		og.start[j+1]++
+	}
+	for j := 0; j < nb; j++ {
+		og.start[j+1] += og.start[j]
+	}
+	cursor := make([]int32, nb)
+	copy(cursor, og.start[:nb])
+	for i := int32(0); i < int32(n); i++ {
+		j := idx[i]
+		og.ids[cursor[j]] = i
+		cursor[j]++
 	}
 	return og
 }

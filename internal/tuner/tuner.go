@@ -16,10 +16,10 @@ import (
 	"fmt"
 	"math"
 
+	"tempart/internal/eval"
 	"tempart/internal/flusim"
 	"tempart/internal/mesh"
 	"tempart/internal/partition"
-	"tempart/internal/taskgraph"
 )
 
 // Config parameterises the search.
@@ -76,7 +76,10 @@ func Tune(ctx context.Context, m *mesh.Mesh, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("tuner: NumProcs = %d", cfg.Cluster.NumProcs)
 	}
 	res := &Result{}
-	cores := cfg.Cluster.NumProcs * cfg.Cluster.WorkersPerProc
+	// Trial scoring goes through the shared evaluation facade: graphs build
+	// with the same parallelism the partitioner uses, and each candidate's
+	// graph is cached for the lifetime of the sweep.
+	ev := eval.New(eval.Options{Parallelism: cfg.PartOpts.Parallelism})
 
 	for perProc := 1; perProc <= cfg.MaxDomainsPerProc; perProc *= 2 {
 		domains := perProc * cfg.Cluster.NumProcs
@@ -87,28 +90,24 @@ func Tune(ctx context.Context, m *mesh.Mesh, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tuner: k=%d: %w", domains, err)
 		}
-		tg, err := taskgraph.Build(m, part.Part, domains, taskgraph.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("tuner: k=%d: %w", domains, err)
-		}
-		procOf := flusim.BlockMap(domains, cfg.Cluster.NumProcs)
-		sim, err := flusim.Simulate(tg, procOf, flusim.Config{
-			Cluster:     cfg.Cluster,
-			CommLatency: cfg.CommLatency,
+		out, err := ev.Evaluate(eval.Spec{
+			Mesh: m, Part: part.Part, NumDomains: domains,
+			ProcOf: flusim.BlockMap(domains, cfg.Cluster.NumProcs),
+			Sim: flusim.Config{
+				Cluster:     cfg.Cluster,
+				CommLatency: cfg.CommLatency,
+			},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("tuner: k=%d: %w", domains, err)
 		}
-		cand := Candidate{
+		res.Candidates = append(res.Candidates, Candidate{
 			Domains:    domains,
-			Makespan:   sim.Makespan,
-			CommVolume: commVolume(tg, procOf),
-			NumTasks:   tg.NumTasks(),
-		}
-		if cores > 0 && sim.Makespan > 0 {
-			cand.Efficiency = float64(sim.TotalWork) / (float64(sim.Makespan) * float64(cores))
-		}
-		res.Candidates = append(res.Candidates, cand)
+			Makespan:   out.Makespan,
+			CommVolume: out.CommVolume,
+			NumTasks:   out.NumTasks,
+			Efficiency: out.Efficiency,
+		})
 	}
 	if len(res.Candidates) == 0 {
 		return nil, fmt.Errorf("tuner: no feasible domain count (mesh of %d cells too small for %d processes)",
@@ -122,21 +121,6 @@ func Tune(ctx context.Context, m *mesh.Mesh, cfg Config) (*Result, error) {
 	}
 	res.Best = best
 	return res, nil
-}
-
-// commVolume counts cross-process dependency edges (duplicated from
-// internal/metrics to keep the tuner's dependency set minimal).
-func commVolume(tg *taskgraph.TaskGraph, procOfDomain []int32) int64 {
-	var vol int64
-	for t := 0; t < tg.NumTasks(); t++ {
-		pt := procOfDomain[tg.Tasks[t].Domain]
-		for _, pr := range tg.PredsOf(int32(t)) {
-			if procOfDomain[tg.Tasks[pr].Domain] != pt {
-				vol++
-			}
-		}
-	}
-	return vol
 }
 
 // String renders the sweep as a table.
