@@ -20,17 +20,23 @@ import (
 	"syscall"
 
 	"tempart/internal/experiments"
+	"tempart/internal/obs"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (table1, fig5..fig13, all)")
-		scale = flag.Float64("scale", 0.01, "mesh scale relative to the paper's cell counts")
-		seed  = flag.Int64("seed", 1, "random seed")
-		width = flag.Int("width", 96, "Gantt chart width in characters")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "all", "experiment id (table1, fig5..fig13, all)")
+		scale   = flag.Float64("scale", 0.01, "mesh scale relative to the paper's cell counts")
+		seed    = flag.Int64("seed", 1, "random seed")
+		width   = flag.Int("width", 96, "Gantt chart width in characters")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("experiments"))
+		return
+	}
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))

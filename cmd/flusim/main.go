@@ -19,6 +19,7 @@ import (
 	"tempart/internal/core"
 	"tempart/internal/flusim"
 	"tempart/internal/metrics"
+	"tempart/internal/obs"
 	"tempart/internal/partition"
 )
 
@@ -37,8 +38,13 @@ func main() {
 		commLat  = flag.Int64("comm-latency", 0, "virtual time units charged per cross-process dependency edge")
 		jsonOut  = flag.String("trace-json", "", "write the trace in Chrome trace-event format to this file")
 		csvOut   = flag.String("trace-csv", "", "write the trace as CSV to this file")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("flusim"))
+		return
+	}
 
 	strat, err := partition.ParseStrategy(*strategy)
 	check(err)

@@ -14,17 +14,23 @@ import (
 	"os"
 
 	"tempart/internal/mesh"
+	"tempart/internal/obs"
 	"tempart/internal/temporal"
 )
 
 func main() {
 	var (
-		name  = flag.String("mesh", "CYLINDER", "mesh: CYLINDER, CUBE or PPRIME_NOZZLE")
-		scale = flag.Float64("scale", 0.01, "scale relative to the paper's cell counts")
-		out   = flag.String("out", "", "save the mesh to this file")
-		in    = flag.String("in", "", "load and inspect a mesh file instead of generating")
+		name    = flag.String("mesh", "CYLINDER", "mesh: CYLINDER, CUBE or PPRIME_NOZZLE")
+		scale   = flag.Float64("scale", 0.01, "scale relative to the paper's cell counts")
+		out     = flag.String("out", "", "save the mesh to this file")
+		in      = flag.String("in", "", "load and inspect a mesh file instead of generating")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("meshgen"))
+		return
+	}
 
 	var m *mesh.Mesh
 	var err error

@@ -8,6 +8,7 @@
 //
 //	partbench -mesh CYLINDER -scale 0.01 -domains 128 -procs 16 -workers 32
 //	partbench -mesh CUBE -scale 0.01 -json | jq '.results[].makespan'
+//	partbench -report run.json -pipeline-trace pipe.json   # manifest + Perfetto trace
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"testing"
 	"time"
@@ -24,6 +26,7 @@ import (
 	"tempart/internal/flusim"
 	"tempart/internal/mesh"
 	"tempart/internal/metrics"
+	"tempart/internal/obs"
 	"tempart/internal/partition"
 	"tempart/internal/taskgraph"
 )
@@ -94,8 +97,25 @@ func main() {
 		doRepart = flag.Bool("repart", false, "run the drift/repartition comparison instead of the strategy table")
 		epochs   = flag.Int("epochs", 5, "drift epochs for -repart")
 		step     = flag.Float64("drift-step", 0.05, "hotspot displacement per epoch, as a fraction of the mesh's x extent (-repart)")
+		reportTo = flag.String("report", "", "write a JSON run manifest (inputs, build, per-phase timings, quality) to this file; pins -parallel 1 so phase times tile the partition wall clock")
+		pipeTo   = flag.String("pipeline-trace", "", "write the instrumented pipeline spans as a Chrome trace (open in Perfetto) to this file")
+		traceTo  = flag.String("trace", "", "write the winning strategy's FLUSIM schedule as a Chrome trace to this file")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("partbench"))
+		return
+	}
+	if *reportTo != "" && *parallel != 1 {
+		fmt.Fprintln(os.Stderr, "partbench: -report pins -parallel 1 so per-phase timings tile the partition wall clock")
+		*parallel = 1
+	}
+	var rec *obs.Recorder
+	if *reportTo != "" || *pipeTo != "" {
+		rec = obs.NewRecorder()
+	}
+	ctx := obs.WithRecorder(context.Background(), rec)
 
 	m, err := core.LoadMesh(*meshName, *scale)
 	check(err)
@@ -140,9 +160,12 @@ func main() {
 		Parallel: *parallel,
 	}
 	var mctlPart []int32
+	var bestLabel string
+	var bestPart []int32
+	var bestMakespan int64
 	for _, j := range jobs {
 		t0 := time.Now()
-		res, err := partition.PartitionMesh(context.Background(), m, *domains, j.strat, j.opt)
+		res, err := partition.PartitionMesh(ctx, m, *domains, j.strat, j.opt)
 		check(err)
 		elapsed := time.Since(t0)
 
@@ -151,10 +174,14 @@ func main() {
 			Mesh: m, Part: res.Part, NumDomains: res.NumParts,
 			ProcOf: procOf,
 			Sim:    flusim.Config{Cluster: cluster, CommLatency: *commLat},
+			Obs:    rec,
 		})
 		check(err)
 		if j.label == "MC_TL(rb)" {
 			mctlPart = res.Part
+		}
+		if bestPart == nil || out.Makespan < bestMakespan {
+			bestLabel, bestPart, bestMakespan = j.label, res.Part, out.Makespan
 		}
 
 		worstLvl := 0.0
@@ -201,6 +228,56 @@ func main() {
 		enc.SetIndent("", "  ")
 		check(enc.Encode(&rep))
 	}
+
+	if *traceTo != "" && bestPart != nil {
+		// Re-evaluate the winner with trace recording on; the task graph comes
+		// from the evaluator's cache, so only the simulation reruns.
+		out, err := ev.Evaluate(eval.Spec{
+			Mesh: m, Part: bestPart, NumDomains: *domains,
+			ProcOf: procOf,
+			Sim:    flusim.Config{Cluster: cluster, CommLatency: *commLat, RecordTrace: true},
+			Obs:    rec,
+		})
+		check(err)
+		writeFile(*traceTo, out.Trace.WriteChromeTrace)
+		fmt.Fprintf(os.Stderr, "partbench: FLUSIM schedule of %s (makespan %d) written to %s\n",
+			bestLabel, bestMakespan, *traceTo)
+	}
+	if *pipeTo != "" {
+		writeFile(*pipeTo, rec.WriteChromeTrace)
+		fmt.Fprintf(os.Stderr, "partbench: pipeline trace written to %s (open in Perfetto)\n", *pipeTo)
+	}
+	if *reportTo != "" {
+		man := obs.NewManifest("partbench")
+		man.Inputs["mesh"] = m.Name
+		man.Inputs["cells"] = m.NumCells()
+		man.Inputs["scale"] = *scale
+		man.Inputs["domains"] = *domains
+		man.Inputs["procs"] = *procs
+		man.Inputs["workers"] = *workers
+		man.Inputs["seed"] = *seed
+		man.Inputs["parallel"] = *parallel
+		man.Inputs["comm_latency"] = *commLat
+		man.Inputs["kway"] = *kway
+		for _, r := range rep.Results {
+			man.Metrics["edge_cut/"+r.Strategy] = float64(r.EdgeCut)
+			man.Metrics["max_imbalance/"+r.Strategy] = r.MaxImbalance
+			man.Metrics["makespan/"+r.Strategy] = float64(r.Makespan)
+			man.Metrics["comm_volume/"+r.Strategy] = float64(r.CommVolume)
+			man.Metrics["partition_seconds/"+r.Strategy] = r.WallSeconds
+		}
+		man.Finish(rec)
+		writeFile(*reportTo, man.WriteJSON)
+		fmt.Fprintf(os.Stderr, "partbench: run manifest written to %s\n", *reportTo)
+	}
+}
+
+// writeFile streams one of the JSON emitters into path.
+func writeFile(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	check(err)
+	check(write(f))
+	check(f.Close())
 }
 
 // measureEvalPipeline measures the evaluation pipeline's allocation counts

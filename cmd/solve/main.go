@@ -15,11 +15,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"tempart/internal/flusim"
 	"tempart/internal/mesh"
+	"tempart/internal/obs"
 	"tempart/internal/partition"
 	"tempart/internal/runtime"
 	"tempart/internal/solver"
@@ -41,8 +43,20 @@ func main() {
 		gantt    = flag.Bool("gantt", false, "print the virtual-cluster Gantt trace")
 		width    = flag.Int("width", 96, "Gantt width")
 		seed     = flag.Int64("seed", 1, "random seed")
+		reportTo = flag.String("report", "", "write a JSON run manifest (inputs, build, per-phase timings, outcome) to this file")
+		pipeTo   = flag.String("pipeline-trace", "", "write the instrumented pipeline spans as a Chrome trace (open in Perfetto) to this file")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("solve"))
+		return
+	}
+	var rec *obs.Recorder
+	if *reportTo != "" || *pipeTo != "" {
+		rec = obs.NewRecorder()
+	}
+	ctx := obs.WithRecorder(context.Background(), rec)
 
 	var m *mesh.Mesh
 	var err error
@@ -67,7 +81,7 @@ func main() {
 
 	fmt.Printf("mesh %s: %d cells, census %v\n", m.Name, m.NumCells(), m.Census())
 	t0 := time.Now()
-	sv, err := solver.New(context.Background(), m, solver.Config{
+	sv, err := solver.New(ctx, m, solver.Config{
 		NumDomains: *domains,
 		Strategy:   strat,
 		PartOpts:   partition.Options{Seed: *seed},
@@ -79,7 +93,7 @@ func main() {
 	fmt.Printf("pipeline built in %v: %s partition (cut %d), %d tasks/iteration, model %v\n",
 		time.Since(t0).Round(time.Millisecond), strat, sv.Partition.EdgeCut, sv.TG.NumTasks(), mdl)
 
-	rep, err := sv.Run(*iters)
+	rep, err := sv.RunContext(ctx, *iters)
 	check(err)
 	for i, w := range rep.WallPerIteration {
 		fmt.Printf("iteration %d: %v\n", i, w.Round(time.Microsecond))
@@ -94,6 +108,44 @@ func main() {
 	if *gantt && virt.Trace != nil {
 		fmt.Printf("\ntrace (digits = subiteration):\n%s", virt.Trace.Gantt(*width))
 	}
+
+	if *pipeTo != "" {
+		writeFile(*pipeTo, rec.WriteChromeTrace)
+		fmt.Fprintf(os.Stderr, "solve: pipeline trace written to %s (open in Perfetto)\n", *pipeTo)
+	}
+	if *reportTo != "" {
+		man := obs.NewManifest("solve")
+		man.Inputs["mesh"] = m.Name
+		man.Inputs["cells"] = m.NumCells()
+		man.Inputs["scale"] = *scale
+		man.Inputs["in"] = *inFile
+		man.Inputs["strategy"] = strat.String()
+		man.Inputs["domains"] = *domains
+		man.Inputs["model"] = *model
+		man.Inputs["iters"] = *iters
+		man.Inputs["workers"] = *workers
+		man.Inputs["policy"] = *policy
+		man.Inputs["procs"] = *procs
+		man.Inputs["cores"] = *cores
+		man.Inputs["seed"] = *seed
+		man.Metrics["edge_cut"] = float64(sv.Partition.EdgeCut)
+		man.Metrics["tasks_per_iteration"] = float64(sv.TG.NumTasks())
+		man.Metrics["mass_drift_rel"] = rep.MassDriftRel
+		man.Metrics["virtual_makespan"] = float64(virt.Makespan)
+		man.Metrics["virtual_critical_path"] = float64(virt.CriticalPath)
+		man.Metrics["repart_events"] = float64(len(rep.Repartitions))
+		man.Finish(rec)
+		writeFile(*reportTo, man.WriteJSON)
+		fmt.Fprintf(os.Stderr, "solve: run manifest written to %s\n", *reportTo)
+	}
+}
+
+// writeFile streams one of the JSON emitters into path.
+func writeFile(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	check(err)
+	check(write(f))
+	check(f.Close())
 }
 
 func check(err error) {

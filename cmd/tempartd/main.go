@@ -17,18 +17,22 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on DefaultServeMux; served only on -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"tempart/internal/obs"
 	"tempart/internal/server"
 )
 
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
+		debugAddr    = flag.String("debug-addr", "", "when set, serve net/http/pprof under /debug/pprof/ on this address")
 		workers      = flag.Int("workers", 0, "partition worker pool size (0 = GOMAXPROCS)")
 		parallel     = flag.Int("parallel", 0, "per-request partitioner parallelism cap (0 = GOMAXPROCS/workers)")
 		queueDepth   = flag.Int("queue", 64, "admission queue depth (overflow answers 429)")
@@ -36,9 +40,19 @@ func main() {
 		maxBodyMB    = flag.Int64("max-body-mb", 64, "maximum request body (mesh upload) in MiB")
 		timeout      = flag.Duration("timeout", 5*time.Minute, "default per-job execution deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		accessLog    = flag.Bool("access-log", true, "emit one structured log line per request")
+		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("tempartd"))
+		return
+	}
 
+	var access *slog.Logger
+	if *accessLog {
+		access = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
@@ -46,7 +60,18 @@ func main() {
 		MaxBodyBytes:   *maxBodyMB << 20,
 		DefaultTimeout: *timeout,
 		MaxParallelism: *parallel,
+		AccessLog:      access,
 	})
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("tempartd: pprof on http://%s/debug/pprof/", *debugAddr)
+			dbg := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux,
+				ReadHeaderTimeout: 10 * time.Second}
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("tempartd: debug server: %v", err)
+			}
+		}()
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -25,6 +25,7 @@ import (
 	"tempart/internal/graph"
 	"tempart/internal/mesh"
 	"tempart/internal/metrics"
+	"tempart/internal/obs"
 	"tempart/internal/taskgraph"
 	"tempart/internal/trace"
 )
@@ -65,6 +66,11 @@ type Spec struct {
 	ProcOf []int32
 	// Sim is the cluster/strategy configuration for the simulation.
 	Sim flusim.Config
+	// Obs, when non-nil, records build/simulate spans and graph-cache
+	// hit/miss counters ("eval.graph_cache_hit"/"eval.graph_cache_miss").
+	// Excluded from the graph cache key, so traced and untraced requests for
+	// the same workload share cached graphs. Nil costs nothing.
+	Obs *obs.Recorder
 }
 
 // Outcome is the result of one evaluation.
@@ -184,6 +190,7 @@ func (spec *Spec) tgOptions(parallelism int) taskgraph.Options {
 		FaceCost:    spec.FaceCost,
 		CellCost:    spec.CellCost,
 		Parallelism: parallelism,
+		Obs:         spec.Obs,
 	}
 }
 
@@ -201,10 +208,12 @@ func (e *Evaluator) graphFor(spec *Spec) (tg *taskgraph.TaskGraph, cached bool, 
 			e.seq++
 			ent.lastUsed = e.seq
 			e.mu.Unlock()
+			spec.Obs.Count("eval.graph_cache_hit", 1)
 			return ent.tg, true, 0, nil
 		}
 		e.mu.Unlock()
 	}
+	spec.Obs.Count("eval.graph_cache_miss", 1)
 	t0 := time.Now()
 	tg, err = taskgraph.BuildIterations(spec.Mesh, spec.Part, spec.NumDomains,
 		spec.iterations(), spec.tgOptions(e.pool.Width()))
@@ -259,12 +268,20 @@ func (e *Evaluator) Evaluate(spec Spec) (*Outcome, error) {
 func (e *Evaluator) simulate(tg *taskgraph.TaskGraph, spec *Spec) (*Outcome, error) {
 	sim := e.sims.Get().(*flusim.Simulator)
 	defer e.sims.Put(sim)
+	span := spec.Obs.Start("eval/simulate")
 	t0 := time.Now()
 	res, err := sim.Simulate(tg, spec.ProcOf, spec.Sim)
 	if err != nil {
+		span.End()
 		return nil, err
 	}
 	simSeconds := time.Since(t0).Seconds()
+	if span.Active() {
+		span.SetInt("tasks", int64(tg.NumTasks()))
+		span.SetInt("makespan", res.Makespan)
+		span.SetStr("scheduler", spec.Sim.Strategy.String())
+	}
+	span.End()
 	out := &Outcome{
 		Makespan:        res.Makespan,
 		CriticalPath:    res.CriticalPath,

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Agg is the Prometheus bridge: a process-lifetime aggregate of every drained
+// per-request Recorder, rendered into an existing text-exposition endpoint
+// (tempartd's /metrics). Draining folds a recorder's per-phase span counts
+// and seconds plus its counters into cumulative totals, so scrapes see
+// monotone counters regardless of how many requests were traced.
+type Agg struct {
+	prefix string
+
+	mu       sync.Mutex
+	phases   map[string]PhaseStat
+	counters map[string]int64
+}
+
+// NewAgg returns an aggregator whose rendered metric names start with prefix
+// (e.g. "tempartd_pipeline"). A nil *Agg is a valid disabled aggregator.
+func NewAgg(prefix string) *Agg {
+	return &Agg{prefix: prefix, phases: map[string]PhaseStat{}, counters: map[string]int64{}}
+}
+
+// Drain folds a recorder's spans and counters into the aggregate. Safe with a
+// nil aggregator or nil recorder.
+func (a *Agg) Drain(r *Recorder) {
+	if a == nil || r == nil {
+		return
+	}
+	totals := r.PhaseTotals()
+	counters := r.Counters()
+	a.mu.Lock()
+	for name, st := range totals {
+		cur := a.phases[name]
+		cur.Count += st.Count
+		cur.Seconds += st.Seconds
+		a.phases[name] = cur
+	}
+	for name, v := range counters {
+		a.counters[name] += v
+	}
+	a.mu.Unlock()
+}
+
+// RenderProm writes the aggregate in Prometheus text exposition format:
+//
+//	<prefix>_phase_seconds_total{phase="partition/coarsen"} 0.125
+//	<prefix>_phase_spans_total{phase="partition/coarsen"} 12
+//	<prefix>_events_total{event="eval.graph_cache_hit"} 3
+//
+// Label sets render sorted so the output is deterministic. A nil aggregator
+// writes nothing.
+func (a *Agg) RenderProm(w io.Writer) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	if len(a.phases) > 0 {
+		secs := a.prefix + "_phase_seconds_total"
+		spans := a.prefix + "_phase_spans_total"
+		fmt.Fprintf(w, "# HELP %s Cumulative wall-clock seconds per pipeline phase across traced requests.\n# TYPE %s counter\n", secs, secs)
+		names := sortedKeys(a.phases)
+		for _, name := range names {
+			fmt.Fprintf(w, "%s{phase=%q} %g\n", secs, name, a.phases[name].Seconds)
+		}
+		fmt.Fprintf(w, "# HELP %s Spans recorded per pipeline phase across traced requests.\n# TYPE %s counter\n", spans, spans)
+		for _, name := range names {
+			fmt.Fprintf(w, "%s{phase=%q} %d\n", spans, name, a.phases[name].Count)
+		}
+	}
+	if len(a.counters) > 0 {
+		events := a.prefix + "_events_total"
+		fmt.Fprintf(w, "# HELP %s Pipeline counter events across traced requests.\n# TYPE %s counter\n", events, events)
+		for _, name := range sortedKeys(a.counters) {
+			fmt.Fprintf(w, "%s{event=%q} %d\n", events, name, a.counters[name])
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkSpanOverhead measures the cost of instrumentation calls. The
+// "disabled" case is the contract the whole pipeline relies on — it must stay
+// 0 allocs/op (CI bench-smoke runs it; TestDisabledRecorderZeroAllocs pins
+// the assertion) so instrumenting the allocation-lean hot paths of
+// partition/taskgraph/flusim is free when no one is tracing.
+func BenchmarkSpanOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := FromContext(ctx)
+			sp := r.Start("phase")
+			child := sp.Start("sub")
+			child.SetInt("n", int64(i))
+			child.End()
+			sp.End()
+			r.Count("events", 1)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		rec := NewRecorder()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := rec.Start("phase")
+			child := sp.Start("sub")
+			child.SetInt("n", int64(i))
+			child.End()
+			sp.End()
+			rec.Count("events", 1)
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package obs
+
+import "context"
+
+type recorderKey struct{}
+type spanKey struct{}
+
+// WithRecorder attaches a recorder to the context. Instrumented library code
+// retrieves it with FromContext; a nil recorder is allowed and keeps the
+// context unchanged (so callers can thread an optional recorder without
+// branching).
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recorderKey{}, r)
+}
+
+// FromContext returns the context's recorder, or nil (the disabled
+// recorder). The lookup allocates nothing.
+func FromContext(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderKey{}).(*Recorder)
+	return r
+}
+
+// ContextWithSpan attaches a parent span to the context so instrumented
+// callees nest under it. Attaching the zero Span keeps the context
+// unchanged. Only call on paths where recording is enabled — wrapping a
+// context allocates.
+func ContextWithSpan(ctx context.Context, s Span) context.Context {
+	if s.r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the context's parent span, or the zero Span. The
+// lookup allocates nothing.
+func SpanFromContext(ctx context.Context) Span {
+	s, _ := ctx.Value(spanKey{}).(Span)
+	return s
+}
+
+// StartSpan opens a span as a child of the context's span when one is
+// attached, else as a root span of the context's recorder. It returns the
+// zero Span (free to use, records nothing) when the context carries neither.
+func StartSpan(ctx context.Context, name string) Span {
+	if parent := SpanFromContext(ctx); parent.r != nil {
+		return parent.Start(name)
+	}
+	return FromContext(ctx).Start(name)
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strconv"
+
+	"tempart/internal/trace"
+)
+
+// WriteChromeTrace drains the recorder into the Chrome trace-event JSON
+// format via internal/trace's exporter, so pipeline spans open in Perfetto
+// (or chrome://tracing) with the same workflow as FLUSIM schedules. Span
+// start/end nanoseconds map to microsecond timestamps; durations are floored
+// at 1µs so even the shortest phases stay visible. Spans land on PID 0 and
+// are packed into TID "lanes" so concurrently open spans (parallel bisection
+// subtrees, eval fan-out) never overlap within a lane. On a nil recorder the
+// output is an empty event array.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	spans := r.Snapshot()
+	events := make([]trace.ChromeEvent, 0, len(spans))
+	lanes := assignLanes(spans)
+	for i := range spans {
+		sp := &spans[i]
+		end := sp.End
+		if end < sp.Start {
+			end = sp.Start // clamp unfinished spans
+		}
+		dur := (end - sp.Start) / 1000
+		if dur < 1 {
+			dur = 1
+		}
+		var args map[string]string
+		if len(sp.Attrs) > 0 {
+			args = make(map[string]string, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				args[a.Key] = a.value()
+			}
+		}
+		events = append(events, trace.ChromeEvent{
+			Name: sp.Name,
+			Cat:  "pipeline",
+			Ph:   "X",
+			Ts:   sp.Start / 1000,
+			Dur:  dur,
+			PID:  0,
+			TID:  lanes[i],
+			Args: args,
+		})
+	}
+	return trace.WriteChromeEvents(w, events)
+}
+
+// value renders an attribute for trace args and manifests.
+func (a *Attr) value() string {
+	switch a.Kind {
+	case AttrInt:
+		return strconv.FormatInt(a.Int, 10)
+	case AttrFloat:
+		return strconv.FormatFloat(a.Float, 'g', -1, 64)
+	default:
+		return a.Str
+	}
+}
+
+// assignLanes packs spans into trace viewer rows. The complete-event format
+// renders nested spans correctly only when each row's spans form a laminar
+// family (properly nested or disjoint), so we sort by (start asc, end desc)
+// and greedily place each span in the first lane whose open spans can enclose
+// it, opening a new lane otherwise. Sequential pipelines collapse to one
+// lane; parallel subtrees fan out to as many lanes as their true concurrency.
+func assignLanes(spans []SpanRecord) []int32 {
+	n := len(spans)
+	lanes := make([]int32, n)
+	if n == 0 {
+		return lanes
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := &spans[order[a]], &spans[order[b]]
+		ea, eb := laneEnd(sa), laneEnd(sb)
+		if sa.Start != sb.Start {
+			return sa.Start < sb.Start
+		}
+		return ea > eb
+	})
+	// open[l] is the stack of end times of spans currently open in lane l.
+	var open [][]int64
+	for _, i := range order {
+		sp := &spans[i]
+		start, end := sp.Start, laneEnd(sp)
+		placed := false
+		for l := range open {
+			st := open[l]
+			for len(st) > 0 && st[len(st)-1] <= start {
+				st = st[:len(st)-1]
+			}
+			if len(st) == 0 || st[len(st)-1] >= end {
+				open[l] = append(st, end)
+				lanes[i] = int32(l)
+				placed = true
+				break
+			}
+			open[l] = st
+		}
+		if !placed {
+			open = append(open, []int64{end})
+			lanes[i] = int32(len(open) - 1)
+		}
+	}
+	return lanes
+}
+
+func laneEnd(sp *SpanRecord) int64 {
+	if sp.End < sp.Start {
+		return sp.Start
+	}
+	return sp.End
+}

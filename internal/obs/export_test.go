@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tempart/internal/trace"
+)
+
+func TestAssignLanesNestingAndOverlap(t *testing.T) {
+	// root [0,100] encloses a [10,40] and b [50,90]: they nest in lane 0.
+	// c [20,60] overlaps a without nesting, so it must leave the lane.
+	spans := []SpanRecord{
+		{Name: "root", Parent: -1, Start: 0, End: 100},
+		{Name: "a", Parent: 0, Start: 10, End: 40},
+		{Name: "b", Parent: 0, Start: 50, End: 90},
+		{Name: "c", Parent: 0, Start: 20, End: 60},
+	}
+	lanes := assignLanes(spans)
+	if lanes[0] != 0 || lanes[1] != 0 {
+		t.Errorf("lanes = %v: root and a should share lane 0", lanes)
+	}
+	if lanes[3] == lanes[1] {
+		t.Errorf("lanes = %v: c overlaps a non-nested but shares its lane", lanes)
+	}
+	// Laminar check: within each lane, any two spans nest or are disjoint.
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if lanes[i] != lanes[j] {
+				continue
+			}
+			a, b := spans[i], spans[j]
+			overlap := a.Start < b.End && b.Start < a.End
+			nested := (a.Start <= b.Start && b.End <= a.End) || (b.Start <= a.Start && a.End <= b.End)
+			if overlap && !nested {
+				t.Errorf("lane %d holds non-nested overlap: %v and %v", lanes[i], a, b)
+			}
+		}
+	}
+}
+
+func TestAssignLanesEmpty(t *testing.T) {
+	if lanes := assignLanes(nil); len(lanes) != 0 {
+		t.Errorf("assignLanes(nil) = %v", lanes)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.Start("partition")
+	child := root.Start("coarsen")
+	child.SetInt("vertices", 512)
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []trace.ChromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	for _, e := range events {
+		if e.Ph != "X" || e.Cat != "pipeline" {
+			t.Errorf("event %+v: want ph=X cat=pipeline", e)
+		}
+		if e.Dur < 1 {
+			t.Errorf("event %q dur = %d, want >= 1", e.Name, e.Dur)
+		}
+	}
+	if events[1].Name != "coarsen" || events[1].Args["vertices"] != "512" {
+		t.Errorf("child event = %+v", events[1])
+	}
+}
+
+func TestWriteChromeTraceNilRecorder(t *testing.T) {
+	var rec *Recorder
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []trace.ChromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("nil-recorder trace invalid: %v", err)
+	}
+	if len(events) != 0 {
+		t.Errorf("nil recorder produced %d events", len(events))
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	rec := NewRecorder()
+	s := rec.Start("partition")
+	s.End()
+	rec.Count("trials", 4)
+
+	m := NewManifest("partbench")
+	m.Inputs["mesh"] = "unit_cube"
+	m.Inputs["seed"] = 42
+	m.Metrics["edge_cut"] = 123
+	m.Finish(rec)
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if back.Tool != "partbench" {
+		t.Errorf("tool = %q", back.Tool)
+	}
+	if back.Build.GoVersion == "" {
+		t.Error("manifest missing build info")
+	}
+	if len(back.Phases) != 1 || back.Phases[0].Name != "partition" {
+		t.Errorf("phases = %+v", back.Phases)
+	}
+	if back.Counters["trials"] != 4 {
+		t.Errorf("counters = %v", back.Counters)
+	}
+	if back.Metrics["edge_cut"] != 123 {
+		t.Errorf("metrics = %v", back.Metrics)
+	}
+	if back.Finished.Before(back.Started) {
+		t.Error("finished before started")
+	}
+	if names := m.SortedCounterNames(); len(names) != 1 || names[0] != "trials" {
+		t.Errorf("sorted counter names = %v", names)
+	}
+}
+
+func TestAggDrainAndRender(t *testing.T) {
+	agg := NewAgg("tempartd_pipeline")
+	for i := 0; i < 2; i++ {
+		rec := NewRecorder()
+		s := rec.Start(`phase"quoted`)
+		s.End()
+		rec.Count("eval.graph_cache_hit", 3)
+		agg.Drain(rec)
+	}
+	agg.Drain(nil) // no-op
+
+	var buf bytes.Buffer
+	agg.RenderProm(&buf)
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE tempartd_pipeline_phase_seconds_total counter",
+		"tempartd_pipeline_phase_spans_total{phase=\"phase\\\"quoted\"} 2",
+		"tempartd_pipeline_events_total{event=\"eval.graph_cache_hit\"} 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAggNilSafe(t *testing.T) {
+	var agg *Agg
+	agg.Drain(NewRecorder())
+	var buf bytes.Buffer
+	agg.RenderProm(&buf)
+	if buf.Len() != 0 {
+		t.Errorf("nil agg rendered %q", buf.String())
+	}
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanHierarchyAndAttrs(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.Start("partition")
+	child := root.Start("coarsen")
+	child.SetInt("vertices", 1024)
+	child.SetFloat("ratio", 0.42)
+	child.SetStr("method", "hem")
+	child.End()
+	grand := child.Start("match")
+	grand.End()
+	root.End()
+	rec.Count("passes", 2)
+	rec.Count("passes", 1)
+
+	spans := rec.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "partition" || spans[0].Parent != -1 {
+		t.Errorf("root = %q parent %d, want partition/-1", spans[0].Name, spans[0].Parent)
+	}
+	if spans[1].Name != "coarsen" || spans[1].Parent != 0 {
+		t.Errorf("child = %q parent %d, want coarsen/0", spans[1].Name, spans[1].Parent)
+	}
+	if spans[2].Parent != 1 {
+		t.Errorf("grandchild parent = %d, want 1", spans[2].Parent)
+	}
+	if len(spans[1].Attrs) != 3 {
+		t.Fatalf("child attrs = %d, want 3", len(spans[1].Attrs))
+	}
+	if a := spans[1].Attrs[0]; a.Key != "vertices" || a.Kind != AttrInt || a.Int != 1024 {
+		t.Errorf("attr[0] = %+v", a)
+	}
+	if got := spans[1].Attrs[1].value(); got != "0.42" {
+		t.Errorf("float attr rendered %q", got)
+	}
+	if spans[0].End < spans[0].Start {
+		t.Error("ended root span still marked unfinished")
+	}
+	if got := rec.Counters()["passes"]; got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+}
+
+func TestUnfinishedSpanDuration(t *testing.T) {
+	rec := NewRecorder()
+	s := rec.Start("open")
+	spans := rec.Snapshot()
+	if d := spans[0].Duration(); d != 0 {
+		t.Errorf("unfinished duration = %v, want 0", d)
+	}
+	s.End()
+	if d := rec.Snapshot()[0].Duration(); d < 0 {
+		t.Errorf("duration = %v, want >= 0", d)
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var rec *Recorder
+	if rec.Enabled() {
+		t.Error("nil recorder reports enabled")
+	}
+	s := rec.Start("x")
+	if s.Active() {
+		t.Error("span from nil recorder is active")
+	}
+	c := s.Start("y")
+	c.SetInt("k", 1)
+	c.SetFloat("k", 1)
+	c.SetStr("k", "v")
+	c.End()
+	s.End()
+	rec.Count("n", 1)
+	if rec.Snapshot() != nil || rec.Counters() != nil || rec.PhaseTotals() != nil || rec.PhaseSummaries() != nil {
+		t.Error("nil recorder returned non-nil data")
+	}
+}
+
+// TestDisabledRecorderZeroAllocs pins the overhead guarantee: with no
+// recorder attached, every instrumentation call on the hot path allocates
+// nothing. This is what lets partition/taskgraph/flusim keep their
+// allocation-lean profiles while being instrumented unconditionally.
+func TestDisabledRecorderZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	var rec *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		r := FromContext(ctx)
+		sp := r.Start("phase")
+		child := sp.Start("sub")
+		child.SetInt("n", 42)
+		child.SetFloat("f", 1.5)
+		child.SetStr("s", "v")
+		child.End()
+		sp.End()
+		r.Count("events", 1)
+		_ = r.Enabled()
+		_ = StartSpan(ctx, "other")
+		_ = SpanFromContext(ctx)
+		rec.Count("more", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-recorder path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	base := context.Background()
+	if got := FromContext(base); got != nil {
+		t.Errorf("FromContext(background) = %v, want nil", got)
+	}
+	if ctx := WithRecorder(base, nil); ctx != base {
+		t.Error("WithRecorder(nil) changed the context")
+	}
+	if ctx := ContextWithSpan(base, Span{}); ctx != base {
+		t.Error("ContextWithSpan(zero) changed the context")
+	}
+
+	rec := NewRecorder()
+	ctx := WithRecorder(base, rec)
+	if FromContext(ctx) != rec {
+		t.Fatal("FromContext did not return attached recorder")
+	}
+	root := StartSpan(ctx, "root")
+	if !root.Active() {
+		t.Fatal("StartSpan with recorder returned inactive span")
+	}
+	ctx2 := ContextWithSpan(ctx, root)
+	child := StartSpan(ctx2, "child")
+	child.End()
+	root.End()
+	spans := rec.Snapshot()
+	if len(spans) != 2 || spans[1].Parent != 0 {
+		t.Fatalf("context-started child did not nest: %+v", spans)
+	}
+	if got := SpanFromContext(ctx2); got != root {
+		t.Error("SpanFromContext did not round-trip the span")
+	}
+}
+
+func TestPhaseTotalsAndSummaries(t *testing.T) {
+	rec := NewRecorder()
+	for i := 0; i < 3; i++ {
+		s := rec.Start("b")
+		time.Sleep(time.Millisecond)
+		s.End()
+	}
+	a := rec.Start("a")
+	a.End()
+
+	totals := rec.PhaseTotals()
+	if totals["b"].Count != 3 {
+		t.Errorf("phase b count = %d, want 3", totals["b"].Count)
+	}
+	if totals["b"].Seconds <= 0 {
+		t.Errorf("phase b seconds = %g, want > 0", totals["b"].Seconds)
+	}
+	sums := rec.PhaseSummaries()
+	if len(sums) != 2 || sums[0].Name != "a" || sums[1].Name != "b" {
+		t.Errorf("summaries not name-sorted: %+v", sums)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.Start("root")
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				s := root.Start("worker")
+				s.SetInt("i", int64(i))
+				s.End()
+				rec.Count("ops", 1)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	root.End()
+	if n := len(rec.Snapshot()); n != 1+8*100 {
+		t.Errorf("got %d spans, want %d", n, 1+8*100)
+	}
+	if c := rec.Counters()["ops"]; c != 800 {
+		t.Errorf("ops counter = %d, want 800", c)
+	}
+}
+
+func TestVersionLine(t *testing.T) {
+	line := VersionLine("partbench")
+	if !strings.HasPrefix(line, "partbench") {
+		t.Errorf("version line %q missing cmd name", line)
+	}
+	if !strings.Contains(line, "go1") {
+		t.Errorf("version line %q missing Go version", line)
+	}
+	bi := ReadBuildInfo()
+	if bi.GoVersion == "" || bi.OS == "" || bi.Arch == "" {
+		t.Errorf("build info missing toolchain/target: %+v", bi)
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is the build identity block shared by run manifests, the daemon's
+// GET /buildinfo endpoint, and every cmd's -version flag. Fields come from
+// debug.ReadBuildInfo, so binaries built from a VCS checkout carry the exact
+// revision that produced a result.
+type BuildInfo struct {
+	// Module is the main module path ("tempart").
+	Module string `json:"module"`
+	// Version is the module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision and RevisionTime identify the VCS commit, when stamped.
+	Revision     string `json:"revision,omitempty"`
+	RevisionTime string `json:"revision_time,omitempty"`
+	// Dirty reports uncommitted modifications at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// OS and Arch are the build target.
+	OS   string `json:"os"`
+	Arch string `json:"arch"`
+}
+
+// ReadBuildInfo collects the binary's build identity. It never fails: when
+// build info is unavailable (e.g. not built with module support) only the
+// toolchain and target fields are populated.
+func ReadBuildInfo() BuildInfo {
+	out := BuildInfo{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.Module = bi.Main.Path
+	out.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.time":
+			out.RevisionTime = s.Value
+		case "vcs.modified":
+			out.Dirty = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// VersionLine renders the one-line output of a cmd's -version flag:
+//
+//	tempartd tempart (devel) rev 1a2b3c4d go1.22.1 linux/amd64
+func VersionLine(cmd string) string {
+	bi := ReadBuildInfo()
+	line := cmd
+	if bi.Module != "" {
+		line += " " + bi.Module
+	}
+	if bi.Version != "" {
+		line += " " + bi.Version
+	}
+	if bi.Revision != "" {
+		rev := bi.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if bi.Dirty {
+			rev += "+dirty"
+		}
+		line += " rev " + rev
+	}
+	return fmt.Sprintf("%s %s %s/%s", line, bi.GoVersion, bi.OS, bi.Arch)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"tempart/internal/graph"
+	"tempart/internal/obs"
 )
 
 // level is one rung of the multilevel hierarchy: the coarse graph plus the
@@ -24,14 +25,29 @@ func coarsen(ctx context.Context, g *graph.Graph, coarsenTo int, rng randSource,
 	levels := []level{{g: g}}
 	cur := g
 	for cur.NumVertices() > coarsenTo && ctx.Err() == nil {
+		lspan := obs.StartSpan(ctx, "partition/coarsen")
+		if lspan.Active() {
+			lspan.SetInt("level", int64(len(levels)-1))
+			lspan.SetInt("vertices", int64(cur.NumVertices()))
+		}
+		mspan := lspan.Start("partition/coarsen/match")
 		cmap, ncoarse, ok := heavyEdgeMatching(ctx, cur, rng, pool, sc)
+		mspan.End()
 		if !ok {
+			lspan.End()
 			break // cancelled mid-match; do not contract
 		}
 		if float64(ncoarse) > 0.9*float64(cur.NumVertices()) {
+			lspan.End()
 			break // diminishing returns; stop here
 		}
+		cspan := lspan.Start("partition/coarsen/contract")
 		cg := cur.ContractP(cmap, ncoarse, pool)
+		cspan.End()
+		if lspan.Active() {
+			lspan.SetInt("coarse_vertices", int64(ncoarse))
+		}
+		lspan.End()
 		levels = append(levels, level{g: cg, cmap: cmap})
 		cur = cg
 	}

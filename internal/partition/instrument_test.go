@@ -1,0 +1,53 @@
+package partition
+
+import (
+	"context"
+	"testing"
+
+	"tempart/internal/graph"
+	"tempart/internal/obs"
+)
+
+// TestPartitionUnchangedByTracing pins the observability contract: attaching
+// a recorder must not perturb the construction — the assignment stays
+// byte-identical to an untraced run at every parallelism, because spans never
+// touch the RNG streams.
+func TestPartitionUnchangedByTracing(t *testing.T) {
+	g := graph.Grid(24, 24)
+	opt := Options{Seed: 7, Trials: 2}
+	base, err := Partition(context.Background(), g, 6, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		o := opt
+		o.Parallelism = par
+		rec := obs.NewRecorder()
+		ctx := obs.WithRecorder(context.Background(), rec)
+		traced, err := Partition(ctx, g, 6, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range base.Part {
+			if base.Part[v] != traced.Part[v] {
+				t.Fatalf("parallelism %d: traced partition diverges at vertex %d", par, v)
+			}
+		}
+		spans := rec.Snapshot()
+		if len(spans) == 0 {
+			t.Fatalf("parallelism %d: recorder captured no spans", par)
+		}
+		if spans[0].Name != "partition" {
+			t.Errorf("first span = %q, want partition", spans[0].Name)
+		}
+		totals := rec.PhaseTotals()
+		for _, phase := range []string{"partition/coarsen", "partition/initial", "partition/refine"} {
+			if totals[phase].Count == 0 {
+				t.Errorf("parallelism %d: no %s spans recorded", par, phase)
+			}
+		}
+		if rec.Counters()["partition.trials"] != 2 {
+			t.Errorf("trials counter = %d, want 2", rec.Counters()["partition.trials"])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"tempart/internal/graph"
+	"tempart/internal/obs"
 )
 
 // Method selects the k-way construction algorithm.
@@ -71,14 +72,26 @@ func PartitionKWay(ctx context.Context, g *graph.Graph, k int, opt Options) (*Re
 	caps := kwayCaps(g, k, opt.ImbalanceTol)
 	for li := len(levels) - 1; li >= 1; li-- {
 		if ctx.Err() == nil {
+			rspan := obs.StartSpan(ctx, "partition/refine")
+			if rspan.Active() {
+				rspan.SetInt("level", int64(li))
+				rspan.SetInt("vertices", int64(levels[li].g.NumVertices()))
+			}
 			kwayRefine(levels[li].g, part, k, caps, opt.RefinePasses, rng)
+			rspan.End()
 		}
 		part = projectAssignment(levels[li].cmap, part)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("partition: %w", err)
 	}
+	rspan := obs.StartSpan(ctx, "partition/refine")
+	if rspan.Active() {
+		rspan.SetInt("level", 0)
+		rspan.SetInt("vertices", int64(g.NumVertices()))
+	}
 	kwayRefine(g, part, k, caps, opt.RefinePasses, rng)
+	rspan.End()
 
 	return NewResult(g, part, k), nil
 }

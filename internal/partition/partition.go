@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"tempart/internal/graph"
+	"tempart/internal/obs"
 )
 
 // Options controls the multilevel partitioner.
@@ -180,7 +181,33 @@ func (r *Result) Validate(g *graph.Graph) error {
 // (multilevel recursive bisection by default). It is the main entry point of
 // the package. Cancelling ctx stops the construction at the next trial,
 // coarsening or refinement boundary and returns ctx's error.
+//
+// When ctx carries an obs recorder the construction emits hierarchical spans
+// (root "partition", per-level "partition/coarsen" with match/contract
+// children, "partition/initial", "partition/refine" with per-FM-pass cut and
+// violation). Instrumentation never touches the RNG streams, so results stay
+// bit-identical whether or not anyone is tracing.
 func Partition(ctx context.Context, g *graph.Graph, k int, opt Options) (*Result, error) {
+	span := obs.StartSpan(ctx, "partition")
+	if span.Active() {
+		span.SetInt("k", int64(k))
+		span.SetInt("vertices", int64(g.NumVertices()))
+		span.SetInt("constraints", int64(g.NCon))
+		span.SetStr("method", opt.Method.String())
+		span.SetInt("seed", opt.Seed)
+		ctx = obs.ContextWithSpan(ctx, span)
+	}
+	res, err := partitionTrials(ctx, g, k, opt)
+	if span.Active() && res != nil {
+		span.SetInt("edge_cut", res.EdgeCut)
+		span.SetFloat("imbalance", res.MaxImbalance())
+	}
+	span.End()
+	return res, err
+}
+
+// partitionTrials runs the trials loop around the selected construction.
+func partitionTrials(ctx context.Context, g *graph.Graph, k int, opt Options) (*Result, error) {
 	construct := partitionRB
 	if opt.Method == DirectKWay {
 		construct = PartitionKWay
@@ -201,6 +228,7 @@ func Partition(ctx context.Context, g *graph.Graph, k int, opt Options) (*Result
 		if err != nil {
 			return nil, err
 		}
+		obs.FromContext(ctx).Count("partition.trials", 1)
 		if best == nil || betterResult(r, best) {
 			best = r
 		}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"tempart/internal/graph"
+	"tempart/internal/obs"
 )
 
 // recursiveBisect assigns the given (global-id) vertices of g to parts
@@ -44,7 +45,12 @@ func recursiveBisect(ctx context.Context, g *graph.Graph, vertices []int32, firs
 
 	sc := getScratch()
 	rng := rand.New(rand.NewSource(seed))
+	sspan := obs.StartSpan(ctx, "partition/subgraph")
 	sg, orig := g.SubgraphWith(vertices, &sc.gsc) // orig aliases vertices
+	if sspan.Active() {
+		sspan.SetInt("vertices", int64(len(vertices)))
+	}
+	sspan.End()
 	where := bisectGraph(ctx, sg, frac, opt, rng, pool, sc)
 
 	// Stable-partition vertices in place: side-0 vertices slide left (always

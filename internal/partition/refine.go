@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"tempart/internal/graph"
+	"tempart/internal/obs"
 )
 
 // refineBisection improves an existing bisection in place with multi-
@@ -12,9 +13,26 @@ import (
 // best-gain order under the rule that a move may never increase the balance
 // violation; each pass keeps the best (violation, cut) prefix. Refinement
 // stops when a pass yields no improvement or after maxPasses.
-func refineBisection(b *bisection, maxPasses int, sc *scratch) {
+//
+// Each pass records a child span of parent with the post-pass edge cut and
+// violation; cut is O(E) to compute, so it is only evaluated when the span
+// actually records. Pass the zero Span to refine silently.
+func refineBisection(b *bisection, maxPasses int, sc *scratch, parent obs.Span) {
 	for pass := 0; pass < maxPasses; pass++ {
-		if !fmPass(b, sc) {
+		ps := parent.Start("partition/refine/fm_pass")
+		improved := fmPass(b, sc)
+		if ps.Active() {
+			ps.SetInt("pass", int64(pass))
+			ps.SetInt("cut", b.cut())
+			ps.SetFloat("violation", b.violation())
+			if improved {
+				ps.SetInt("improved", 1)
+			} else {
+				ps.SetInt("improved", 0)
+			}
+		}
+		ps.End()
+		if !improved {
 			return
 		}
 	}
@@ -239,6 +257,7 @@ func bisectGraph(ctx context.Context, g *graph.Graph, frac float64, opt Options,
 	coarsest := levels[len(levels)-1].g
 
 	// Initial bisection trials on the coarsest graph.
+	ispan := obs.StartSpan(ctx, "partition/initial")
 	var bestWhere []int32
 	bestViol, bestCut := 0.0, int64(0)
 	for trial := 0; trial < opt.InitTrials; trial++ {
@@ -247,7 +266,7 @@ func bisectGraph(ctx context.Context, g *graph.Graph, frac float64, opt Options,
 		}
 		where := growBisection(coarsest, frac, caps0, caps1, rng)
 		b := newBisection(coarsest, where, caps0, caps1)
-		refineBisection(b, opt.RefinePasses, sc)
+		refineBisection(b, opt.RefinePasses, sc, ispan)
 		viol, cut := b.violation(), b.cut()
 		if bestWhere == nil || betterState(viol, cut, bestViol, bestCut) {
 			bestWhere, bestViol, bestCut = where, viol, cut
@@ -256,25 +275,45 @@ func bisectGraph(ctx context.Context, g *graph.Graph, frac float64, opt Options,
 	if bestWhere == nil {
 		bestWhere = make([]int32, coarsest.NumVertices())
 	}
+	if ispan.Active() {
+		ispan.SetInt("vertices", int64(coarsest.NumVertices()))
+		ispan.SetInt("trials", int64(opt.InitTrials))
+		ispan.SetInt("cut", bestCut)
+		ispan.SetFloat("violation", bestViol)
+	}
+	ispan.End()
 
 	// Uncoarsen and refine.
 	where := bestWhere
 	for li := len(levels) - 1; li >= 1; li-- {
+		rspan := obs.StartSpan(ctx, "partition/refine")
 		where = projectAssignment(levels[li].cmap, where)
 		if ctx.Err() != nil {
+			rspan.End()
 			continue
 		}
 		b := newBisection(levels[li-1].g, where, caps0, caps1)
-		refineBisection(b, opt.RefinePasses, sc)
+		if rspan.Active() {
+			rspan.SetInt("level", int64(li-1))
+			rspan.SetInt("vertices", int64(levels[li-1].g.NumVertices()))
+		}
+		refineBisection(b, opt.RefinePasses, sc, rspan)
+		rspan.End()
 		where = b.where
 	}
 	if ctx.Err() != nil {
 		return where
 	}
 	// Final balance repair on the finest graph.
+	fspan := obs.StartSpan(ctx, "partition/refine")
+	if fspan.Active() {
+		fspan.SetStr("stage", "balance")
+		fspan.SetInt("vertices", int64(g.NumVertices()))
+	}
 	fb := newBisection(g, where, caps0, caps1)
 	forceBalance(fb)
-	refineBisection(fb, 2, sc)
+	refineBisection(fb, 2, sc, fspan)
+	fspan.End()
 	return fb.where
 }
 

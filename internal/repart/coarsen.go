@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"tempart/internal/graph"
+	"tempart/internal/obs"
 	"tempart/internal/partition"
 )
 
@@ -24,6 +25,8 @@ type rlevel struct {
 // old assignment, and refine coarsest-to-finest with the migration-penalty
 // bias. part is updated in place.
 func refineWarm(ctx context.Context, g *graph.Graph, part []int32, k int, opt Options) error {
+	span := obs.StartSpan(ctx, "repart/refine_warm")
+	defer span.End()
 	opt.Part = optWithRefineDefaults(opt.Part)
 	rng := rand.New(rand.NewSource(opt.Part.Seed))
 	pool := graph.NewPool(opt.Part.Parallelism)
@@ -62,6 +65,13 @@ func refineWarm(ctx context.Context, g *graph.Graph, part []int32, k int, opt Op
 		}
 		levels[len(levels)-1].cmap = cmap
 		levels = append(levels, next)
+	}
+
+	if span.Active() {
+		// Warm-start depth: how many coarse levels the hierarchy reached
+		// before refinement climbs back up.
+		span.SetInt("depth", int64(len(levels)))
+		span.SetInt("coarse_vertices", int64(levels[len(levels)-1].g.NumVertices()))
 	}
 
 	// The coarsest assignment is exactly the projected old assignment (the

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"tempart/internal/graph"
+	"tempart/internal/obs"
 )
 
 // diffuse is the diffusive fallback: boundary cells of overloaded parts flow
@@ -15,6 +16,8 @@ import (
 // to their current part. A penalty-biased refinement pass then repairs the
 // edge cut without undoing the balance. part is updated in place.
 func diffuse(ctx context.Context, g *graph.Graph, part []int32, k int, opt Options) error {
+	span := obs.StartSpan(ctx, "repart/diffuse")
+	defer span.End()
 	opt.Part = optWithRefineDefaults(opt.Part)
 	n := g.NumVertices()
 	ncon := g.NCon

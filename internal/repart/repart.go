@@ -39,6 +39,7 @@ import (
 
 	"tempart/internal/graph"
 	"tempart/internal/metrics"
+	"tempart/internal/obs"
 	"tempart/internal/partition"
 )
 
@@ -157,19 +158,34 @@ func Repartition(ctx context.Context, g *graph.Graph, old *partition.Result, opt
 	}
 	opt = opt.withDefaults()
 
+	span := obs.StartSpan(ctx, "repart")
+	if span.Active() {
+		span.SetStr("mode_requested", opt.Mode.String())
+		span.SetInt("k", int64(k))
+		span.SetInt("vertices", int64(n))
+		ctx = obs.ContextWithSpan(ctx, span)
+	}
+
+	imbBefore := math.NaN()
 	mode := opt.Mode
+	if mode == Auto || span.Active() {
+		imbBefore = partition.NewResult(g, old.Part, k).MaxImbalance()
+	}
 	if mode == Auto {
-		imb := partition.NewResult(g, old.Part, k).MaxImbalance()
 		switch {
-		case imb <= opt.Part.ImbalanceTol:
+		case imbBefore <= opt.Part.ImbalanceTol:
 			mode = Keep
-		case imb <= opt.DiffuseThreshold:
+		case imbBefore <= opt.DiffuseThreshold:
 			mode = Diffuse
-		case imb <= opt.ScratchThreshold:
+		case imbBefore <= opt.ScratchThreshold:
 			mode = Refine
 		default:
 			mode = Scratch
 		}
+	}
+	if span.Active() {
+		span.SetStr("mode", mode.String())
+		span.SetFloat("imbalance_before", imbBefore)
 	}
 
 	part := make([]int32, n)
@@ -188,9 +204,11 @@ func Repartition(ctx context.Context, g *graph.Graph, old *partition.Result, opt
 		err = fmt.Errorf("repart: unknown mode %v", opt.Mode)
 	}
 	if err != nil {
+		span.End()
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		span.End()
 		return nil, fmt.Errorf("repart: %w", err)
 	}
 
@@ -199,6 +217,13 @@ func Repartition(ctx context.Context, g *graph.Graph, old *partition.Result, opt
 		Mode:   mode,
 		Stats:  metrics.ComputeMigrationStats(old.Part, part, k, opt.MigBytes),
 	}
+	if span.Active() {
+		span.SetFloat("imbalance_after", res.MaxImbalance())
+		span.SetInt("edge_cut", res.EdgeCut)
+		span.SetInt("moved_cells", int64(res.Stats.MovedCells))
+		span.SetInt("moved_bytes", res.Stats.MovedBytes)
+	}
+	span.End()
 	return res, nil
 }
 

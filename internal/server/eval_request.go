@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"tempart/internal/eval"
 	"tempart/internal/flusim"
 	"tempart/internal/mesh"
+	"tempart/internal/obs"
 )
 
 // Evaluation limits. The simulated cluster and the DAG depth bound how much
@@ -171,7 +173,7 @@ func (r *PartitionRequest) evalMeshID() string {
 // runEval scores an assignment on the simulated cluster through the server's
 // shared evaluator. Domains map to processes in contiguous blocks, the
 // mapping FLUSEPA uses after partitioning.
-func (s *Server) runEval(spec *EvalSpec, m *mesh.Mesh, meshID string, part []int32, k int) (*EvalResult, *requestError) {
+func (s *Server) runEval(ctx context.Context, spec *EvalSpec, m *mesh.Mesh, meshID string, part []int32, k int) (*EvalResult, *requestError) {
 	out, err := s.eval.Evaluate(eval.Spec{
 		Mesh:       m,
 		MeshID:     meshID,
@@ -179,6 +181,7 @@ func (s *Server) runEval(spec *EvalSpec, m *mesh.Mesh, meshID string, part []int
 		NumDomains: k,
 		Iterations: spec.Iterations,
 		ProcOf:     flusim.BlockMap(k, spec.Procs),
+		Obs:        obs.FromContext(ctx),
 		Sim: flusim.Config{
 			Cluster:     flusim.Cluster{NumProcs: spec.Procs, WorkersPerProc: spec.Workers},
 			Strategy:    spec.sched,

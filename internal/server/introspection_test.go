@@ -1,0 +1,111 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"tempart/internal/obs"
+)
+
+func TestBuildinfoEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/buildinfo")
+	if err != nil {
+		t.Fatalf("GET /buildinfo: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var bi obs.BuildInfo
+	if err := json.NewDecoder(resp.Body).Decode(&bi); err != nil {
+		t.Fatalf("decoding buildinfo: %v", err)
+	}
+	if bi.GoVersion == "" || bi.OS == "" || bi.Arch == "" {
+		t.Errorf("buildinfo incomplete: %+v", bi)
+	}
+}
+
+func TestRequestIDEchoedAndGenerated(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, err := http.Get(ts.URL + "/v1/meshes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-Id"); id == "" {
+		t.Error("no X-Request-Id generated")
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/meshes", nil)
+	req.Header.Set("X-Request-Id", "client-chose-this")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-Id"); id != "client-chose-this" {
+		t.Errorf("X-Request-Id = %q, want the client's id echoed", id)
+	}
+}
+
+// TestDebugTracePartition checks the ?debug=trace contract: the response
+// gains a debug block with partition phases, the traced payload is never
+// cached (a repeat plain request misses), and the traced run's phase totals
+// surface on /metrics under the tempartd_pipeline_* prefix.
+func TestDebugTracePartition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, err := http.Post(ts.URL+"/v1/partition?debug=trace", "application/json",
+		strings.NewReader(smallReq(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var pr PartitionResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if pr.Debug == nil {
+		t.Fatal("traced response has no debug block")
+	}
+	if pr.Debug.Spans == 0 {
+		t.Error("debug block reports zero spans")
+	}
+	phases := map[string]bool{}
+	for _, p := range pr.Debug.Phases {
+		phases[p.Name] = true
+	}
+	for _, want := range []string{"partition", "partition/coarsen", "partition/refine"} {
+		if !phases[want] {
+			t.Errorf("debug block missing phase %q (have %v)", want, pr.Debug.Phases)
+		}
+	}
+
+	// The traced payload must not have seeded the cache: the same request
+	// without the flag is a miss (and its cached result carries no debug).
+	resp2, body2 := postJSON(t, ts.URL, smallReq(42))
+	if got := resp2.Header.Get("X-Tempartd-Cache"); got != "miss" {
+		t.Errorf("plain request after traced one: cache %q, want miss", got)
+	}
+	var pr2 PartitionResponse
+	if err := json.Unmarshal(body2, &pr2); err != nil {
+		t.Fatal(err)
+	}
+	if pr2.Debug != nil {
+		t.Error("untraced response unexpectedly carries a debug block")
+	}
+
+	metrics := fetchMetrics(t, ts.URL)
+	if !strings.Contains(metrics, `tempartd_pipeline_phase_seconds_total{phase="partition"}`) {
+		t.Errorf("traced run did not feed tempartd_pipeline_* metrics:\n%s", metrics)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"tempart/internal/core"
 	"tempart/internal/mesh"
 	pmetrics "tempart/internal/metrics"
+	"tempart/internal/obs"
 )
 
 // jobState is the lifecycle of a partition job.
@@ -82,6 +83,13 @@ type job struct {
 	errMsg    string
 	elapsed   time.Duration
 	fromCache bool
+
+	// rec is the per-request span recorder of a ?debug=trace job; nil
+	// otherwise (the pipeline's instrumentation then costs nothing). Traced
+	// jobs are private — never singleflighted — and noCache keeps their
+	// payload (which embeds the debug block) out of the shared result cache.
+	rec     *obs.Recorder
+	noCache bool
 }
 
 func (j *job) setState(s jobState) { j.state.Store(int32(s)) }
@@ -100,9 +108,12 @@ func (s *Server) acquireJob(req jobRequest) (*job, error) {
 	if s.draining {
 		return nil, errDraining
 	}
-	if j, ok := s.flights[key]; ok {
-		j.refs++
-		return j, nil
+	private := req.base().debugTrace
+	if !private {
+		if j, ok := s.flights[key]; ok {
+			j.refs++
+			return j, nil
+		}
 	}
 	timeout := s.cfg.DefaultTimeout
 	if req.base().TimeoutMS > 0 {
@@ -121,13 +132,19 @@ func (s *Server) acquireJob(req jobRequest) (*job, error) {
 		refs:    1,
 		created: time.Now(),
 	}
+	if private {
+		j.rec = obs.NewRecorder()
+		j.noCache = true
+	}
 	select {
 	case s.queue <- j:
 	default:
 		cancel()
 		return nil, errQueueFull
 	}
-	s.flights[key] = j
+	if !private {
+		s.flights[key] = j
+	}
 	s.rememberJob(j)
 	return j, nil
 }
@@ -180,7 +197,12 @@ func (s *Server) runJob(j *job) {
 
 	finish := func() {
 		s.mu.Lock()
-		delete(s.flights, j.key)
+		// A private (debug-trace) job never registered in flights; deleting
+		// unconditionally could evict a concurrent public job with the same
+		// content address.
+		if s.flights[j.key] == j {
+			delete(s.flights, j.key)
+		}
 		s.mu.Unlock()
 		close(j.done)
 	}
@@ -217,12 +239,21 @@ func (s *Server) runJob(j *job) {
 		}
 	}
 
-	payload, elapsed, rerr := j.req.execute(j.ctx, s)
+	ctx := j.ctx
+	if j.rec != nil {
+		ctx = obs.WithRecorder(ctx, j.rec)
+	}
+	payload, elapsed, rerr := j.req.execute(ctx, s)
+	// Whatever the traced pipeline recorded feeds the aggregate series on
+	// /metrics, success or not.
+	s.obsAgg.Drain(j.rec)
 	if rerr != nil {
 		fail(rerr.code, rerr.msg)
 		return
 	}
-	s.cache.put(j.key, payload)
+	if !j.noCache {
+		s.cache.put(j.key, payload)
+	}
 	j.payload = payload
 	j.elapsed = elapsed
 	j.status = http.StatusOK
@@ -275,7 +306,7 @@ func (r *PartitionRequest) execute(ctx context.Context, s *Server) ([]byte, time
 	}
 	var evalRes *EvalResult
 	if r.Evaluate != nil {
-		evalRes, rerr = s.runEval(r.Evaluate, m, r.evalMeshID(), d.Result.Part, r.K)
+		evalRes, rerr = s.runEval(ctx, r.Evaluate, m, r.evalMeshID(), d.Result.Part, r.K)
 		if rerr != nil {
 			return nil, 0, rerr
 		}
@@ -296,6 +327,7 @@ func (r *PartitionRequest) execute(ctx context.Context, s *Server) ([]byte, time
 		PartHash:     partHash,
 		Part:         d.Result.Part,
 		Eval:         evalRes,
+		Debug:        debugInfo(obs.FromContext(ctx)),
 	})
 	if err != nil {
 		return nil, 0, &requestError{code: http.StatusInternalServerError, msg: err.Error()}
@@ -333,4 +365,27 @@ type PartitionResponse struct {
 	// Eval scores the assignment on a simulated cluster when the request
 	// carried an "evaluate" spec.
 	Eval *EvalResult `json:"eval,omitempty"`
+	// Debug summarizes the recorded pipeline spans of a ?debug=trace request.
+	Debug *DebugInfo `json:"debug,omitempty"`
+}
+
+// DebugInfo is the ?debug=trace response block: the per-phase time rollup,
+// pipeline counters, and how many spans the recorder captured.
+type DebugInfo struct {
+	Phases   []obs.PhaseSummary `json:"phases"`
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Spans    int                `json:"spans"`
+}
+
+// debugInfo rolls a job recorder up into the response block; nil in, nil out
+// (untraced requests get no debug field at all).
+func debugInfo(rec *obs.Recorder) *DebugInfo {
+	if rec == nil {
+		return nil
+	}
+	return &DebugInfo{
+		Phases:   rec.PhaseSummaries(),
+		Counters: rec.Counters(),
+		Spans:    len(rec.Snapshot()),
+	}
 }

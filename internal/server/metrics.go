@@ -48,7 +48,7 @@ func (h *histogram) observe(v float64) {
 type serverMetrics struct {
 	mu sync.Mutex
 
-	requests  map[string]int64 // "endpoint|code" -> count
+	requests  map[string]int64 // "endpoint|method|code" -> count
 	partRuns  map[string]int64 // strategy -> actual partitioner executions
 	latencies map[string]*histogram
 
@@ -84,9 +84,12 @@ func newServerMetrics() *serverMetrics {
 	}
 }
 
-func (m *serverMetrics) countRequest(endpoint string, code int) {
+// countRequest records one HTTP exchange. The method is part of the key so
+// verbs sharing a path label stay distinguishable (GET vs DELETE on
+// /v1/jobs/{id} used to collapse into one series).
+func (m *serverMetrics) countRequest(endpoint, method string, code int) {
 	m.mu.Lock()
-	m.requests[fmt.Sprintf("%s|%d", endpoint, code)]++
+	m.requests[fmt.Sprintf("%s|%s|%d", endpoint, method, code)]++
 	m.mu.Unlock()
 }
 
@@ -195,8 +198,8 @@ func (m *serverMetrics) render(w io.Writer, g gauges) {
 		}
 	}
 
-	writeSorted("tempartd_requests_total", "HTTP requests by endpoint and status code.",
-		m.requests, `endpoint=%q,code=%q`)
+	writeSorted("tempartd_requests_total", "HTTP requests by endpoint, method and status code.",
+		m.requests, `endpoint=%q,method=%q,code=%q`)
 	writeSorted("tempartd_partition_runs_total", "Partitioner executions by strategy (cache hits and dedup joins excluded).",
 		m.partRuns, `strategy=%q`)
 
@@ -292,7 +295,7 @@ func (m *serverMetrics) render(w io.Writer, g gauges) {
 	gauge("tempartd_draining", "1 while the server is draining for shutdown.", draining)
 }
 
-// splitKey turns "endpoint|code" into label values for the format string.
+// splitKey turns a '|'-joined key into label values for the format string.
 func splitKey(k string) []any {
 	out := []any{}
 	start := 0

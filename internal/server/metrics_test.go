@@ -1,0 +1,85 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMetricsExpositionGolden pins the Prometheus text format the daemon
+// emits: method-split request labels, %q label escaping, deterministic
+// (sorted) series ordering, and cumulative histogram buckets ending in a
+// le="+Inf" line that equals the _count.
+func TestMetricsExpositionGolden(t *testing.T) {
+	m := newServerMetrics()
+
+	// Out-of-order recording; the rendering must sort.
+	m.countRequest("/v1/partition", "POST", 200)
+	m.countRequest("/v1/jobs", "GET", 200)
+	m.countRequest("/v1/jobs", "DELETE", 202)
+	m.countRequest("/v1/jobs", "GET", 200)
+	m.countRequest("/v1/jobs", "GET", 404)
+
+	// A strategy label with a quote and a backslash exercises the escaping.
+	m.countRun(`SC"O\C`, 0.003)
+	m.countRun(`SC"O\C`, 0.5)
+	m.countRun(`SC"O\C`, 999) // beyond the last bound -> +Inf bucket only
+
+	var sb strings.Builder
+	m.render(&sb, gauges{})
+	got := sb.String()
+
+	// GET and DELETE on the jobs endpoint are distinct series, in sorted
+	// order, and appear as one contiguous block.
+	wantBlock := strings.Join([]string{
+		`tempartd_requests_total{endpoint="/v1/jobs",method="DELETE",code="202"} 1`,
+		`tempartd_requests_total{endpoint="/v1/jobs",method="GET",code="200"} 2`,
+		`tempartd_requests_total{endpoint="/v1/jobs",method="GET",code="404"} 1`,
+		`tempartd_requests_total{endpoint="/v1/partition",method="POST",code="200"} 1`,
+	}, "\n")
+	if !strings.Contains(got, wantBlock) {
+		t.Errorf("request series missing or misordered; want block:\n%s\ngot:\n%s", wantBlock, got)
+	}
+
+	// Label escaping: Go %q renders the quote and backslash escaped.
+	if want := `tempartd_partition_runs_total{strategy="SC\"O\\C"} 3`; !strings.Contains(got, want) {
+		t.Errorf("escaped strategy label missing; want %q in:\n%s", want, got)
+	}
+
+	// Histogram: buckets are cumulative, +Inf closes the series at _count.
+	for _, want := range []string{
+		`tempartd_partition_latency_seconds_bucket{strategy="SC\"O\\C",le="0.005"} 1`,
+		`tempartd_partition_latency_seconds_bucket{strategy="SC\"O\\C",le="0.5"} 2`,
+		`tempartd_partition_latency_seconds_bucket{strategy="SC\"O\\C",le="120"} 2`,
+		`tempartd_partition_latency_seconds_bucket{strategy="SC\"O\\C",le="+Inf"} 3`,
+		`tempartd_partition_latency_seconds_count{strategy="SC\"O\\C"} 3`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("histogram line missing: %q\nin:\n%s", want, got)
+		}
+	}
+
+	// Every HELP line is immediately followed by its TYPE line.
+	lines := strings.Split(got, "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, "# HELP ") {
+			name := strings.Fields(l)[2]
+			if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "# TYPE "+name+" ") {
+				t.Errorf("HELP for %s not followed by its TYPE line", name)
+			}
+		}
+	}
+}
+
+// TestMetricsMethodSplit is the regression test for the bug where GET and
+// DELETE on /v1/jobs/{id} collapsed into one series.
+func TestMetricsMethodSplit(t *testing.T) {
+	m := newServerMetrics()
+	m.countRequest("/v1/jobs", "GET", 404)
+	m.countRequest("/v1/jobs", "DELETE", 404)
+	m.mu.Lock()
+	n := len(m.requests)
+	m.mu.Unlock()
+	if n != 2 {
+		t.Fatalf("GET and DELETE with equal endpoint+code produced %d series, want 2", n)
+	}
+}

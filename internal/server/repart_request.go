@@ -16,6 +16,7 @@ import (
 
 	"tempart/internal/mesh"
 	pmetrics "tempart/internal/metrics"
+	"tempart/internal/obs"
 	"tempart/internal/partition"
 	"tempart/internal/repart"
 )
@@ -62,6 +63,8 @@ type RepartitionResponse struct {
 	// re-scoring its parent's assignment hits the daemon's graph cache
 	// instead of rebuilding the parent's task graph.
 	Eval *EvalResult `json:"eval,omitempty"`
+	// Debug summarizes the recorded pipeline spans of a ?debug=trace request.
+	Debug *DebugInfo `json:"debug,omitempty"`
 }
 
 // decodeRepartitionRequest parses a POST /v1/repartition body. The same two
@@ -236,7 +239,7 @@ func (r *RepartitionRequest) execute(ctx context.Context, s *Server) ([]byte, ti
 	}
 	var evalRes *EvalResult
 	if r.Evaluate != nil {
-		evalRes, rerr = s.runEval(r.Evaluate, m, r.evalMeshID(), res.Part, r.K)
+		evalRes, rerr = s.runEval(ctx, r.Evaluate, m, r.evalMeshID(), res.Part, r.K)
 		if rerr != nil {
 			return nil, 0, rerr
 		}
@@ -259,6 +262,7 @@ func (r *RepartitionRequest) execute(ctx context.Context, s *Server) ([]byte, ti
 		PartHash:     partHash,
 		Part:         res.Part,
 		Eval:         evalRes,
+		Debug:        debugInfo(obs.FromContext(ctx)),
 	})
 	if err != nil {
 		return nil, 0, &requestError{code: http.StatusInternalServerError, msg: err.Error()}

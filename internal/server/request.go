@@ -68,6 +68,10 @@ type PartitionRequest struct {
 	meshDigest [32]byte
 
 	strat partition.Strategy
+	// debugTrace marks a ?debug=trace request: the job runs privately with a
+	// span recorder and its response (which embeds a debug block) is neither
+	// cached nor shared via singleflight.
+	debugTrace bool
 }
 
 // requestError carries the HTTP status a decode/validation failure maps to.

@@ -9,11 +9,21 @@
 // Endpoints:
 //
 //	POST   /v1/partition        run a partition job (sync; ?async=1 for a job id)
+//	POST   /v1/repartition      warm-started incremental repartition
 //	GET    /v1/jobs/{id}        job status; embeds the result when done
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/meshes           the named generators the daemon can serve
+//	GET    /buildinfo           module version, VCS revision, Go version
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /metrics             Prometheus text format
+//
+// Every instrumented response carries an X-Request-Id header (echoing the
+// client's, or generated); Config.AccessLog receives one structured line per
+// exchange. Partition and repartition requests accept ?debug=trace: the job
+// then runs with a private span recorder, bypasses the result cache, and the
+// response gains a "debug" block with per-phase timings and counters. The
+// per-phase totals of traced requests also feed the tempartd_pipeline_*
+// series on /metrics.
 package server
 
 import (
@@ -21,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	goruntime "runtime"
 	"strconv"
@@ -30,6 +41,7 @@ import (
 
 	"tempart/internal/eval"
 	"tempart/internal/mesh"
+	"tempart/internal/obs"
 )
 
 // Config sizes the daemon. Zero values take the documented defaults.
@@ -57,6 +69,10 @@ type Config struct {
 	// admission queue's worker pool: Workers concurrent jobs × the
 	// per-request cap stays near the core count instead of oversubscribing.
 	MaxParallelism int
+	// AccessLog, when non-nil, receives one structured line per instrumented
+	// HTTP exchange (method, path, endpoint label, status, duration,
+	// request id). Nil disables access logging entirely.
+	AccessLog *slog.Logger
 
 	// execGate, when set, runs inside the worker before partitioning; tests
 	// use it to hold jobs at a deterministic point.
@@ -116,11 +132,15 @@ type Server struct {
 	// or upload digest), so re-scoring the same decomposition — notably a
 	// repartition in "keep" mode — skips graph construction entirely.
 	eval *eval.Evaluator
+	// obsAgg accumulates per-phase seconds and pipeline counters drained from
+	// the recorders of ?debug=trace jobs; rendered on /metrics.
+	obsAgg *obs.Agg
 
 	queue    chan *job
 	wg       sync.WaitGroup
 	inflight atomic.Int64
 	seq      atomic.Int64
+	reqSeq   atomic.Int64
 
 	mu       sync.Mutex
 	flights  map[cacheKey]*job
@@ -138,6 +158,7 @@ func New(cfg Config) *Server {
 		parts:   newResultCache(cfg.PartStoreBytes),
 		metrics: newServerMetrics(),
 		eval:    eval.New(eval.Options{Parallelism: cfg.MaxParallelism}),
+		obsAgg:  obs.NewAgg("tempartd_pipeline"),
 		queue:   make(chan *job, cfg.QueueDepth),
 		flights: map[cacheKey]*job{},
 		jobs:    map[string]*job{},
@@ -158,6 +179,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobGet))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobCancel))
 	mux.HandleFunc("GET /v1/meshes", s.instrument("/v1/meshes", s.handleMeshes))
+	mux.HandleFunc("GET /buildinfo", s.instrument("/buildinfo", s.handleBuildinfo))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -192,11 +214,31 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// instrument wraps a handler with request counting by endpoint and code.
+// instrument wraps a handler with request counting by endpoint, method and
+// code, assigns each exchange a request id echoed as X-Request-Id (the
+// client's own id is honoured when present), and emits one access-log line
+// when the server has a logger.
 func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = fmt.Sprintf("req-%08x", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", id)
+		start := time.Now()
 		code := h(w, r)
-		s.metrics.countRequest(endpoint, code)
+		s.metrics.countRequest(endpoint, r.Method, code)
+		if s.cfg.AccessLog != nil {
+			s.cfg.AccessLog.Info("request",
+				"id", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"endpoint", endpoint,
+				"status", code,
+				"duration_ms", time.Since(start).Milliseconds(),
+				"remote", r.RemoteAddr,
+			)
+		}
 	}
 }
 
@@ -253,18 +295,25 @@ func writeDecodeError(w http.ResponseWriter, err error) int {
 }
 
 // serveJob runs a decoded request through cache, admission and (a)sync wait.
+// ?debug=trace bypasses the cache and singleflight on both ends: the traced
+// job is private (its payload carries a per-request debug block that would be
+// wrong to share or cache) and runs with its own span recorder.
 func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, req jobRequest) int {
-	// Content-addressed cache first: a hit costs one map lookup.
-	key := req.key()
-	if payload, ok := s.cache.get(key); ok {
-		s.metrics.countCache(true)
-		w.Header().Set("X-Tempartd-Cache", "hit")
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write(payload)
-		return http.StatusOK
+	if r.URL.Query().Get("debug") == "trace" {
+		req.base().debugTrace = true
+	} else {
+		// Content-addressed cache first: a hit costs one map lookup.
+		key := req.key()
+		if payload, ok := s.cache.get(key); ok {
+			s.metrics.countCache(true)
+			w.Header().Set("X-Tempartd-Cache", "hit")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(payload)
+			return http.StatusOK
+		}
+		s.metrics.countCache(false)
 	}
-	s.metrics.countCache(false)
 
 	j, err := s.acquireJob(req)
 	switch {
@@ -406,6 +455,13 @@ func (s *Server) handleMeshes(w http.ResponseWriter, r *http.Request) int {
 	}})
 }
 
+// handleBuildinfo reports what binary is answering: module version, VCS
+// revision and time, Go version, platform. Operators correlate this with
+// deploys before reading any other metric.
+func (s *Server) handleBuildinfo(w http.ResponseWriter, r *http.Request) int {
+	return writeJSON(w, http.StatusOK, obs.ReadBuildInfo())
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -430,6 +486,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cacheEntries: entries,
 		draining:     draining,
 	})
+	s.obsAgg.RenderProm(w)
 }
 
 // String identifies the server in logs.

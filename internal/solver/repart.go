@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"tempart/internal/mesh"
+	"tempart/internal/obs"
 	"tempart/internal/partition"
 	"tempart/internal/repart"
 	"tempart/internal/taskgraph"
@@ -80,6 +81,15 @@ func (s *Solver) maybeRepartition(ctx context.Context, it int, rep *Report) erro
 		return nil
 	}
 
+	// One span per fired repartition epoch; the repart.Repartition call nests
+	// its own spans (mode, migration) under it through the context.
+	span := obs.StartSpan(ctx, "solver/repart_epoch")
+	defer span.End()
+	if span.Active() {
+		span.SetInt("iteration", int64(it))
+		ctx = obs.ContextWithSpan(ctx, span)
+	}
+
 	// Levels change in place; every level-derived cache must be rebuilt.
 	// This is only safe between iterations: the flux accumulators are
 	// drained at iteration boundaries, so no in-flight face contribution is
@@ -124,5 +134,12 @@ func (s *Solver) maybeRepartition(ctx context.Context, it int, rep *Report) erro
 		MovedBytes:      res.Stats.MovedBytes,
 		EdgeCut:         res.EdgeCut,
 	})
+	if span.Active() {
+		span.SetStr("mode", res.Mode.String())
+		span.SetInt("moved_cells", int64(res.Stats.MovedCells))
+		span.SetInt("moved_bytes", res.Stats.MovedBytes)
+		span.SetFloat("imbalance_after", res.MaxImbalance())
+	}
+	obs.FromContext(ctx).Count("solver.repart_events", 1)
 	return nil
 }

@@ -44,6 +44,7 @@ import (
 
 	"tempart/internal/graph"
 	"tempart/internal/mesh"
+	"tempart/internal/obs"
 	"tempart/internal/temporal"
 )
 
@@ -130,6 +131,10 @@ type Options struct {
 	// negative) means one per core, 1 means strictly serial. The emitted
 	// graph is byte-identical at every setting.
 	Parallelism int
+	// Obs, when non-nil, records build-phase spans (classify/group/census/
+	// discover) into the given recorder. Nil (the default) is a
+	// zero-allocation no-op and never perturbs the build.
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -340,7 +345,16 @@ func BuildIterations(m *mesh.Mesh, part []int32, numDomains, iterations int, opt
 	scheme := m.Scheme()
 	tg := &TaskGraph{NumDomains: numDomains, Scheme: scheme}
 
+	root := opt.Obs.Start("taskgraph/build")
+	if root.Active() {
+		root.SetInt("cells", int64(m.NumCells()))
+		root.SetInt("faces", int64(m.NumFaces()))
+		root.SetInt("domains", int64(numDomains))
+		root.SetInt("iterations", int64(iterations))
+	}
+
 	// Classify cells: external iff some face-neighbour is in another domain.
+	clspan := root.Start("taskgraph/classify")
 	nc := m.NumCells()
 	cellExternal := make([]bool, nc)
 	for _, f := range m.Faces[:m.NumInteriorFaces] {
@@ -361,8 +375,11 @@ func BuildIterations(m *mesh.Mesh, part []int32, numDomains, iterations int, opt
 		}
 	}
 
+	clspan.End()
+
 	// Group objects by (domain, level, external) once; reused every
 	// activation of that level.
+	gspan := root.Start("taskgraph/group")
 	numLevels := scheme.NumLevels()
 	cellGroups := groupObjects(nc, numDomains, numLevels,
 		func(i int32) (int32, temporal.Level, bool) { return part[i], m.Level[i], cellExternal[i] })
@@ -371,7 +388,10 @@ func BuildIterations(m *mesh.Mesh, part []int32, numDomains, iterations int, opt
 			return faceDomain[i], faceLevel(m, m.Faces[i]), faceExternal[i]
 		})
 
+	gspan.End()
+
 	// Phase schedule, hoisted out of the iteration loop.
+	cspan := root.Start("taskgraph/census")
 	nsub := scheme.NumSubiterations()
 	levelsBySub := make([][]temporal.Level, nsub)
 	for sub := 0; sub < nsub; sub++ {
@@ -392,6 +412,7 @@ func BuildIterations(m *mesh.Mesh, part []int32, numDomains, iterations int, opt
 		totalTasks += activations[tau] * nonEmpty
 	}
 	totalTasks *= iterations
+	cspan.End()
 
 	tg.Tasks = make([]Task, 0, totalTasks)
 	if opt.RecordObjects {
@@ -480,6 +501,7 @@ func BuildIterations(m *mesh.Mesh, part []int32, numDomains, iterations int, opt
 		s.counts = append(s.counts, int32(len(own)))
 	}
 
+	dspan := root.Start("taskgraph/discover")
 	for iter := 0; iter < iterations; iter++ {
 		for sub := 0; sub < nsub; sub++ {
 			for _, tau := range levelsBySub[sub] {
@@ -542,8 +564,14 @@ func BuildIterations(m *mesh.Mesh, part []int32, numDomains, iterations int, opt
 			}
 		}
 	}
+	dspan.End()
 	tg.PredStart = predStart
 	tg.Preds = preds
+	if root.Active() {
+		root.SetInt("tasks", int64(len(tg.Tasks)))
+		root.SetInt("deps", int64(len(tg.Preds)))
+	}
+	root.End()
 	return tg, nil
 }
 

@@ -8,11 +8,13 @@ import (
 	"strconv"
 )
 
-// chromeEvent is one entry of the Chrome trace-event format ("X" = complete
+// ChromeEvent is one entry of the Chrome trace-event format ("X" = complete
 // event). Times are microseconds; we map one virtual time unit (or
 // nanosecond, for wall-clock traces) to one microsecond so the viewer's
-// zoom behaves.
-type chromeEvent struct {
+// zoom behaves. Exported so other producers (internal/obs pipeline spans)
+// can reuse this exporter and land in the same Perfetto timeline format as
+// FLUSIM schedules.
+type ChromeEvent struct {
 	Name string            `json:"name"`
 	Cat  string            `json:"cat"`
 	Ph   string            `json:"ph"`
@@ -23,13 +25,20 @@ type chromeEvent struct {
 	Args map[string]string `json:"args,omitempty"`
 }
 
+// WriteChromeEvents serialises pre-built events as a Chrome trace-event JSON
+// array, loadable in chrome://tracing or Perfetto.
+func WriteChromeEvents(w io.Writer, events []ChromeEvent) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
 // WriteChromeTrace serialises the trace in the Chrome trace-event JSON array
 // format, loadable in chrome://tracing or Perfetto. Processes map to PIDs,
 // workers to TIDs, tasks to complete events named by subiteration.
 func (t *Trace) WriteChromeTrace(w io.Writer) error {
-	events := make([]chromeEvent, 0, len(t.Spans))
+	events := make([]ChromeEvent, 0, len(t.Spans))
 	for _, s := range t.Spans {
-		events = append(events, chromeEvent{
+		events = append(events, ChromeEvent{
 			Name: fmt.Sprintf("sub%d", s.Sub),
 			Cat:  "task",
 			Ph:   "X",
@@ -40,8 +49,7 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 			Args: map[string]string{"task": strconv.Itoa(int(s.Task))},
 		})
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(events)
+	return WriteChromeEvents(w, events)
 }
 
 // WriteCSV serialises the trace as CSV with the header
