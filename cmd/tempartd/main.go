@@ -4,11 +4,18 @@
 // are deduplicated, and results are served from a content-addressed LRU
 // cache. SIGINT/SIGTERM drain in-flight jobs before exit.
 //
+// With -data-dir the daemon is durable and restart-safe: uploaded meshes and
+// computed results persist to a content-addressed blob store with a
+// hash-chained provenance log (batched fsyncs), async jobs journal their
+// lifecycle and resume after a restart over the same directory, and
+// -verify walks the chain offline, recomputing every hash.
+//
 // Example:
 //
-//	tempartd -addr :8080 &
+//	tempartd -addr :8080 -data-dir /var/lib/tempartd &
 //	curl -s localhost:8080/v1/partition -d '{"mesh":"CYLINDER","scale":0.01,"k":16,"strategy":"MC_TL"}'
-//	curl -s localhost:8080/metrics | grep tempartd_cache
+//	curl -s localhost:8080/metrics | grep tempartd_store
+//	tempartd -data-dir /var/lib/tempartd -verify
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 
 	"tempart/internal/obs"
 	"tempart/internal/server"
+	"tempart/internal/store"
 )
 
 func main() {
@@ -41,12 +49,52 @@ func main() {
 		timeout      = flag.Duration("timeout", 5*time.Minute, "default per-job execution deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		accessLog    = flag.Bool("access-log", true, "emit one structured log line per request")
+		dataDir      = flag.String("data-dir", "", "durable store directory (empty = in-memory only, no persistence)")
+		batchMax     = flag.Int("store-batch-max", 64, "store commits per batched flush")
+		batchWait    = flag.Duration("store-batch-wait", 20*time.Millisecond, "max time a store commit waits for co-batching (also the durable-commit latency bound)")
+		verify       = flag.Bool("verify", false, "verify the -data-dir provenance chain and blob digests, print a report, and exit (non-zero on corruption)")
 		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(obs.VersionLine("tempartd"))
 		return
+	}
+	if *verify {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "tempartd: -verify requires -data-dir")
+			os.Exit(2)
+		}
+		rep, err := store.VerifyDir(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempartd: verify:", err)
+			os.Exit(2)
+		}
+		fmt.Println(rep)
+		for _, p := range rep.Problems {
+			fmt.Println("  problem:", p)
+		}
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(store.Options{
+			Dir:      *dataDir,
+			MaxBatch: *batchMax,
+			MaxWait:  *batchWait,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempartd: opening store:", err)
+			os.Exit(1)
+		}
+		stats := st.Stats()
+		log.Printf("tempartd: store open at %s (%d provenance entries, %d jobs replayed, %d to resume)",
+			*dataDir, stats.ProvEntries, stats.JobsRecovered, stats.JobsPending)
 	}
 
 	var access *slog.Logger
@@ -61,6 +109,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxParallelism: *parallel,
 		AccessLog:      access,
+		Store:          st,
 	})
 	if *debugAddr != "" {
 		go func() {
@@ -87,6 +136,7 @@ func main() {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 
+	exit := 0
 	select {
 	case sig := <-sigc:
 		log.Printf("tempartd: %v received, draining (max %v)", sig, *drainTimeout)
@@ -94,7 +144,8 @@ func main() {
 		defer cancel()
 		// Mark the pool draining first so /healthz answers 503 and new jobs
 		// are refused while open connections wind down, then close the
-		// listener and wait for both.
+		// listener and wait for both. Shutdown flushes the store's batcher
+		// after the workers drain, so everything acknowledged is fsynced.
 		drained := make(chan error, 1)
 		go func() { drained <- srv.Shutdown(ctx) }()
 		if err := httpSrv.Shutdown(ctx); err != nil {
@@ -102,13 +153,23 @@ func main() {
 		}
 		if err := <-drained; err != nil {
 			log.Printf("tempartd: drain incomplete: %v", err)
-			os.Exit(1)
+			exit = 1
+		} else {
+			log.Printf("tempartd: drained cleanly")
 		}
-		log.Printf("tempartd: drained cleanly")
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "tempartd:", err)
-			os.Exit(1)
+			exit = 1
 		}
 	}
+	if st != nil {
+		// Final close: flush whatever remains and fsync both logs before the
+		// process exits.
+		if err := st.Close(); err != nil {
+			log.Printf("tempartd: closing store: %v", err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
 }

@@ -1,0 +1,377 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"tempart/internal/mesh"
+	"tempart/internal/obs"
+	"tempart/internal/store"
+)
+
+// This file wires the durability tier (internal/store) through the job
+// machinery. With Config.Store set the daemon becomes restart-safe:
+//
+//   - uploaded meshes and successful partition/repartition payloads are
+//     persisted content-addressed, with a provenance entry embedding the run
+//     manifest, BEFORE the response is acknowledged;
+//   - async jobs journal their lifecycle (submitted durable-before-202,
+//     running/terminal batched), so a daemon restarted over the same
+//     directory re-queues whatever never reached a terminal state and
+//     remembers what did;
+//   - the in-memory LRUs become read-through caches over the store: a result
+//     or parent partition evicted from RAM (or lost to a restart) is served
+//     from disk and re-warmed.
+//
+// Without a store every function here is a cheap nil check — the daemon
+// behaves exactly as before.
+
+// Journaled job kinds, discriminating the request type on replay.
+const (
+	kindPartition   = "partition"
+	kindRepartition = "repartition"
+)
+
+// marshalJobRequest renders a request as its replayable journal form. The
+// order of the type switch matters: *RepartitionRequest embeds
+// PartitionRequest.
+func marshalJobRequest(req jobRequest) (kind string, raw json.RawMessage, err error) {
+	switch v := req.(type) {
+	case *RepartitionRequest:
+		raw, err = json.Marshal(v)
+		return kindRepartition, raw, err
+	case *PartitionRequest:
+		raw, err = json.Marshal(v)
+		return kindPartition, raw, err
+	default:
+		return "", nil, fmt.Errorf("unjournalable request type %T", req)
+	}
+}
+
+// resultStoreKey is the NSResult address of a job's payload: the hex form of
+// its content-addressed cache key.
+func resultStoreKey(key cacheKey) string { return hex.EncodeToString(key[:]) }
+
+// journalSubmit makes an async submission durable before the 202 goes out:
+// the submitted record (with the full request JSON) and, for uploads, the
+// mesh blob, in one durable commit. An error means the caller must NOT
+// acknowledge the job.
+func (s *Server) journalSubmit(ctx context.Context, j *job) error {
+	if s.store == nil {
+		return nil
+	}
+	if !j.journaled.CompareAndSwap(false, true) {
+		return nil // already journaled (duplicate async submit joining a flight)
+	}
+	kind, raw, err := marshalJobRequest(j.req)
+	if err != nil {
+		j.journaled.Store(false)
+		return err
+	}
+	rec := store.JobRecord{Job: j.id, State: store.JobSubmitted, Kind: kind, Req: raw}
+	c := store.Commit{}
+	base := j.req.base()
+	if base.Uploaded != nil && len(base.meshRaw) > 0 {
+		digest := hex.EncodeToString(base.meshDigest[:])
+		rec.MeshDigest = digest
+		c.Puts = append(c.Puts, store.Put{NS: store.NSMesh, Key: digest, Data: base.meshRaw,
+			Manifest: meshManifest(base)})
+	}
+	c.Jobs = []store.JobRecord{rec}
+	if err := s.store.Commit(ctx, c); err != nil {
+		j.journaled.Store(false)
+		return err
+	}
+	return nil
+}
+
+// journalState appends one lifecycle transition for a journaled job. These
+// records are batched without waiting: losing one in a crash only means the
+// job replays from an earlier state and re-runs idempotently (results are
+// content-addressed, so a re-run dedups).
+func (s *Server) journalState(j *job, state, errMsg string) {
+	if s.store == nil || !j.journaled.Load() {
+		return
+	}
+	s.store.CommitAsync(store.Commit{Jobs: []store.JobRecord{{
+		Job: j.id, State: state, Error: errMsg,
+	}}})
+}
+
+// persistOutcome makes a successful job durable before its waiters see it:
+// the response payload (and, for uploads, the mesh blob) plus — for
+// journaled async jobs — the done record naming the result, all in one
+// durable commit. A persist failure fails the job: the daemon never
+// acknowledges a result it could lose.
+//
+// Traced (?debug=trace) jobs are skipped: their payload embeds a per-request
+// debug block under the same content address as the canonical result, and
+// persisting it would poison the read-through path for everyone else.
+func (s *Server) persistOutcome(j *job, payload []byte) *requestError {
+	if s.store == nil || j.noCache {
+		return nil
+	}
+	span := obs.FromContext(j.ctx).Start("store/persist")
+	defer span.End()
+	key := resultStoreKey(j.key)
+	c := store.Commit{Puts: []store.Put{{
+		NS: store.NSResult, Key: key, Data: payload, Manifest: resultManifest(j),
+	}}}
+	base := j.req.base()
+	if base.Uploaded != nil && len(base.meshRaw) > 0 {
+		c.Puts = append(c.Puts, store.Put{NS: store.NSMesh,
+			Key: hex.EncodeToString(base.meshDigest[:]), Data: base.meshRaw,
+			Manifest: meshManifest(base)})
+	}
+	if j.journaled.Load() {
+		c.Jobs = []store.JobRecord{{Job: j.id, State: store.JobDone, ResultKey: key}}
+	}
+	if err := s.store.Commit(j.ctx, c); err != nil {
+		return &requestError{code: http.StatusInternalServerError,
+			msg: fmt.Sprintf("persisting result: %v", err)}
+	}
+	return nil
+}
+
+// resultManifest is the provenance context of a persisted payload: enough to
+// reproduce the run (mesh identity, k, strategy, seed, method) plus the
+// phase/counter rollup when the job was traced.
+func resultManifest(j *job) *obs.Manifest {
+	base := j.req.base()
+	m := obs.NewManifest("tempartd")
+	m.Inputs["job"] = j.id
+	if _, ok := j.req.(*RepartitionRequest); ok {
+		m.Inputs["kind"] = kindRepartition
+	} else {
+		m.Inputs["kind"] = kindPartition
+	}
+	if base.Uploaded != nil {
+		m.Inputs["mesh_digest"] = hex.EncodeToString(base.meshDigest[:])
+	} else {
+		m.Inputs["mesh"] = base.MeshName
+		m.Inputs["scale"] = base.Scale
+	}
+	m.Inputs["k"] = base.K
+	m.Inputs["strategy"] = base.Strategy
+	m.Inputs["method"] = base.Options.Method
+	m.Inputs["seed"] = base.Options.Seed
+	m.Metrics["elapsed_seconds"] = j.elapsed.Seconds()
+	m.Finish(j.rec)
+	return m
+}
+
+// meshManifest is the provenance context of a persisted mesh upload.
+func meshManifest(base *PartitionRequest) *obs.Manifest {
+	m := obs.NewManifest("tempartd")
+	m.Inputs["kind"] = "mesh-upload"
+	m.Inputs["cells"] = base.Uploaded.NumCells()
+	m.Finish(nil)
+	return m
+}
+
+// decodeReplayRequest rebuilds a journaled request: unmarshal by kind,
+// re-attach the uploaded mesh from the store, and re-validate so the
+// unexported canonical fields (strategy, mode) are recomputed.
+func decodeReplayRequest(r store.JobReplay, st *store.Store) (jobRequest, error) {
+	switch r.Kind {
+	case kindRepartition:
+		var req RepartitionRequest
+		if err := json.Unmarshal(r.Req, &req); err != nil {
+			return nil, fmt.Errorf("replaying %s request: %w", r.ID, err)
+		}
+		if err := attachReplayMesh(&req.PartitionRequest, r.MeshDigest, st); err != nil {
+			return nil, err
+		}
+		if err := req.PartitionRequest.validate(); err != nil {
+			return nil, err
+		}
+		if err := req.validateRepart(); err != nil {
+			return nil, err
+		}
+		return &req, nil
+	case kindPartition:
+		var req PartitionRequest
+		if err := json.Unmarshal(r.Req, &req); err != nil {
+			return nil, fmt.Errorf("replaying %s request: %w", r.ID, err)
+		}
+		if err := attachReplayMesh(&req, r.MeshDigest, st); err != nil {
+			return nil, err
+		}
+		if err := req.validate(); err != nil {
+			return nil, err
+		}
+		return &req, nil
+	}
+	return nil, fmt.Errorf("job %s has unknown kind %q", r.ID, r.Kind)
+}
+
+// attachReplayMesh re-materialises an uploaded mesh from its NSMesh blob.
+func attachReplayMesh(base *PartitionRequest, digest string, st *store.Store) error {
+	if digest == "" {
+		return nil
+	}
+	raw, ok := st.Get(store.NSMesh, digest)
+	if !ok {
+		return fmt.Errorf("mesh blob %s missing from store", digest)
+	}
+	m, err := mesh.Decode(bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("stored mesh %s: %w", digest, err)
+	}
+	base.Uploaded = m
+	base.meshRaw = raw
+	base.meshDigest = sha256.Sum256(raw)
+	return nil
+}
+
+// recoverJobs folds the store's job journal at startup: terminal jobs are
+// re-registered so /v1/jobs keeps answering for them across the restart
+// (done jobs serve their payload straight from the store), and non-terminal
+// jobs — interrupted by whatever killed the previous process — are re-queued
+// under their original ids. Runs before the server is marked ready.
+func (s *Server) recoverJobs() {
+	if s.store == nil {
+		return
+	}
+	var maxSeq int64
+	for _, r := range s.store.JobReplays() {
+		if n := trailingSeq(r.ID); n > maxSeq {
+			maxSeq = n
+		}
+		req, err := decodeReplayRequest(r, s.store)
+		if err != nil {
+			// The journal outlived whatever it referenced (evicted blob,
+			// incompatible request schema). Surface the job as failed rather
+			// than dropping it silently.
+			s.registerReplayed(r, nil, jobFailed, nil, fmt.Sprintf("replay failed: %v", err))
+			continue
+		}
+		switch r.State {
+		case store.JobDone:
+			payload, ok := s.store.Get(store.NSResult, r.ResultKey)
+			if !ok {
+				s.registerReplayed(r, req, jobFailed, nil, "replayed result blob missing")
+				continue
+			}
+			s.registerReplayed(r, req, jobDone, payload, "")
+			s.cache.put(req.key(), payload)
+		case store.JobFailed:
+			s.registerReplayed(r, req, jobFailed, nil, r.Error)
+		case store.JobCancelled:
+			s.registerReplayed(r, req, jobCancelled, nil, r.Error)
+		default: // submitted or running: the restart interrupted it
+			s.requeueJob(r, req)
+		}
+	}
+	// New job ids must not collide with replayed ones.
+	for {
+		cur := s.seq.Load()
+		if cur >= maxSeq || s.seq.CompareAndSwap(cur, maxSeq) {
+			break
+		}
+	}
+}
+
+// registerReplayed installs a terminal job from the journal so job views
+// survive the restart. req may be nil when the request itself could not be
+// rebuilt (the view then loses its mesh/k/strategy fields but keeps the
+// outcome).
+func (s *Server) registerReplayed(r store.JobReplay, req jobRequest, st jobState, payload []byte, errMsg string) {
+	if req == nil {
+		req = &PartitionRequest{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := &job{
+		id:      r.ID,
+		key:     req.key(),
+		req:     req,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		created: replayCreated(r),
+		payload: payload,
+		errMsg:  errMsg,
+	}
+	switch st {
+	case jobDone:
+		j.status = http.StatusOK
+	case jobCancelled:
+		j.status = statusClientClosedRequest
+	default:
+		j.status = http.StatusInternalServerError
+	}
+	j.setState(st)
+	j.journaled.Store(true)
+	close(j.done)
+	s.mu.Lock()
+	s.rememberJob(j)
+	s.mu.Unlock()
+}
+
+// requeueJob re-admits an interrupted job under its original id. The journal
+// itself holds the job's reference: nobody releases it, so the job runs to a
+// terminal state (and journals it) even with no client polling.
+func (s *Server) requeueJob(r store.JobReplay, req jobRequest) {
+	timeout := s.cfg.DefaultTimeout
+	if req.base().TimeoutMS > 0 {
+		if d := time.Duration(req.base().TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	j := &job{
+		id:      r.ID,
+		key:     req.key(),
+		req:     req,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		refs:    1,
+		created: replayCreated(r),
+	}
+	j.journaled.Store(true)
+	s.mu.Lock()
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		cancel()
+		s.registerReplayed(r, req, jobFailed, nil, "re-queue after restart: admission queue full")
+		s.journalState(j, store.JobFailed, "re-queue after restart: admission queue full")
+		return
+	}
+	if _, exists := s.flights[j.key]; !exists {
+		s.flights[j.key] = j
+	}
+	s.rememberJob(j)
+	s.mu.Unlock()
+}
+
+func replayCreated(r store.JobReplay) time.Time {
+	if r.SubmittedMS > 0 {
+		return time.UnixMilli(r.SubmittedMS)
+	}
+	return time.Now()
+}
+
+// trailingSeq parses the "-N" suffix of a job id ("<hex>-N").
+func trailingSeq(id string) int64 {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.ParseInt(id[i+1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}

@@ -13,6 +13,7 @@ import (
 	"tempart/internal/mesh"
 	pmetrics "tempart/internal/metrics"
 	"tempart/internal/obs"
+	"tempart/internal/store"
 )
 
 // jobState is the lifecycle of a partition job.
@@ -90,6 +91,11 @@ type job struct {
 	// payload (which embeds the debug block) out of the shared result cache.
 	rec     *obs.Recorder
 	noCache bool
+
+	// journaled marks a job whose lifecycle is recorded in the store's job
+	// journal (async submissions on a durable daemon, and every job replayed
+	// from the journal after a restart).
+	journaled atomic.Bool
 }
 
 func (j *job) setState(s jobState) { j.state.Store(int32(s)) }
@@ -213,15 +219,18 @@ func (s *Server) runJob(j *job) {
 			j.status = statusClientClosedRequest
 			j.errMsg = "cancelled"
 			s.metrics.countCancelled()
+			s.journalState(j, store.JobCancelled, j.errMsg)
 		} else if errors.Is(j.ctx.Err(), context.DeadlineExceeded) {
 			j.setState(jobCancelled)
 			j.status = http.StatusGatewayTimeout
 			j.errMsg = "deadline exceeded"
 			s.metrics.countCancelled()
+			s.journalState(j, store.JobCancelled, j.errMsg)
 		} else {
 			j.setState(jobFailed)
 			j.status = code
 			j.errMsg = msg
+			s.journalState(j, store.JobFailed, msg)
 		}
 		finish()
 	}
@@ -231,6 +240,7 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.setState(jobRunning)
+	s.journalState(j, store.JobRunning, "")
 
 	if s.cfg.execGate != nil {
 		if err := s.cfg.execGate(j.ctx, j.req.base()); err != nil {
@@ -251,11 +261,18 @@ func (s *Server) runJob(j *job) {
 		fail(rerr.code, rerr.msg)
 		return
 	}
+	j.payload = payload
+	j.elapsed = elapsed
+	// Durability before acknowledgement: the payload (and its provenance
+	// entry) must be committed before any waiter — or the shared cache — can
+	// observe the job as done.
+	if rerr := s.persistOutcome(j, payload); rerr != nil {
+		fail(rerr.code, rerr.msg)
+		return
+	}
 	if !j.noCache {
 		s.cache.put(j.key, payload)
 	}
-	j.payload = payload
-	j.elapsed = elapsed
 	j.status = http.StatusOK
 	j.setState(jobDone)
 	finish()
@@ -300,7 +317,7 @@ func (r *PartitionRequest) execute(ctx context.Context, s *Server) ([]byte, time
 	}
 	s.metrics.countRun(r.Strategy, elapsed.Seconds())
 
-	partHash, rerr := s.storePartition(d.Result)
+	partHash, rerr := s.storePartition(ctx, d.Result)
 	if rerr != nil {
 		return nil, 0, rerr
 	}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"tempart/internal/store"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the partition latency
@@ -293,6 +295,31 @@ func (m *serverMetrics) render(w io.Writer, g gauges) {
 		draining = 1
 	}
 	gauge("tempartd_draining", "1 while the server is draining for shutdown.", draining)
+}
+
+// renderStoreMetrics writes the durability tier's tempartd_store_* series.
+// It takes a stats snapshot rather than the store itself so rendering never
+// contends with the batcher.
+func renderStoreMetrics(w io.Writer, st store.Stats) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("tempartd_store_puts_total", "Artifacts committed to the durable store.", st.Puts)
+	counter("tempartd_store_put_bytes_total", "Artifact bytes committed to the durable store.", st.PutBytes)
+	counter("tempartd_store_dedup_skips_total", "Artifact writes elided because the content address was already committed.", st.DedupSkips)
+	counter("tempartd_store_reads_total", "Store read-through lookups.", st.Reads)
+	counter("tempartd_store_read_hits_total", "Store read-through lookups that found a committed artifact.", st.ReadHits)
+	counter("tempartd_store_read_corrupt_total", "Store reads whose blob bytes no longer matched the recorded digest.", st.ReadCorrupt)
+	counter("tempartd_store_batch_flushes_total", "Batched commit flushes (each pays one fsync set).", st.BatchFlushes)
+	counter("tempartd_store_batched_commits_total", "Commits covered by batched flushes (ratio to flushes = amortization factor).", st.BatchedCommits)
+	counter("tempartd_store_flush_errors_total", "Batch flushes that failed.", st.FlushErrors)
+	counter("tempartd_store_journal_records_total", "Job-journal records appended since open.", st.JournalRecords)
+	gauge("tempartd_store_prov_entries", "Length of the hash-chained provenance log.", st.ProvEntries)
+	gauge("tempartd_store_jobs_recovered", "Jobs folded from the journal at the last open.", st.JobsRecovered)
+	gauge("tempartd_store_jobs_requeued", "Non-terminal jobs re-queued by the journal replay at the last open.", st.JobsPending)
 }
 
 // splitKey turns a '|'-joined key into label values for the format string.

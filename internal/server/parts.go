@@ -2,22 +2,30 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"net/http"
 
+	"tempart/internal/obs"
 	"tempart/internal/partition"
+	"tempart/internal/store"
 )
 
 // The partition store content-addresses encoded partition results (TPRT
 // bytes keyed by their SHA-256) so repartition requests can warm-start from
-// a prior result by hash alone, without re-uploading the assignment. It
-// reuses the byte-budgeted LRU of the response cache; entries are immutable.
+// a prior result by hash alone, without re-uploading the assignment. The
+// byte-budgeted LRU is the hot tier; with a durable store configured it
+// becomes a read-through cache — an evicted (or restart-lost) part_hash is
+// reloaded from the store's NSPart namespace, so warm starts survive both
+// memory pressure and daemon restarts.
 
 // storePartition encodes res, inserts it under its content hash and returns
-// the hash in hex — the part_hash clients quote back to /v1/repartition.
-func (s *Server) storePartition(res *partition.Result) (string, *requestError) {
+// the hash in hex — the part_hash clients quote back to /v1/repartition. On a
+// durable daemon the encoded bytes are also committed to the store (batched;
+// a crash before the flush only costs a recomputable warm-start).
+func (s *Server) storePartition(ctx context.Context, res *partition.Result) (string, *requestError) {
 	var buf bytes.Buffer
 	if err := res.Encode(&buf); err != nil {
 		return "", &requestError{code: http.StatusInternalServerError,
@@ -25,10 +33,20 @@ func (s *Server) storePartition(res *partition.Result) (string, *requestError) {
 	}
 	sum := sha256.Sum256(buf.Bytes())
 	s.parts.put(cacheKey(sum), buf.Bytes())
-	return hex.EncodeToString(sum[:]), nil
+	hash := hex.EncodeToString(sum[:])
+	if s.store != nil {
+		span := obs.FromContext(ctx).Start("store/persist")
+		span.SetStr("ns", store.NSPart)
+		s.store.CommitAsync(store.Commit{Puts: []store.Put{{
+			NS: store.NSPart, Key: hash, Data: buf.Bytes(),
+		}}})
+		span.End()
+	}
+	return hash, nil
 }
 
-// loadPartition resolves a part_hash back to a decoded result. A miss is the
+// loadPartition resolves a part_hash back to a decoded result, reading
+// through to the durable store on an LRU miss. A miss in both tiers is the
 // caller's problem to surface (the hash may simply have been evicted); it is
 // also counted toward the warm-start hit ratio.
 func (s *Server) loadPartition(hash string) (*partition.Result, *requestError) {
@@ -40,6 +58,13 @@ func (s *Server) loadPartition(hash string) (*partition.Result, *requestError) {
 	var key cacheKey
 	copy(key[:], raw)
 	payload, ok := s.parts.get(key)
+	if !ok && s.store != nil {
+		// hex.EncodeToString canonicalizes to lowercase, matching store keys.
+		if data, sok := s.store.Get(store.NSPart, hex.EncodeToString(raw)); sok {
+			payload, ok = data, true
+			s.parts.put(key, data)
+		}
+	}
 	s.metrics.countParentLookup(ok)
 	if !ok {
 		return nil, &requestError{code: http.StatusNotFound,

@@ -233,7 +233,7 @@ func (r *RepartitionRequest) execute(ctx context.Context, s *Server) ([]byte, ti
 	}
 	s.metrics.countRepart(res.Mode.String(), elapsed.Seconds(), res.Stats.MovedBytes)
 
-	partHash, rerr := s.storePartition(res.Result)
+	partHash, rerr := s.storePartition(ctx, res.Result)
 	if rerr != nil {
 		return nil, 0, rerr
 	}

@@ -63,9 +63,12 @@ type PartitionRequest struct {
 	Evaluate *EvalSpec `json:"evaluate,omitempty"`
 
 	// Uploaded holds the decoded TMSH mesh for octet-stream requests (nil
-	// for generator requests). meshDigest is the SHA-256 of the raw upload.
+	// for generator requests). meshDigest is the SHA-256 of the raw upload;
+	// meshRaw retains the upload bytes so a durable daemon can persist the
+	// mesh content-addressed (and re-serve/replay it after a restart).
 	Uploaded   *mesh.Mesh `json:"-"`
 	meshDigest [32]byte
+	meshRaw    []byte
 
 	strat partition.Strategy
 	// debugTrace marks a ?debug=trace request: the job runs privately with a
@@ -131,6 +134,7 @@ func decodePartitionRequest(contentType string, query url.Values, body io.Reader
 		}
 		req.Uploaded = m
 		req.meshDigest = sha256.Sum256(raw)
+		req.meshRaw = raw
 		if err := queryInto(&req, query); err != nil {
 			return nil, err
 		}

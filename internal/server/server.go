@@ -42,6 +42,7 @@ import (
 	"tempart/internal/eval"
 	"tempart/internal/mesh"
 	"tempart/internal/obs"
+	"tempart/internal/store"
 )
 
 // Config sizes the daemon. Zero values take the documented defaults.
@@ -73,6 +74,14 @@ type Config struct {
 	// HTTP exchange (method, path, endpoint label, status, duration,
 	// request id). Nil disables access logging entirely.
 	AccessLog *slog.Logger
+
+	// Store, when non-nil, is the daemon's durability tier: uploaded meshes,
+	// partition results and response payloads persist to it on write (batched
+	// commits, hash-chained provenance), the in-memory LRUs become
+	// read-through caches over it, and async jobs journal their lifecycle so
+	// a restart over the same store resumes interrupted work. The server uses
+	// the store but does not own it: callers Close it after Shutdown.
+	Store *store.Store
 
 	// execGate, when set, runs inside the worker before partitioning; tests
 	// use it to hold jobs at a deterministic point.
@@ -135,6 +144,12 @@ type Server struct {
 	// obsAgg accumulates per-phase seconds and pipeline counters drained from
 	// the recorders of ?debug=trace jobs; rendered on /metrics.
 	obsAgg *obs.Agg
+	// store is the optional durability tier (Config.Store); nil means the
+	// daemon is purely in-memory, exactly as before.
+	store *store.Store
+	// ready flips true once the store's journal replay has re-queued
+	// interrupted jobs; /readyz gates on it.
+	ready atomic.Bool
 
 	queue    chan *job
 	wg       sync.WaitGroup
@@ -159,6 +174,7 @@ func New(cfg Config) *Server {
 		metrics: newServerMetrics(),
 		eval:    eval.New(eval.Options{Parallelism: cfg.MaxParallelism}),
 		obsAgg:  obs.NewAgg("tempartd_pipeline"),
+		store:   cfg.Store,
 		queue:   make(chan *job, cfg.QueueDepth),
 		flights: map[cacheKey]*job{},
 		jobs:    map[string]*job{},
@@ -167,6 +183,10 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
+	// Replay the job journal before declaring readiness: interrupted jobs are
+	// back in the queue (or re-registered terminal) before /readyz says yes.
+	s.recoverJobs()
+	s.ready.Store(true)
 	return s
 }
 
@@ -181,6 +201,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/meshes", s.instrument("/v1/meshes", s.handleMeshes))
 	mux.HandleFunc("GET /buildinfo", s.instrument("/buildinfo", s.handleBuildinfo))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -202,7 +223,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() { s.wg.Wait(); close(done) }()
 	select {
 	case <-done:
-		return nil
+		return s.flushStore()
 	case <-ctx.Done():
 		s.mu.Lock()
 		for _, j := range s.flights {
@@ -210,8 +231,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
+		_ = s.flushStore()
 		return ctx.Err()
 	}
+}
+
+// flushStore forces the store's batcher to commit everything the drained
+// workers wrote, so a SIGTERM never loses acknowledged state. It runs after
+// wg.Wait — no worker can add commits behind the flush barrier.
+func (s *Server) flushStore() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Flush(context.Background())
 }
 
 // instrument wraps a handler with request counting by endpoint, method and
@@ -313,6 +345,19 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, req jobRequest
 			return http.StatusOK
 		}
 		s.metrics.countCache(false)
+		// Read through to the durable store: a result computed before an LRU
+		// eviction — or before a restart — is served without recomputation and
+		// re-warms the cache.
+		if s.store != nil {
+			if payload, ok := s.store.Get(store.NSResult, resultStoreKey(key)); ok {
+				s.cache.put(key, payload)
+				w.Header().Set("X-Tempartd-Cache", "store")
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusOK)
+				_, _ = w.Write(payload)
+				return http.StatusOK
+			}
+		}
 	}
 
 	j, err := s.acquireJob(req)
@@ -328,6 +373,14 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, req jobRequest
 	}
 
 	if r.URL.Query().Get("async") == "1" {
+		// Durable-before-202: the submitted record (and the mesh blob for
+		// uploads) must be on stable storage before the daemon acknowledges
+		// the job — an acknowledged async job is never lost to a crash.
+		if err := s.journalSubmit(r.Context(), j); err != nil {
+			s.releaseJob(j)
+			return writeError(w, http.StatusInternalServerError,
+				"journaling submission: "+err.Error())
+		}
 		// The async submitter's reference is held until completion or an
 		// explicit DELETE; the job outlives this HTTP exchange.
 		return writeJSON(w, http.StatusAccepted, map[string]string{
@@ -473,6 +526,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz is the readiness probe: 200 only once the store (when
+// configured) has opened and its journal replay re-queued interrupted jobs,
+// and 503 again while draining. Load balancers use it to gate traffic;
+// /healthz stays the liveness signal.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	switch {
+	case draining:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting", "reason": "journal replay in progress"})
+	default:
+		durable := "none"
+		if s.store != nil {
+			durable = "open"
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready", "store": durable})
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	bytes, entries := s.cache.stats()
 	s.mu.Lock()
@@ -486,6 +561,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cacheEntries: entries,
 		draining:     draining,
 	})
+	if s.store != nil {
+		renderStoreMetrics(w, s.store.Stats())
+	}
 	s.obsAgg.RenderProm(w)
 }
 

@@ -1,0 +1,282 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the Batcher deterministically: After registers a waiter,
+// Advance fires every waiter whose deadline has passed. Timers never fire on
+// their own, so tests control exactly when the max-wait trigger happens.
+type fakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1700000000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	c.waiters = append(c.waiters, fakeWaiter{at: c.now.Add(d), ch: ch})
+	return ch
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var keep []fakeWaiter
+	var fire []fakeWaiter
+	for _, w := range c.waiters {
+		if !w.at.After(c.now) {
+			fire = append(fire, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	c.waiters = keep
+	now := c.now
+	c.mu.Unlock()
+	for _, w := range fire {
+		w.ch <- now
+	}
+}
+
+// waitTimerArmed blocks until the flusher has registered a timer, so Advance
+// is guaranteed to reach it.
+func (c *fakeClock) waitTimerArmed(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		n := len(c.waiters)
+		c.mu.Unlock()
+		if n > 0 {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatal("flusher never armed its max-wait timer")
+}
+
+// batchRecorder collects flushed batches and signals each flush.
+type batchRecorder struct {
+	mu      sync.Mutex
+	batches [][]Commit
+	flushed chan struct{}
+	err     error
+}
+
+func newBatchRecorder() *batchRecorder {
+	return &batchRecorder{flushed: make(chan struct{}, 64)}
+}
+
+func (r *batchRecorder) apply(commits []Commit) error {
+	r.mu.Lock()
+	cp := make([]Commit, len(commits))
+	copy(cp, commits)
+	r.batches = append(r.batches, cp)
+	err := r.err
+	r.mu.Unlock()
+	r.flushed <- struct{}{}
+	return err
+}
+
+func (r *batchRecorder) snapshot() [][]Commit {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([][]Commit, len(r.batches))
+	copy(out, r.batches)
+	return out
+}
+
+func (r *batchRecorder) waitFlush(t *testing.T) {
+	t.Helper()
+	select {
+	case <-r.flushed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no flush within 5s")
+	}
+}
+
+func oneCommit(i int) Commit {
+	return Commit{Jobs: []JobRecord{{Job: fmt.Sprintf("j-%d", i), State: JobSubmitted}}}
+}
+
+func TestBatcherCoalescesBySize(t *testing.T) {
+	clk := newFakeClock()
+	rec := newBatchRecorder()
+	b := newBatcher(rec.apply, 4, time.Hour, clk)
+	defer b.close(true)
+
+	for i := 0; i < 3; i++ {
+		if err := b.submit(context.Background(), oneCommit(i), false, false); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	select {
+	case <-rec.flushed:
+		t.Fatal("flushed below MaxBatch with the timer never firing")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := b.submit(context.Background(), oneCommit(3), false, false); err != nil {
+		t.Fatalf("submit 3: %v", err)
+	}
+	rec.waitFlush(t)
+	batches := rec.snapshot()
+	if len(batches) != 1 || len(batches[0]) != 4 {
+		t.Fatalf("got %d batches (first of %d commits), want 1 batch of 4", len(batches), len(batches[0]))
+	}
+}
+
+func TestBatcherFlushesOnMaxWait(t *testing.T) {
+	clk := newFakeClock()
+	rec := newBatchRecorder()
+	b := newBatcher(rec.apply, 100, 50*time.Millisecond, clk)
+	defer b.close(true)
+
+	if err := b.submit(context.Background(), oneCommit(0), false, false); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	clk.waitTimerArmed(t)
+	clk.Advance(49 * time.Millisecond)
+	select {
+	case <-rec.flushed:
+		t.Fatal("flushed before MaxWait elapsed")
+	case <-time.After(10 * time.Millisecond):
+	}
+	clk.Advance(time.Millisecond)
+	rec.waitFlush(t)
+	if batches := rec.snapshot(); len(batches) != 1 || len(batches[0]) != 1 {
+		t.Fatalf("batches = %+v", batches)
+	}
+}
+
+func TestBatcherDurableCommitWaitsForFlush(t *testing.T) {
+	clk := newFakeClock()
+	rec := newBatchRecorder()
+	b := newBatcher(rec.apply, 2, time.Hour, clk)
+	defer b.close(true)
+
+	done := make(chan error, 1)
+	go func() { done <- b.submit(context.Background(), oneCommit(0), true, false) }()
+	select {
+	case err := <-done:
+		t.Fatalf("durable submit returned (%v) before any flush", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// A second commit reaches MaxBatch and releases the durable waiter.
+	if err := b.submit(context.Background(), oneCommit(1), false, false); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("durable commit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("durable waiter never released")
+	}
+}
+
+func TestBatcherForceBarrierFlushesImmediately(t *testing.T) {
+	clk := newFakeClock()
+	rec := newBatchRecorder()
+	b := newBatcher(rec.apply, 100, time.Hour, clk)
+	defer b.close(true)
+
+	if err := b.submit(context.Background(), oneCommit(0), false, false); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := b.submit(context.Background(), Commit{}, true, true); err != nil {
+		t.Fatalf("barrier: %v", err)
+	}
+	batches := rec.snapshot()
+	if len(batches) != 1 || len(batches[0]) != 2 {
+		t.Fatalf("batches = %+v", batches)
+	}
+}
+
+func TestBatcherReportsApplyError(t *testing.T) {
+	clk := newFakeClock()
+	rec := newBatchRecorder()
+	rec.err = fmt.Errorf("disk full")
+	b := newBatcher(rec.apply, 1, time.Hour, clk)
+	defer b.close(true)
+
+	if err := b.submit(context.Background(), oneCommit(0), true, false); err == nil || err.Error() != "disk full" {
+		t.Fatalf("durable submit error = %v, want disk full", err)
+	}
+}
+
+func TestBatcherSubmitAfterCloseFails(t *testing.T) {
+	b := newBatcher(func([]Commit) error { return nil }, 1, time.Hour, newFakeClock())
+	if err := b.close(true); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := b.submit(context.Background(), oneCommit(0), true, false); err != errClosed {
+		t.Fatalf("submit after close = %v, want errClosed", err)
+	}
+	if err := b.close(true); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// BenchmarkBatcherCommit measures durable commit throughput against a disk
+// store, batched (MaxBatch 64 / 5ms window, parallel submitters sharing
+// fsyncs) vs per-commit (MaxBatch 1 — one fsync set per commit).
+func BenchmarkBatcherCommit(b *testing.B) {
+	bench := func(b *testing.B, maxBatch int, maxWait time.Duration, parallel bool) {
+		s, err := Open(Options{Dir: b.TempDir(), MaxBatch: maxBatch, MaxWait: maxWait})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		var seq int64
+		var mu sync.Mutex
+		next := func() int64 { mu.Lock(); defer mu.Unlock(); seq++; return seq }
+		commit := func() error {
+			n := next()
+			return s.Commit(context.Background(), Commit{Jobs: []JobRecord{{
+				Job: fmt.Sprintf("bench-%d", n), State: JobSubmitted, Kind: "partition",
+			}}})
+		}
+		b.ResetTimer()
+		if parallel {
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := commit(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		} else {
+			for i := 0; i < b.N; i++ {
+				if err := commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("batched-parallel", func(b *testing.B) { bench(b, 64, 5*time.Millisecond, true) })
+	b.Run("per-commit", func(b *testing.B) { bench(b, 1, time.Millisecond, false) })
+}

@@ -1,0 +1,90 @@
+package store
+
+import (
+	"errors"
+	"sync"
+)
+
+// Artifact namespaces. Keys inside a namespace are lowercase hex digests:
+// NSMesh and NSPart keys are the SHA-256 of the blob bytes themselves
+// (content-addressed), NSResult keys are the request content address of the
+// cached response payload (the payload hash is carried separately in the
+// provenance entry's data_hash).
+const (
+	// NSMesh holds raw uploaded TMSH mesh bytes keyed by their SHA-256.
+	NSMesh = "mesh"
+	// NSPart holds encoded TPRT partition results keyed by part_hash.
+	NSPart = "part"
+	// NSResult holds encoded response payloads keyed by the request's
+	// content address (the daemon's cache key).
+	NSResult = "result"
+)
+
+// ErrNotFound reports a blob absent from the backend.
+var ErrNotFound = errors.New("store: blob not found")
+
+// Blob is the pluggable artifact byte store beneath the Store: a flat
+// (namespace, key) → bytes map with durable, atomic writes. Implementations
+// must tolerate Put of an existing key (idempotent overwrite or skip — the
+// bytes are content-addressed so both are equivalent) and must be safe for
+// concurrent use. The built-in backends are memory (tests, ephemeral
+// daemons) and disk (content-addressed files, atomic rename + fsync); an S3
+// or replicated backend slots in behind the same interface.
+type Blob interface {
+	// Put stores data under (ns, key) durably before returning.
+	Put(ns, key string, data []byte) error
+	// Get returns the stored bytes or ErrNotFound. Callers must treat the
+	// returned slice as read-only.
+	Get(ns, key string) ([]byte, error)
+	// List returns every key present in the namespace, in no defined order.
+	List(ns string) ([]string, error)
+	// Close releases backend resources after a final sync.
+	Close() error
+}
+
+// memoryBlob is the in-memory backend: a mutex-guarded map. Durability is
+// process-lifetime only; it exists for tests and cache-like deployments.
+type memoryBlob struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMemoryBlob() *memoryBlob {
+	return &memoryBlob{m: map[string][]byte{}}
+}
+
+func blobKey(ns, key string) string { return ns + "/" + key }
+
+func (b *memoryBlob) Put(ns, key string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.mu.Lock()
+	b.m[blobKey(ns, key)] = cp
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *memoryBlob) Get(ns, key string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	data, ok := b.m[blobKey(ns, key)]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return data, nil
+}
+
+func (b *memoryBlob) List(ns string) ([]string, error) {
+	prefix := ns + "/"
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var keys []string
+	for k := range b.m {
+		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+			keys = append(keys, k[len(prefix):])
+		}
+	}
+	return keys, nil
+}
+
+func (b *memoryBlob) Close() error { return nil }

@@ -1,0 +1,157 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestCrashMidBatchLosesOnlyUnacked is the crash-recovery satellite: a fake
+// clock holds a batch open mid-flight, Crash() cuts the power, and replay at
+// reopen must show exactly the acknowledged history — the durable prefix
+// byte-identical, the unflushed tail gone, nothing in between.
+func TestCrashMidBatchLosesOnlyUnacked(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	s, err := Open(Options{Dir: dir, MaxBatch: 100, MaxWait: time.Minute, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Acked: a mesh blob plus the job's submitted record, durably committed.
+	// The fake clock pins the flush timer, so drive the max-wait trigger by
+	// hand: wait for the flusher to arm it, then advance past the window.
+	mesh := []byte("TMSH durable mesh")
+	meshKey := hexSum(mesh)
+	req := json.RawMessage(`{"mesh":"upload","k":8}`)
+	acked := make(chan error, 1)
+	go func() {
+		acked <- s.Commit(ctx, Commit{
+			Puts: []Put{{NS: NSMesh, Key: meshKey, Data: mesh}},
+			Jobs: []JobRecord{{Job: "job-1", State: JobSubmitted, Kind: "partition", Req: req, MeshDigest: meshKey}},
+		})
+	}()
+	clk.waitTimerArmed(t)
+	clk.Advance(time.Minute)
+	if err := <-acked; err != nil {
+		t.Fatalf("durable commit: %v", err)
+	}
+
+	// Unacked: a running transition and a result blob sit in the open batch
+	// (MaxBatch 100, fake clock pinned — the flush trigger never fires).
+	s.CommitAsync(Commit{Jobs: []JobRecord{{Job: "job-1", State: JobRunning}}})
+	s.CommitAsync(Commit{Puts: []Put{{NS: NSResult, Key: hexSum([]byte("req addr")), Data: []byte(`{"part":[0]}`)}}})
+
+	// A durable commit stuck in the same batch must unblock with an error.
+	durableErr := make(chan error, 1)
+	go func() {
+		durableErr <- s.Commit(ctx, Commit{Jobs: []JobRecord{{Job: "job-2", State: JobSubmitted, Kind: "partition", Req: req}}})
+	}()
+	time.Sleep(10 * time.Millisecond) // let the submit enqueue
+	s.Crash()
+	select {
+	case err := <-durableErr:
+		if err == nil {
+			t.Fatal("durable commit in the crashed batch returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("durable waiter leaked through the crash")
+	}
+	if _, ok := s.Get(NSMesh, meshKey); ok {
+		t.Fatal("Get succeeded on a crashed store")
+	}
+
+	// Replay: only the acked history survives.
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer s2.Close()
+	got, ok := s2.Get(NSMesh, meshKey)
+	if !ok || string(got) != string(mesh) {
+		t.Fatalf("durable mesh lost in crash: %q, %v", got, ok)
+	}
+	replays := s2.JobReplays()
+	if len(replays) != 1 {
+		t.Fatalf("replays = %+v, want exactly job-1", replays)
+	}
+	r := replays[0]
+	if r.ID != "job-1" || r.State != JobSubmitted || r.Kind != "partition" || r.MeshDigest != meshKey {
+		t.Fatalf("job-1 replay = %+v", r)
+	}
+	if string(r.Req) != string(req) {
+		t.Fatalf("replayed request = %s, want %s", r.Req, req)
+	}
+	st := s2.Stats()
+	if st.ProvEntries != 1 || st.JobsPending != 1 {
+		t.Fatalf("post-crash stats = %+v", st)
+	}
+	rep, err := s2.Verify()
+	if err != nil || !rep.OK() {
+		t.Fatalf("Verify after crash replay: %v %s", err, rep)
+	}
+}
+
+// TestCloseFlushesPendingBatch is the shutdown-ordering satellite at the
+// store level: commits sitting in an open batch (timer pinned by the fake
+// clock) must reach disk when Close runs the final drain — a drained daemon
+// may not lose anything it accepted.
+func TestCloseFlushesPendingBatch(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	s, err := Open(Options{Dir: dir, MaxBatch: 100, MaxWait: time.Minute, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := []byte("TPRT pending partition")
+	partKey := hexSum(part)
+	s.CommitAsync(Commit{Puts: []Put{{NS: NSPart, Key: partKey, Data: part}}})
+	s.CommitAsync(Commit{Jobs: []JobRecord{{Job: "drain-1", State: JobDone, ResultKey: "abcd12"}}})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	got, ok := s2.Get(NSPart, partKey)
+	if !ok || string(got) != string(part) {
+		t.Fatalf("pending partition lost across Close: %q, %v", got, ok)
+	}
+	replays := s2.JobReplays()
+	if len(replays) != 1 || replays[0].ID != "drain-1" || replays[0].State != JobDone {
+		t.Fatalf("replays after Close = %+v", replays)
+	}
+	rep, err := s2.Verify()
+	if err != nil || !rep.OK() || rep.Entries != 1 {
+		t.Fatalf("Verify: %v %s", err, rep)
+	}
+}
+
+// TestCrashBetweenFlushAndNextBatch: everything flushed before the crash is
+// replayable even though the log handles closed without a final sync.
+func TestCrashAfterFlushKeepsFlushedState(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("flushed then crashed")
+	key := hexSum(data)
+	if err := s.Commit(context.Background(), Commit{Puts: []Put{{NS: NSPart, Key: key, Data: data}}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Crash()
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if got, ok := s2.Get(NSPart, key); !ok || string(got) != string(data) {
+		t.Fatalf("flushed blob lost: %q, %v", got, ok)
+	}
+}

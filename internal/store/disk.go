@@ -1,0 +1,256 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Disk layout under Options.Dir:
+//
+//	blobs/<ns>/<key[:2]>/<key>   content-addressed artifact files
+//	prov.log                     append-only hash-chained provenance entries
+//	prov.head                    {"seq":N,"hash":"…"} of the committed chain tip
+//	jobs.log                     append-only job lifecycle journal
+//
+// Blob writes are atomic and durable: bytes land in a temp file in the final
+// directory, are fsynced, renamed over the destination, and the directory is
+// fsynced — a crash never leaves a partial blob under a valid name. Log
+// appends are buffered by the Batcher and fsynced once per flush; that single
+// fsync (plus one atomic head replace) is what the batch+maxWait committer
+// amortizes across every commit in the batch.
+
+const (
+	blobDirName  = "blobs"
+	provLogName  = "prov.log"
+	provHeadName = "prov.head"
+	jobsLogName  = "jobs.log"
+)
+
+// diskBlob is the content-addressed file backend.
+type diskBlob struct {
+	root string // <dir>/blobs
+}
+
+func newDiskBlob(dir string) (*diskBlob, error) {
+	root := filepath.Join(dir, blobDirName)
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	return &diskBlob{root: root}, nil
+}
+
+// validKey guards the filesystem: keys must be lowercase hex, at least one
+// fan-out byte long, and bounded — nothing else can become a path element.
+func validKey(key string) bool {
+	if len(key) < 2 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func validNS(ns string) bool {
+	return ns == NSMesh || ns == NSPart || ns == NSResult
+}
+
+func (b *diskBlob) path(ns, key string) string {
+	return filepath.Join(b.root, ns, key[:2], key)
+}
+
+func (b *diskBlob) Put(ns, key string, data []byte) error {
+	if !validNS(ns) || !validKey(key) {
+		return fmt.Errorf("store: invalid blob address %s/%s", ns, key)
+	}
+	dst := b.path(ns, key)
+	if _, err := os.Stat(dst); err == nil {
+		return nil // content-addressed: an existing file already holds these bytes
+	}
+	dir := filepath.Dir(dst)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return atomicWriteFile(dst, data)
+}
+
+func (b *diskBlob) Get(ns, key string) ([]byte, error) {
+	if !validNS(ns) || !validKey(key) {
+		return nil, ErrNotFound
+	}
+	data, err := os.ReadFile(b.path(ns, key))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	return data, err
+}
+
+func (b *diskBlob) List(ns string) ([]string, error) {
+	var keys []string
+	nsDir := filepath.Join(b.root, ns)
+	fans, err := os.ReadDir(nsDir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, fan := range fans {
+		if !fan.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(nsDir, fan.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			if !f.IsDir() {
+				keys = append(keys, f.Name())
+			}
+		}
+	}
+	return keys, nil
+}
+
+func (b *diskBlob) Close() error { return nil }
+
+// atomicWriteFile replaces path with data: temp file in the same directory,
+// fsync, rename, directory fsync. Readers never observe a partial file.
+func atomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// appendLog is the narrow append-only log the provenance chain and job
+// journal write through: buffered appends made durable by Sync.
+type appendLog interface {
+	// Append buffers one full line (terminating newline included).
+	Append(line []byte) error
+	// Sync flushes every buffered append durably.
+	Sync() error
+	Close() error
+}
+
+// diskLog appends to a single file opened O_APPEND; Sync fsyncs it. crash()
+// closes the handle without syncing, so batched-but-unflushed appends behave
+// like a power cut in tests.
+type diskLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openDiskLog opens (creating if needed) the log for appending after the
+// caller has already read and, if necessary, truncated it.
+func openDiskLog(path string) (*diskLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &diskLog{f: f}, nil
+}
+
+func (l *diskLog) Append(line []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errCrashed
+	}
+	_, err := l.f.Write(line)
+	return err
+}
+
+func (l *diskLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errCrashed
+	}
+	return l.f.Sync()
+}
+
+func (l *diskLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+func (l *diskLog) crash() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		l.f.Close() // deliberately no Sync: simulate losing unflushed appends
+		l.f = nil
+	}
+}
+
+// memoryLog keeps appended lines in a slice; Sync is a no-op. The stored
+// lines back Verify for memory stores.
+type memoryLog struct {
+	mu    sync.Mutex
+	lines [][]byte
+}
+
+func (l *memoryLog) Append(line []byte) error {
+	cp := make([]byte, len(line))
+	copy(cp, line)
+	l.mu.Lock()
+	l.lines = append(l.lines, cp)
+	l.mu.Unlock()
+	return nil
+}
+
+func (l *memoryLog) Sync() error  { return nil }
+func (l *memoryLog) Close() error { return nil }
+
+func (l *memoryLog) snapshot() [][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([][]byte, len(l.lines))
+	copy(out, l.lines)
+	return out
+}

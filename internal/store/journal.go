@@ -1,0 +1,147 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// The job journal is the restart-resume half of durability: async jobs append
+// one record per lifecycle transition (submitted → running → terminal), and
+// Open folds the log so an interrupted daemon can re-queue whatever never
+// reached a terminal state. Unlike the provenance log it is not hash-chained
+// — it records intent, not served artifacts — but it rides the same Batcher,
+// so journal appends share the provenance log's per-batch fsync.
+
+// Job lifecycle states as journaled.
+const (
+	JobSubmitted = "submitted"
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// JobRecord is one journal line.
+type JobRecord struct {
+	// Job is the daemon's job id.
+	Job string `json:"job"`
+	// State is one of the Job* constants.
+	State string `json:"state"`
+	// Kind discriminates the request type on submitted records
+	// ("partition" or "repartition").
+	Kind string `json:"kind,omitempty"`
+	// Req is the full request JSON (submitted records only) — everything a
+	// restarted daemon needs to re-run the job.
+	Req json.RawMessage `json:"req,omitempty"`
+	// MeshDigest names the NSMesh blob of an uploaded mesh (hex SHA-256);
+	// empty for generator meshes.
+	MeshDigest string `json:"mesh_digest,omitempty"`
+	// ResultKey names the NSResult blob of a completed job's payload.
+	ResultKey string `json:"result,omitempty"`
+	// Error carries the failure message of failed/cancelled records.
+	Error string `json:"error,omitempty"`
+	// UnixMS stamps the transition (store clock).
+	UnixMS int64 `json:"unix_ms,omitempty"`
+}
+
+func marshalJobRecord(r *JobRecord) ([]byte, error) {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
+}
+
+// JobReplay is the folded outcome of one job's journal records, exposed to
+// the daemon at open: terminal jobs are remembered, non-terminal ones
+// re-queued.
+type JobReplay struct {
+	ID         string
+	State      string // latest-precedence state (terminal > running > submitted)
+	Kind       string
+	Req        json.RawMessage
+	MeshDigest string
+	ResultKey  string
+	Error      string
+	// SubmittedMS is the submit timestamp, for job views after restart.
+	SubmittedMS int64
+}
+
+func terminal(state string) bool {
+	return state == JobDone || state == JobFailed || state == JobCancelled
+}
+
+// statePrecedence orders states so folding is insensitive to record order
+// (a running record racing ahead of its submitted record must not win).
+func statePrecedence(state string) int {
+	switch state {
+	case JobSubmitted:
+		return 1
+	case JobRunning:
+		return 2
+	case JobDone, JobFailed, JobCancelled:
+		return 3
+	}
+	return 0
+}
+
+// foldJournal parses journal lines and folds them per job, preserving
+// first-seen order. A partial final line (crash mid-append) is dropped;
+// an unparsable interior line is an error.
+func foldJournal(lines []byte) ([]JobReplay, error) {
+	byID := map[string]*JobReplay{}
+	var order []string
+	recNo := 0
+	for len(lines) > 0 {
+		nl := bytes.IndexByte(lines, '\n')
+		if nl < 0 {
+			break // partial tail: the append never completed
+		}
+		line := lines[:nl]
+		lines = lines[nl+1:]
+		recNo++
+		var r JobRecord
+		if err := json.Unmarshal(line, &r); err != nil {
+			if len(lines) == 0 {
+				break // corrupt final line: same crash window as a partial tail
+			}
+			return nil, fmt.Errorf("store: job journal record %d corrupt: %v", recNo, err)
+		}
+		if r.Job == "" {
+			continue
+		}
+		jr := byID[r.Job]
+		if jr == nil {
+			jr = &JobReplay{ID: r.Job, State: r.State}
+			byID[r.Job] = jr
+			order = append(order, r.Job)
+		}
+		if statePrecedence(r.State) >= statePrecedence(jr.State) {
+			jr.State = r.State
+		}
+		if r.Kind != "" {
+			jr.Kind = r.Kind
+		}
+		if len(r.Req) > 0 {
+			jr.Req = r.Req
+		}
+		if r.MeshDigest != "" {
+			jr.MeshDigest = r.MeshDigest
+		}
+		if r.ResultKey != "" {
+			jr.ResultKey = r.ResultKey
+		}
+		if r.Error != "" {
+			jr.Error = r.Error
+		}
+		if r.State == JobSubmitted && jr.SubmittedMS == 0 {
+			jr.SubmittedMS = r.UnixMS
+		}
+	}
+	out := make([]JobReplay, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out, nil
+}

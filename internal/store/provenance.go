@@ -1,0 +1,174 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"tempart/internal/obs"
+)
+
+// The provenance log is the store's tamper-evident spine: one JSON line per
+// committed artifact, each entry naming the previous entry's hash, so the
+// whole history hashes down to a single tip. The tip is persisted in a
+// separate head record replaced atomically at every flush; flipping any byte
+// of a committed entry (or of a blob it describes) breaks either the chain
+// linkage or the head match and is caught by Verify. Entries embed the
+// obs.Manifest of the run that produced the artifact, which makes a served
+// partition traceable to the exact inputs, seeds, and build that computed it
+// — the paper's partitions-as-reproducible-artifacts contract.
+
+// genesisHash anchors the chain: the Prev of entry 1.
+const genesisHash = "0000000000000000000000000000000000000000000000000000000000000000"
+
+// Entry is one line of the provenance log.
+type Entry struct {
+	// Seq numbers entries from 1; the log is strictly sequential.
+	Seq uint64 `json:"seq"`
+	// Prev is the lowercase hex SHA-256 of the previous entry's marshaled
+	// line (genesisHash for the first entry).
+	Prev string `json:"prev"`
+	// NS and Key address the blob this entry commits.
+	NS  string `json:"ns"`
+	Key string `json:"key"`
+	// DataHash is the SHA-256 of the blob bytes. For content-addressed
+	// namespaces it equals Key; for NSResult (keyed by request address) it is
+	// the payload digest Verify recomputes.
+	DataHash string `json:"data_hash"`
+	// Size is the blob length in bytes.
+	Size int64 `json:"size"`
+	// UnixMS stamps the commit (store clock).
+	UnixMS int64 `json:"unix_ms,omitempty"`
+	// Manifest is the run manifest of the job that produced the artifact.
+	Manifest *obs.Manifest `json:"manifest,omitempty"`
+}
+
+// marshalEntry renders the canonical line (newline-terminated). The entry
+// hash is the SHA-256 of the line without its trailing newline.
+func marshalEntry(e *Entry) ([]byte, [32]byte, error) {
+	body, err := json.Marshal(e)
+	if err != nil {
+		return nil, [32]byte{}, err
+	}
+	sum := sha256.Sum256(body)
+	return append(body, '\n'), sum, nil
+}
+
+// headState is the durable chain tip.
+type headState struct {
+	Seq  uint64 `json:"seq"`
+	Hash string `json:"hash"`
+}
+
+func marshalHead(h headState) ([]byte, error) {
+	raw, err := json.Marshal(h)
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+func unmarshalHead(raw []byte, h *headState) error {
+	return json.Unmarshal(bytes.TrimSpace(raw), h)
+}
+
+// chain tracks the in-memory tip of the provenance log.
+type chain struct {
+	seq  uint64
+	tip  string // hex hash of the last entry; genesisHash when empty
+	log  appendLog
+	mem  *memoryLog // non-nil for memory stores (backs Verify)
+	head headState
+}
+
+// nextEntry seals an entry body onto the chain: assigns Seq and Prev,
+// marshals, advances the tip, and returns the line to append.
+func (c *chain) nextEntry(e *Entry) ([]byte, error) {
+	e.Seq = c.seq + 1
+	if c.seq == 0 {
+		e.Prev = genesisHash
+	} else {
+		e.Prev = c.tip
+	}
+	line, sum, err := marshalEntry(e)
+	if err != nil {
+		return nil, err
+	}
+	c.seq = e.Seq
+	c.tip = hex.EncodeToString(sum[:])
+	return line, nil
+}
+
+// replayChain validates raw log lines at open: linkage intact, hashes
+// consistent. It returns the parsed entries, the tip state, and — when the
+// final line is partial or unparsable AND lies beyond the durable head — the
+// byte offset to truncate the log to. Corruption at or below the head is an
+// error: the committed prefix must never be silently dropped.
+func replayChain(lines []byte, head *headState) (entries []Entry, seq uint64, tip string, keepBytes int64, err error) {
+	tip = genesisHash
+	offset := int64(0)
+	headSeq := uint64(0)
+	if head != nil {
+		headSeq = head.Seq
+	}
+	for len(lines) > 0 {
+		nl := bytes.IndexByte(lines, '\n')
+		if nl < 0 {
+			// Partial final line: a crash mid-append. Only droppable when the
+			// durable head does not cover it.
+			if seq < headSeq {
+				return nil, 0, "", 0, fmt.Errorf("store: provenance log truncated below head (have seq %d, head %d)", seq, headSeq)
+			}
+			return entries, seq, tip, offset, nil
+		}
+		line := lines[:nl]
+		lines = lines[nl+1:]
+		var e Entry
+		if uerr := json.Unmarshal(line, &e); uerr != nil {
+			if seq >= headSeq {
+				return entries, seq, tip, offset, nil // unparsable tail beyond head: drop
+			}
+			return nil, 0, "", 0, fmt.Errorf("store: provenance entry %d corrupt: %v", seq+1, uerr)
+		}
+		wantPrev := tip
+		if e.Seq != seq+1 || e.Prev != wantPrev {
+			if seq >= headSeq {
+				return entries, seq, tip, offset, nil
+			}
+			return nil, 0, "", 0, fmt.Errorf("store: provenance chain broken at seq %d (entry seq %d, prev %.16s…)", seq+1, e.Seq, e.Prev)
+		}
+		sum := sha256.Sum256(line)
+		tip = hex.EncodeToString(sum[:])
+		seq = e.Seq
+		offset += int64(nl) + 1
+		entries = append(entries, e)
+	}
+	if seq < headSeq {
+		return nil, 0, "", 0, fmt.Errorf("store: provenance log shorter than head (have seq %d, head %d)", seq, headSeq)
+	}
+	if head != nil && head.Seq == seq && seq > 0 && head.Hash != tip {
+		return nil, 0, "", 0, fmt.Errorf("store: provenance head hash mismatch at seq %d", seq)
+	}
+	return entries, seq, tip, offset, nil
+}
+
+// hashAt walks lines and returns the entry hash at the given seq, for head
+// verification when the chain extends beyond the head.
+func hashAt(lines []byte, seq uint64) (string, bool) {
+	var at uint64
+	for len(lines) > 0 {
+		nl := bytes.IndexByte(lines, '\n')
+		if nl < 0 {
+			return "", false
+		}
+		at++
+		if at == seq {
+			sum := sha256.Sum256(lines[:nl])
+			return hex.EncodeToString(sum[:]), true
+		}
+		lines = lines[nl+1:]
+	}
+	return "", false
+}

@@ -1,0 +1,186 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Report is the outcome of a provenance verification walk.
+type Report struct {
+	// Entries is the chain length examined.
+	Entries uint64
+	// HeadSeq is the durable head's sequence (0 when no head exists).
+	HeadSeq uint64
+	// VerifiedBlobs counts entries whose blob bytes matched their recorded
+	// digest; MissingBlobs counts entries whose blob was absent.
+	VerifiedBlobs int
+	MissingBlobs  int
+	// Orphans counts blobs present in the backend but absent from the
+	// chain (written but never committed — a crash between a blob write and
+	// the log fsync). Not an integrity failure.
+	Orphans int
+	// TailBeyondHead counts fsynced entries the head does not yet cover
+	// (crash between the log fsync and the head replacement). They are
+	// chain-consistent but their tip is unattested until the next Open.
+	TailBeyondHead int
+	// Problems lists every integrity violation found, in chain order.
+	Problems []string
+}
+
+// OK reports whether the walk found no integrity violations.
+func (r *Report) OK() bool { return len(r.Problems) == 0 }
+
+// String summarizes the report in one line.
+func (r *Report) String() string {
+	status := "OK"
+	if !r.OK() {
+		status = fmt.Sprintf("CORRUPT (%d problems)", len(r.Problems))
+	}
+	return fmt.Sprintf("provenance %s: %d entries (head %d), %d blobs verified, %d missing, %d orphans, %d beyond head",
+		status, r.Entries, r.HeadSeq, r.VerifiedBlobs, r.MissingBlobs, r.Orphans, r.TailBeyondHead)
+}
+
+// verifyWalk recomputes the whole chain from raw log bytes: linkage, head
+// attestation, and blob digests via get. list (optional) feeds orphan
+// detection.
+func verifyWalk(raw []byte, head *headState, get func(ns, key string) ([]byte, error), list func(ns string) ([]string, error)) *Report {
+	rep := &Report{}
+	if head != nil {
+		rep.HeadSeq = head.Seq
+	}
+	tip := genesisHash
+	var seq uint64
+	seen := map[string]bool{}
+	lines := raw
+	for len(lines) > 0 {
+		nl := bytes.IndexByte(lines, '\n')
+		if nl < 0 {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("entry %d: partial line (truncated append)", seq+1))
+			break
+		}
+		line := lines[:nl]
+		lines = lines[nl+1:]
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("entry %d: unparsable: %v", seq+1, err))
+			break
+		}
+		if e.Seq != seq+1 {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("entry %d: sequence gap (found seq %d)", seq+1, e.Seq))
+			break
+		}
+		if e.Prev != tip {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("entry %d: chain broken (prev %.16s… != tip %.16s…)", e.Seq, e.Prev, tip))
+			break
+		}
+		sum := sha256.Sum256(line)
+		tip = hex.EncodeToString(sum[:])
+		seq = e.Seq
+		rep.Entries = seq
+		if head != nil && seq == head.Seq && tip != head.Hash {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("entry %d: hash does not match durable head", seq))
+		}
+		if head != nil && seq > head.Seq {
+			rep.TailBeyondHead++
+		}
+		seen[blobKey(e.NS, e.Key)] = true
+		data, err := get(e.NS, e.Key)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			rep.MissingBlobs++
+			rep.Problems = append(rep.Problems, fmt.Sprintf("entry %d: blob %s/%s missing", seq, e.NS, e.Key))
+		case err != nil:
+			rep.Problems = append(rep.Problems, fmt.Sprintf("entry %d: blob %s/%s unreadable: %v", seq, e.NS, e.Key, err))
+		default:
+			dsum := sha256.Sum256(data)
+			if hex.EncodeToString(dsum[:]) != e.DataHash {
+				rep.Problems = append(rep.Problems, fmt.Sprintf("entry %d: blob %s/%s bytes do not match recorded digest", seq, e.NS, e.Key))
+			} else if int64(len(data)) != e.Size {
+				rep.Problems = append(rep.Problems, fmt.Sprintf("entry %d: blob %s/%s size %d != recorded %d", seq, e.NS, e.Key, len(data), e.Size))
+			} else {
+				rep.VerifiedBlobs++
+			}
+		}
+	}
+	if head != nil && head.Seq > seq {
+		rep.Problems = append(rep.Problems, fmt.Sprintf("chain ends at seq %d but head attests seq %d", seq, head.Seq))
+	}
+	if head == nil && seq > 0 {
+		rep.Problems = append(rep.Problems, "durable head missing (chain tip unattested)")
+	}
+	if list != nil {
+		for _, ns := range []string{NSMesh, NSPart, NSResult} {
+			keys, err := list(ns)
+			if err != nil {
+				continue
+			}
+			for _, k := range keys {
+				if !seen[blobKey(ns, k)] {
+					rep.Orphans++
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// Verify walks the live store's committed history. It flushes first so the
+// walk covers everything acknowledged to callers.
+func (s *Store) Verify() (*Report, error) {
+	if err := s.Flush(context.Background()); err != nil && !errors.Is(err, errClosed) {
+		return nil, err
+	}
+	if s.dir != "" {
+		return VerifyDir(s.dir)
+	}
+	s.mu.Lock()
+	lines := s.chain.mem.snapshot()
+	var head *headState
+	if s.chain.seq > 0 {
+		head = &headState{Seq: s.chain.seq, Hash: s.chain.tip}
+	}
+	s.mu.Unlock()
+	var raw []byte
+	for _, l := range lines {
+		raw = append(raw, l...)
+	}
+	return verifyWalk(raw, head, s.blob.Get, s.blob.List), nil
+}
+
+// VerifyDir walks a disk store's directory read-only — the `tempartd
+// -verify` mode. It never mutates the directory, so it is safe on a
+// directory another process may still own.
+func VerifyDir(dir string) (*Report, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, provLogName))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	head, err := readHead(filepath.Join(dir, provHeadName))
+	if err != nil {
+		// A corrupt head is itself a finding, not a walk failure.
+		rep := &Report{Problems: []string{err.Error()}}
+		head = nil
+		rep2 := verifyWalk(raw, head, dirGet(dir), dirList(dir))
+		rep2.Problems = append(rep.Problems, rep2.Problems...)
+		return rep2, nil
+	}
+	blob := &diskBlob{root: filepath.Join(dir, blobDirName)}
+	return verifyWalk(raw, head, blob.Get, blob.List), nil
+}
+
+func dirGet(dir string) func(ns, key string) ([]byte, error) {
+	b := &diskBlob{root: filepath.Join(dir, blobDirName)}
+	return b.Get
+}
+
+func dirList(dir string) func(ns string) ([]string, error) {
+	b := &diskBlob{root: filepath.Join(dir, blobDirName)}
+	return b.List
+}
