@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// Fleet mode (-peers): instead of partitioning in-process, partbench drives
+// a running tempartd fleet. The same request is sent through every member in
+// turn, so the report shows the cluster behaviors side by side — the first
+// hop computes (or fans out), later hops forward to the owner or answer from
+// their replicated cache — with the latency split per node. Responses are
+// byte-compared across members: a healthy fleet returns identical bytes no
+// matter which node the client talks to.
+
+// fleetNodeResult is one member's handling of the request.
+type fleetNodeResult struct {
+	URL     string  `json:"url"`
+	Node    string  `json:"node,omitempty"` // member id from /v1/cluster/status
+	Seconds float64 `json:"seconds"`
+	Status  int     `json:"status"`
+	// Cluster relays the X-Tempartd-Cluster header ("forwarded;peer=<id>"
+	// when this member routed the request to its owner shard).
+	Cluster string `json:"cluster,omitempty"`
+	// Cache relays X-Tempartd-Cache: miss, hit, or peer (owner-cache probe).
+	Cache string `json:"cache,omitempty"`
+	Bytes int    `json:"bytes"`
+}
+
+type fleetStrategyResult struct {
+	Strategy string `json:"strategy"`
+	// Identical reports whether every member returned byte-identical
+	// payloads — the fleet's core correctness contract.
+	Identical bool              `json:"identical"`
+	Nodes     []fleetNodeResult `json:"nodes"`
+}
+
+type fleetReport struct {
+	Mesh    string                `json:"mesh"`
+	Scale   float64               `json:"scale"`
+	Domains int                   `json:"domains"`
+	Seed    int64                 `json:"seed"`
+	Peers   []string              `json:"peers"`
+	Results []fleetStrategyResult `json:"results"`
+}
+
+// parseFleetPeers normalizes the -peers list into base URLs.
+func parseFleetPeers(spec string) []string {
+	var urls []string
+	for _, p := range strings.Split(spec, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		urls = append(urls, strings.TrimRight(p, "/"))
+	}
+	return urls
+}
+
+// fleetNodeID asks a member for its node id; empty when the daemon is not a
+// cluster member (single node) or unreachable.
+func fleetNodeID(client *http.Client, base string) string {
+	resp, err := client.Get(base + "/v1/cluster/status")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return ""
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Self string `json:"self"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return ""
+	}
+	return st.Self
+}
+
+func runFleet(peersSpec, meshName string, scale float64, domains int, seed int64, asJSON bool) {
+	peers := parseFleetPeers(peersSpec)
+	if len(peers) == 0 {
+		fmt.Fprintln(os.Stderr, "partbench: -peers lists no members")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+	ids := make([]string, len(peers))
+	for i, p := range peers {
+		ids[i] = fleetNodeID(client, p)
+	}
+
+	rep := fleetReport{Mesh: meshName, Scale: scale, Domains: domains, Seed: seed, Peers: peers}
+	if !asJSON {
+		fmt.Printf("fleet: %d members, mesh %s scale %g, %d domains, seed %d\n\n",
+			len(peers), meshName, scale, domains, seed)
+	}
+	for _, strat := range []string{"SC_OC", "MC_TL", "UNIT", "GEOM_RCB", "SFC"} {
+		body := fmt.Sprintf(`{"mesh":%q,"scale":%g,"k":%d,"strategy":%q,"options":{"seed":%d}}`,
+			meshName, scale, domains, strat, seed)
+		sr := fleetStrategyResult{Strategy: strat, Identical: true}
+		var first []byte
+		for i, p := range peers {
+			t0 := time.Now()
+			resp, err := client.Post(p+"/v1/partition", "application/json", strings.NewReader(body))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "partbench: %s via %s: %v\n", strat, p, err)
+				os.Exit(1)
+			}
+			payload, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "partbench: %s via %s: %v\n", strat, p, err)
+				os.Exit(1)
+			}
+			elapsed := time.Since(t0)
+			if resp.StatusCode != http.StatusOK {
+				fmt.Fprintf(os.Stderr, "partbench: %s via %s: status %d: %s\n", strat, p, resp.StatusCode, payload)
+				os.Exit(1)
+			}
+			if first == nil {
+				first = payload
+			} else if !bytes.Equal(first, payload) {
+				sr.Identical = false
+			}
+			sr.Nodes = append(sr.Nodes, fleetNodeResult{
+				URL:     p,
+				Node:    ids[i],
+				Seconds: elapsed.Seconds(),
+				Status:  resp.StatusCode,
+				Cluster: resp.Header.Get("X-Tempartd-Cluster"),
+				Cache:   resp.Header.Get("X-Tempartd-Cache"),
+				Bytes:   len(payload),
+			})
+		}
+		rep.Results = append(rep.Results, sr)
+		if !asJSON {
+			fmt.Printf("%-10s identical=%v\n", strat, sr.Identical)
+			for _, n := range sr.Nodes {
+				extra := n.Cache
+				if n.Cluster != "" {
+					extra += " " + n.Cluster
+				}
+				fmt.Printf("  %-8s %-28s %9s  %s\n", n.Node, n.URL,
+					time.Duration(n.Seconds*float64(time.Second)).Round(time.Millisecond), extra)
+			}
+		}
+		if !sr.Identical {
+			fmt.Fprintf(os.Stderr, "partbench: %s: fleet members returned DIFFERENT bytes\n", strat)
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(&rep))
+	}
+	for _, r := range rep.Results {
+		if !r.Identical {
+			os.Exit(1)
+		}
+	}
+}

@@ -100,11 +100,16 @@ func main() {
 		reportTo = flag.String("report", "", "write a JSON run manifest (inputs, build, per-phase timings, quality) to this file; pins -parallel 1 so phase times tile the partition wall clock")
 		pipeTo   = flag.String("pipeline-trace", "", "write the instrumented pipeline spans as a Chrome trace (open in Perfetto) to this file")
 		traceTo  = flag.String("trace", "", "write the winning strategy's FLUSIM schedule as a Chrome trace to this file")
+		peers    = flag.String("peers", "", "fleet mode: comma-separated tempartd base URLs (host:port,...); sends the benchmark through every member and reports the per-node latency split instead of partitioning in-process")
 		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(obs.VersionLine("partbench"))
+		return
+	}
+	if *peers != "" {
+		runFleet(*peers, *meshName, *scale, *domains, *seed, *asJSON)
 		return
 	}
 	if *reportTo != "" && *parallel != 1 {

@@ -29,13 +29,34 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/ on DefaultServeMux; served only on -debug-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"tempart/internal/cluster"
 	"tempart/internal/obs"
 	"tempart/internal/server"
 	"tempart/internal/store"
 )
+
+// parsePeers decodes the -peers membership list: "id=url,id=url,...". The
+// list must name every fleet member, this node included (its own URL may be
+// left empty: "n1=,n2=http://b:8080" on node n1).
+func parsePeers(spec string) ([]cluster.Node, error) {
+	var nodes []cluster.Node
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("peer %q: want id=url", part)
+		}
+		nodes = append(nodes, cluster.Node{ID: strings.TrimSpace(id), URL: strings.TrimSpace(url)})
+	}
+	return nodes, nil
+}
 
 func main() {
 	var (
@@ -53,6 +74,10 @@ func main() {
 		batchMax     = flag.Int("store-batch-max", 64, "store commits per batched flush")
 		batchWait    = flag.Duration("store-batch-wait", 20*time.Millisecond, "max time a store commit waits for co-batching (also the durable-commit latency bound)")
 		verify       = flag.Bool("verify", false, "verify the -data-dir provenance chain and blob digests, print a report, and exit (non-zero on corruption)")
+		nodeID       = flag.String("node-id", "", "this daemon's fleet identity; requires -peers and must appear in it")
+		peersSpec    = flag.String("peers", "", `static fleet membership as "id=url,id=url,..." including this node (same list on every member); enables cluster mode`)
+		fanoutCells  = flag.Int("fanout-min-cells", 0, "minimum mesh cells before a request is fanned out across the fleet (0 = default 65536)")
+		hedge        = flag.Duration("cluster-hedge", 0, "race a local recompute against a peer subtree slower than this (0 = only after the peer fails)")
 		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -80,11 +105,36 @@ func main() {
 		return
 	}
 
+	var cl *cluster.Cluster
+	if *peersSpec != "" || *nodeID != "" {
+		if *peersSpec == "" || *nodeID == "" {
+			fmt.Fprintln(os.Stderr, "tempartd: cluster mode needs both -node-id and -peers")
+			os.Exit(2)
+		}
+		nodes, err := parsePeers(*peersSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempartd: -peers:", err)
+			os.Exit(2)
+		}
+		cl, err = cluster.New(cluster.Options{
+			NodeID:         *nodeID,
+			Peers:          nodes,
+			FanoutMinCells: *fanoutCells,
+			HedgeDelay:     *hedge,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempartd: cluster:", err)
+			os.Exit(2)
+		}
+		log.Printf("tempartd: fleet member %s of %d nodes", *nodeID, len(nodes))
+	}
+
 	var st *store.Store
 	if *dataDir != "" {
 		var err error
 		st, err = store.Open(store.Options{
 			Dir:      *dataDir,
+			NodeID:   *nodeID,
 			MaxBatch: *batchMax,
 			MaxWait:  *batchWait,
 		})
@@ -110,6 +160,8 @@ func main() {
 		MaxParallelism: *parallel,
 		AccessLog:      access,
 		Store:          st,
+		NodeID:         *nodeID,
+		Cluster:        cl,
 	})
 	if *debugAddr != "" {
 		go func() {

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit: closed (calls flow),
+// open (calls short-circuit until the cooldown elapses), half-open (one
+// probe in flight decides whether to close again).
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-peer circuit breaker over transport failures. Only
+// failures to get *any* HTTP response count against it — a peer answering
+// 4xx/5xx is alive, and tripping on its answers would turn one bad request
+// into a blackout of a healthy shard.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that open the circuit
+	cooldown  time.Duration // open -> half-open delay
+	now       func() time.Time
+
+	failures int
+	state    BreakerState
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a call may proceed, consuming the single half-open
+// probe slot when the cooldown has elapsed.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		// One probe decides; concurrent callers wait for its verdict.
+		return false
+	default: // open
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	}
+}
+
+// available is allow without side effects: would a call (eventually) be
+// admitted right now? Used for planning fan-outs without consuming the
+// half-open probe slot.
+func (b *breaker) available() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		return false
+	default:
+		return b.now().Sub(b.openedAt) >= b.cooldown
+	}
+}
+
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.state = BreakerClosed
+	b.probing = false
+}
+
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == BreakerHalfOpen {
+		// Failed probe: straight back to open, restart the cooldown.
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		return
+	}
+	if b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// currentState reports the state for metrics/status, surfacing open→half-open
+// eligibility without mutating (an open breaker past its cooldown still
+// reads as open until a call actually probes it).
+func (b *breaker) currentState() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks the full circuit: closed under success, opens
+// after N consecutive failures, short-circuits while cooling, admits exactly
+// one half-open probe after the cooldown, and either closes on probe success
+// or re-opens (with a fresh cooldown) on probe failure.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(3, 5*time.Second)
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 10; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker denied call %d", i)
+		}
+		b.onSuccess()
+	}
+	if b.currentState() != BreakerClosed {
+		t.Fatalf("state after successes = %v, want closed", b.currentState())
+	}
+
+	// Two failures: still closed (threshold is 3).
+	b.onFailure()
+	b.onFailure()
+	if b.currentState() != BreakerClosed || !b.allow() {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.onFailure()
+	if b.currentState() != BreakerOpen {
+		t.Fatalf("state after %d failures = %v, want open", 3, b.currentState())
+	}
+	if b.allow() || b.available() {
+		t.Fatal("open breaker admitted a call inside the cooldown")
+	}
+
+	// Cooldown elapses: exactly one probe gets through.
+	now = now.Add(5 * time.Second)
+	if !b.available() {
+		t.Fatal("breaker not available after cooldown")
+	}
+	if !b.allow() {
+		t.Fatal("breaker denied the half-open probe")
+	}
+	if b.currentState() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.currentState())
+	}
+	if b.allow() {
+		t.Fatal("breaker admitted a second concurrent probe")
+	}
+
+	// Probe fails: back to open with a fresh cooldown.
+	b.onFailure()
+	if b.currentState() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.currentState())
+	}
+	if b.allow() {
+		t.Fatal("breaker admitted a call right after a failed probe")
+	}
+	now = now.Add(5 * time.Second)
+	if !b.allow() {
+		t.Fatal("breaker denied the second probe after a fresh cooldown")
+	}
+	b.onSuccess()
+	if b.currentState() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.currentState())
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker denied a call after recovery")
+	}
+}
+
+// TestBreakerSuccessResetsFailureCount checks that interleaved successes
+// keep a flaky-but-mostly-working peer's circuit closed: only consecutive
+// failures open it.
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := newBreaker(3, time.Second)
+	for i := 0; i < 20; i++ {
+		b.onFailure()
+		b.onFailure()
+		b.onSuccess()
+	}
+	if b.currentState() != BreakerClosed {
+		t.Fatalf("state = %v, want closed (failures never consecutive)", b.currentState())
+	}
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterMetricsGolden pins the full tempartd_cluster_* exposition:
+// names, types, label sets, ordering. Scrape dashboards are written against
+// this text — renaming a series is a breaking change and must show up here.
+func TestClusterMetricsGolden(t *testing.T) {
+	c, err := New(Options{NodeID: "n1", Peers: testNodes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.metrics.countForward("n2", "relayed")
+	c.metrics.countForward("n2", "relayed")
+	c.metrics.countForward("n3", "error")
+	c.metrics.countProbe("n2", "hit")
+	c.metrics.countProbe("n2", "miss")
+	c.metrics.countPeerError("n3", "forward")
+	c.metrics.countFanout(map[string]int{"n1": 1, "n2": 2, "n3": 1})
+	c.metrics.countHedgedWin("local")
+	c.metrics.countHedgedWin("peer")
+	c.metrics.countLocalFallback()
+	c.metrics.countSubtreeServed()
+	// Trip n3's breaker so the gauge shows a non-closed state.
+	b := c.breakerFor("n3")
+	for i := 0; i < 3; i++ {
+		b.onFailure()
+	}
+
+	var sb strings.Builder
+	c.RenderMetrics(&sb)
+	got := sb.String()
+
+	want := `# HELP tempartd_cluster_forwards_total Requests forwarded to their owner shard, by peer and outcome.
+# TYPE tempartd_cluster_forwards_total counter
+tempartd_cluster_forwards_total{peer="n2",outcome="relayed"} 2
+tempartd_cluster_forwards_total{peer="n3",outcome="error"} 1
+# HELP tempartd_cluster_probes_total Owner-shard cache probes by peer and outcome (hit, miss, error).
+# TYPE tempartd_cluster_probes_total counter
+tempartd_cluster_probes_total{peer="n2",outcome="hit"} 1
+tempartd_cluster_probes_total{peer="n2",outcome="miss"} 1
+# HELP tempartd_cluster_peer_errors_total Peer transport failures by peer and operation.
+# TYPE tempartd_cluster_peer_errors_total counter
+tempartd_cluster_peer_errors_total{peer="n3",op="forward"} 1
+# HELP tempartd_cluster_fanouts_total Coordinator fan-outs started (requests split across the fleet).
+# TYPE tempartd_cluster_fanouts_total counter
+tempartd_cluster_fanouts_total 1
+# HELP tempartd_cluster_fanout_subtrees_total Subtrees dispatched per fleet member by this coordinator (self included).
+# TYPE tempartd_cluster_fanout_subtrees_total counter
+tempartd_cluster_fanout_subtrees_total{node="n1"} 1
+tempartd_cluster_fanout_subtrees_total{node="n2"} 2
+tempartd_cluster_fanout_subtrees_total{node="n3"} 1
+# HELP tempartd_cluster_hedged_wins_total Hedged subtree races decided, by winner.
+# TYPE tempartd_cluster_hedged_wins_total counter
+tempartd_cluster_hedged_wins_total{winner="local"} 1
+tempartd_cluster_hedged_wins_total{winner="peer"} 1
+# HELP tempartd_cluster_local_fallbacks_total Peer-assigned work recomputed locally after peer failure.
+# TYPE tempartd_cluster_local_fallbacks_total counter
+tempartd_cluster_local_fallbacks_total 1
+# HELP tempartd_cluster_subtrees_served_total Subtree RPCs executed on this node for remote coordinators.
+# TYPE tempartd_cluster_subtrees_served_total counter
+tempartd_cluster_subtrees_served_total 1
+# HELP tempartd_cluster_breaker_state Circuit state per peer (0 closed, 1 open, 2 half-open).
+# TYPE tempartd_cluster_breaker_state gauge
+tempartd_cluster_breaker_state{peer="n2"} 0
+tempartd_cluster_breaker_state{peer="n3"} 1
+# HELP tempartd_cluster_peers Fleet membership size (self included).
+# TYPE tempartd_cluster_peers gauge
+tempartd_cluster_peers 3
+`
+	if got != want {
+		t.Fatalf("cluster metrics exposition drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// The ring is the only routing state in the fleet, and it is derived purely
+// from the sorted membership ids — no gossip, no rebalancing protocol. Each
+// member contributes VirtualNodes points at sha256(id + "#" + i); a content
+// address is owned by the member whose point is the first at or clockwise
+// from the address's first 8 bytes. With 64 virtual points per member the
+// shard sizes are within a few percent of even for small fleets, which is
+// all the balance a cache-routing ring needs.
+
+type ringPoint struct {
+	hash uint64
+	node int // index into Cluster.nodes
+}
+
+type ring struct {
+	points []ringPoint
+}
+
+func buildRing(nodes []Node, vnodes int) *ring {
+	pts := make([]ringPoint, 0, len(nodes)*vnodes)
+	for ni, n := range nodes {
+		for i := 0; i < vnodes; i++ {
+			sum := sha256.Sum256([]byte(n.ID + "#" + strconv.Itoa(i)))
+			pts = append(pts, ringPoint{hash: binary.BigEndian.Uint64(sum[:8]), node: ni})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		// Hash ties (astronomically rare) break on node index, which is
+		// id-sorted, so every member still orders them identically.
+		return pts[i].node < pts[j].node
+	})
+	return &ring{points: pts}
+}
+
+// owner returns the index (into the membership slice the ring was built
+// from) of the node owning the content address.
+func (r *ring) owner(key [32]byte) int {
+	h := binary.BigEndian.Uint64(key[:8])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return r.points[i].node
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+)
+
+func testNodes() []Node {
+	return []Node{
+		{ID: "n1", URL: "http://a"},
+		{ID: "n2", URL: "http://b"},
+		{ID: "n3", URL: "http://c"},
+	}
+}
+
+// TestRingAgreesAcrossMembers pins the no-consensus contract: every member
+// derives the identical ring from the membership ids alone, regardless of
+// the order the peer list was written in.
+func TestRingAgreesAcrossMembers(t *testing.T) {
+	a, err := New(Options{NodeID: "n1", Peers: testNodes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := []Node{testNodes()[2], testNodes()[0], testNodes()[1]}
+	b, err := New(Options{NodeID: "n3", Peers: shuffled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := sha256.Sum256([]byte{byte(i), byte(i >> 8)})
+		if ao, bo := a.Owner(key).ID, b.Owner(key).ID; ao != bo {
+			t.Fatalf("key %d: n1 routes to %s, n3 routes to %s", i, ao, bo)
+		}
+	}
+}
+
+// TestRingBalance checks that virtual nodes spread ownership roughly evenly:
+// with 3 members no shard should own more than half of a large key sample.
+func TestRingBalance(t *testing.T) {
+	c, err := New(Options{NodeID: "n1", Peers: testNodes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const samples = 3000
+	for i := 0; i < samples; i++ {
+		var key [32]byte
+		binary.LittleEndian.PutUint64(key[:8], uint64(i)*0x9e3779b97f4a7c15)
+		counts[c.Owner(key).ID]++
+	}
+	for id, n := range counts {
+		if n == 0 || n > samples/2 {
+			t.Fatalf("shard %s owns %d/%d keys: ring badly unbalanced (%v)", id, n, samples, counts)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d shards own keys: %v", len(counts), counts)
+	}
+}
+
+// TestRingWraps exercises the circular lookup: a key hashing past the last
+// point must land on the first.
+func TestRingWraps(t *testing.T) {
+	r := buildRing(testNodes(), 4)
+	var key [32]byte
+	for i := range key[:8] {
+		key[i] = 0xff
+	}
+	if got := r.owner(key); got != r.points[0].node {
+		// Only fails if 0xffff... is below the max point, which sha256 makes
+		// effectively impossible with 12 points.
+		if binary.BigEndian.Uint64(key[:8]) > r.points[len(r.points)-1].hash {
+			t.Fatalf("wrap lookup returned node %d, want first point's node %d", got, r.points[0].node)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"self missing", Options{NodeID: "nx", Peers: testNodes()}},
+		{"duplicate id", Options{NodeID: "n1", Peers: []Node{{ID: "n1", URL: "u"}, {ID: "n1", URL: "v"}}}},
+		{"single node", Options{NodeID: "n1", Peers: []Node{{ID: "n1"}}}},
+		{"peer without url", Options{NodeID: "n1", Peers: []Node{{ID: "n1"}, {ID: "n2"}}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.opts); err == nil {
+			t.Errorf("%s: New accepted invalid membership", tc.name)
+		}
+	}
+}
+
+func TestPackInt32sRoundTrip(t *testing.T) {
+	vals := []int32{0, 1, -1, 1 << 30, -(1 << 30), 42}
+	got, err := UnpackInt32s(PackInt32s(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("round trip changed length: %d -> %d", len(vals), len(got))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d: %d != %d", i, got[i], vals[i])
+		}
+	}
+	if _, err := UnpackInt32s([]byte{1, 2, 3}); err == nil {
+		t.Fatal("UnpackInt32s accepted a non-multiple-of-4 payload")
+	}
+}

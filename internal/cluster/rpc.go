@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire types for POST /v1/internal/subtree. The subtree RPC ships a node of
+// the recursive-bisection tree to a peer: which mesh (by generator name or
+// raw TMSH bytes — the coordinator sends whichever identity it was given, so
+// the peer rebuilds the identical dual graph), which strategy/options, and
+// the frontier task itself (vertex set, first part index, part count, derived
+// seed). The reply is the per-vertex assignment aligned with the request's
+// vertex order. Vertex and part arrays travel as base64 little-endian int32
+// — JSON numbers would triple the payload for large subtrees.
+
+// HeaderForwarded is the hop guard: a node forwarding a request to its owner
+// shard stamps its own id here, and no node ever re-forwards a request that
+// carries the header. One hop reaches the owner from anywhere (every member
+// has the full membership), so anything longer is a routing bug, not a path.
+const HeaderForwarded = "X-Tempartd-Forwarded"
+
+// HeaderRequestID propagates the client's request id across peer hops so a
+// fleet-wide trace can be stitched from per-node access logs and manifests.
+const HeaderRequestID = "X-Request-Id"
+
+// MeshRef identifies the mesh a subtree task is over. Exactly one of Gen or
+// TMSH is set.
+type MeshRef struct {
+	// Gen names a built-in generator (with Scale), the common case.
+	Gen   string  `json:"gen,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	// TMSH carries an uploaded mesh verbatim.
+	TMSH []byte `json:"tmsh,omitempty"`
+}
+
+// WireOptions is the subset of partition.Options that affects a subtree's
+// result. Parallelism is deliberately absent: results are byte-identical at
+// any parallelism, so each node runs subtrees at its own configured width.
+type WireOptions struct {
+	Seed         int64   `json:"seed,omitempty"`
+	ImbalanceTol float64 `json:"imbalance_tol,omitempty"`
+	CoarsenTo    int     `json:"coarsen_to,omitempty"`
+	InitTrials   int     `json:"init_trials,omitempty"`
+	RefinePasses int     `json:"refine_passes,omitempty"`
+}
+
+// SubtreeWire is the request body of POST /v1/internal/subtree.
+type SubtreeWire struct {
+	Mesh      MeshRef     `json:"mesh"`
+	Strategy  string      `json:"strategy"`
+	Options   WireOptions `json:"options"`
+	FirstPart int         `json:"first_part"`
+	K         int         `json:"k"`
+	Seed      int64       `json:"seed"`
+	// Vertices is the subtree's vertex set, packed little-endian int32.
+	Vertices []byte `json:"vertices_i32"`
+}
+
+// SubtreeReply is the response body: Parts[i] is the part assigned to the
+// i-th vertex of the request's Vertices array, packed little-endian int32.
+type SubtreeReply struct {
+	// NodeID names the member that computed the subtree (for fan-out spans
+	// and cross-node provenance assertions).
+	NodeID string `json:"node_id"`
+	Parts  []byte `json:"parts_i32"`
+}
+
+// PackInt32s encodes values as little-endian int32 bytes (base64 once JSON-
+// encoded; ~5.3 bytes per vertex instead of ~8-12 for decimal JSON).
+func PackInt32s(vals []int32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(v))
+	}
+	return out
+}
+
+// UnpackInt32s decodes a PackInt32s payload.
+func UnpackInt32s(raw []byte) ([]int32, error) {
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("cluster: packed int32 payload is %d bytes, not a multiple of 4", len(raw))
+	}
+	out := make([]int32, len(raw)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}

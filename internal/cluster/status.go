@@ -1,0 +1,41 @@
+package cluster
+
+// PeerStatus is one peer's health as this node sees it.
+type PeerStatus struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+	// Breaker is the circuit state: "closed", "open" or "half-open".
+	Breaker string `json:"breaker"`
+	// Available reports whether a call would currently be admitted (closed,
+	// or open with the cooldown elapsed).
+	Available bool `json:"available"`
+}
+
+// Status is the GET /v1/cluster/status payload: this node's view of the
+// fleet. Breaker states are local observations — two nodes can legitimately
+// disagree about a third.
+type Status struct {
+	Self           string       `json:"self"`
+	Nodes          []Node       `json:"nodes"`
+	Peers          []PeerStatus `json:"peers"`
+	FanoutMinCells int          `json:"fanout_min_cells"`
+	HealthyPeers   int          `json:"healthy_peers"`
+}
+
+// Status snapshots the fleet view for the status endpoint.
+func (c *Cluster) Status() Status {
+	st := Status{
+		Self:           c.self.ID,
+		Nodes:          c.nodes,
+		FanoutMinCells: c.opts.FanoutMinCells,
+	}
+	for _, p := range c.peers {
+		b := c.breakerFor(p.ID)
+		ps := PeerStatus{ID: p.ID, URL: p.URL, Breaker: b.currentState().String(), Available: b.available()}
+		if ps.Available {
+			st.HealthyPeers++
+		}
+		st.Peers = append(st.Peers, ps)
+	}
+	return st
+}

@@ -1,0 +1,35 @@
+package dist
+
+import (
+	"testing"
+
+	"tempart/internal/mesh"
+)
+
+// TestExchangeAllocsPooled pins the halo-exchange allocation behavior: send
+// payloads live in per-(proc, peer) buffers built once in New, so a phase's
+// exchange allocates only its goroutine launches — nothing proportional to
+// the number of exchange pairs. Before pooling, every exchange allocated one
+// fresh payload slice per pair on top of that.
+func TestExchangeAllocsPooled(t *testing.T) {
+	m := mesh.Cylinder(0.001)
+	s, _ := setup(t, m, 8)
+	s.exchange() // warm: first exchange settles lazy runtime state
+
+	pairs := 0
+	for _, p := range s.procs {
+		pairs += len(p.sendPlan)
+	}
+	// The bound must sit below the pair count to catch a reintroduced
+	// per-pair payload allocation; verify the workload actually separates
+	// the two regimes.
+	maxAllocs := float64(5 * len(s.procs))
+	if float64(pairs) <= maxAllocs {
+		t.Fatalf("workload too small to discriminate: %d pairs <= %.0f allowed allocs", pairs, maxAllocs)
+	}
+	allocs := testing.AllocsPerRun(10, func() { s.exchange() })
+	if allocs > maxAllocs {
+		t.Fatalf("exchange allocates %.0f objects/op with %d procs and %d pairs, want <= %.0f (per-pair payloads must stay pooled)",
+			allocs, len(s.procs), pairs, maxAllocs)
+	}
+}

@@ -42,6 +42,11 @@ type proc struct {
 
 	// sendPlan[q] lists local owned cell ids whose values process q needs.
 	sendPlan map[int32][]int32
+	// sendBuf[q] is the reusable payload buffer for sendPlan[q]. The
+	// exchange is bulk-synchronous — every receiver has installed its
+	// payload before exchange returns — so the next phase may overwrite the
+	// buffers without copies or per-phase allocation.
+	sendBuf map[int32][]float64
 	// recvPlan[q] lists local ghost ids refreshed by q, aligned with q's
 	// sendPlan for this process.
 	recvPlan map[int32][]int32
@@ -78,6 +83,7 @@ func New(m *mesh.Mesh, part []int32, k int, params fv.Params) (*Solver, error) {
 			dm:       dm,
 			state:    fv.NewState(dm.Local, params),
 			sendPlan: map[int32][]int32{},
+			sendBuf:  map[int32][]float64{},
 			recvPlan: map[int32][]int32{},
 			in:       map[int32]chan []float64{},
 		}
@@ -117,6 +123,7 @@ func New(m *mesh.Mesh, part []int32, k int, params fv.Params) (*Solver, error) {
 				sends[i] = lo
 			}
 			po.sendPlan[int32(q)] = sends
+			po.sendBuf[int32(q)] = make([]float64, len(sends))
 			pq.in[owner] = make(chan []float64, 1)
 		}
 	}
@@ -146,7 +153,7 @@ func (s *Solver) exchange() {
 		go func(p *proc) {
 			defer wg.Done()
 			for q, sends := range p.sendPlan {
-				payload := make([]float64, len(sends))
+				payload := p.sendBuf[q]
 				for i, lo := range sends {
 					payload[i] = p.state.U[lo]
 				}

@@ -15,6 +15,13 @@ import (
 type Manifest struct {
 	// Tool is the producing command ("partbench", "solve").
 	Tool string `json:"tool"`
+	// Node identifies the cluster member that executed the run (tempartd
+	// -node-id). Empty for single-process tools. In a fleet this is what
+	// lets provenance chains from different nodes be correlated: a result
+	// computed by coordinator fan-out carries the coordinator's node id,
+	// and each remotely computed subtree is logged on its peer under that
+	// peer's id.
+	Node string `json:"node,omitempty"`
 	// Started/Finished bound the instrumented run in wall-clock time.
 	Started  time.Time `json:"started"`
 	Finished time.Time `json:"finished"`

@@ -27,28 +27,60 @@ import (
 // one buffer per tree path instead of append-growing fresh left/right slices
 // at every node.
 func recursiveBisect(ctx context.Context, g *graph.Graph, vertices []int32, firstPart, k int, part []int32, opt Options, seed int64, pool *graph.Pool) {
+	if done := commitBaseCase(ctx, vertices, firstPart, k, part); done {
+		return
+	}
+	left, right := bisectNode(ctx, g, SubtreeTask{Vertices: vertices, FirstPart: firstPart, K: k, Seed: seed}, opt, pool)
+	pool.Fork(
+		func() {
+			recursiveBisect(ctx, g, left.Vertices, left.FirstPart, left.K, part, opt, left.Seed, pool)
+		},
+		func() {
+			recursiveBisect(ctx, g, right.Vertices, right.FirstPart, right.K, part, opt, right.Seed, pool)
+		},
+	)
+}
+
+// commitBaseCase handles the leaves of the bisection tree (k == 1,
+// cancellation, or fewer vertices than parts), writing the assignment into
+// part and reporting whether the node was a leaf. The exact same base cases
+// apply whether a node is reached by local recursion or handed to a remote
+// peer as a subtree task — keeping the two paths byte-identical.
+func commitBaseCase(ctx context.Context, vertices []int32, firstPart, k int, part []int32) bool {
 	if k <= 1 || ctx.Err() != nil {
 		for _, v := range vertices {
 			part[v] = int32(firstPart)
 		}
-		return
+		return true
 	}
 	if len(vertices) <= k {
 		// Degenerate: fewer vertices than parts; spread them out.
 		for i, v := range vertices {
 			part[v] = int32(firstPart + i%k)
 		}
-		return
+		return true
 	}
-	k1 := k / 2
-	frac := float64(k1) / float64(k)
+	return false
+}
+
+// bisectNode performs exactly one interior node's bisection — subgraph
+// extraction, multilevel 2-way split, in-place stable partition of the
+// vertex buffer — and returns the two child subtree tasks with their derived
+// seeds. Callers guarantee the node is not a base case. The computation is a
+// pure function of (g, vertices content, seed, opt): it never reads
+// scheduling state, which is what lets a coordinator run the top of the tree
+// locally, ship the frontier to peers, and still match the local partition
+// byte for byte.
+func bisectNode(ctx context.Context, g *graph.Graph, t SubtreeTask, opt Options, pool *graph.Pool) (left, right SubtreeTask) {
+	k1 := t.K / 2
+	frac := float64(k1) / float64(t.K)
 
 	sc := getScratch()
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(t.Seed))
 	sspan := obs.StartSpan(ctx, "partition/subgraph")
-	sg, orig := g.SubgraphWith(vertices, &sc.gsc) // orig aliases vertices
+	sg, orig := g.SubgraphWith(t.Vertices, &sc.gsc) // orig aliases t.Vertices
 	if sspan.Active() {
-		sspan.SetInt("vertices", int64(len(vertices)))
+		sspan.SetInt("vertices", int64(len(t.Vertices)))
 	}
 	sspan.End()
 	where := bisectGraph(ctx, sg, frac, opt, rng, pool, sc)
@@ -56,6 +88,7 @@ func recursiveBisect(ctx context.Context, g *graph.Graph, vertices []int32, firs
 	// Stable-partition vertices in place: side-0 vertices slide left (always
 	// to an index ≤ the one being read, so aliasing orig is safe), side-1
 	// vertices spill to scratch and are copied back after.
+	vertices := t.Vertices
 	nleft := 0
 	for _, w := range where {
 		if w == 0 {
@@ -75,13 +108,19 @@ func recursiveBisect(ctx context.Context, g *graph.Graph, vertices []int32, firs
 	}
 	copy(vertices[nleft:], spill)
 	sc.split = spill
-	left, right := vertices[:nleft], vertices[nleft:]
-
-	leftSeed := deriveSeed(seed, firstPart, k1)
-	rightSeed := deriveSeed(seed, firstPart+k1, k-k1)
 	putScratch(sc) // children fetch their own arenas
-	pool.Fork(
-		func() { recursiveBisect(ctx, g, left, firstPart, k1, part, opt, leftSeed, pool) },
-		func() { recursiveBisect(ctx, g, right, firstPart+k1, k-k1, part, opt, rightSeed, pool) },
-	)
+
+	left = SubtreeTask{
+		Vertices:  vertices[:nleft],
+		FirstPart: t.FirstPart,
+		K:         k1,
+		Seed:      deriveSeed(t.Seed, t.FirstPart, k1),
+	}
+	right = SubtreeTask{
+		Vertices:  vertices[nleft:],
+		FirstPart: t.FirstPart + k1,
+		K:         t.K - k1,
+		Seed:      deriveSeed(t.Seed, t.FirstPart+k1, t.K-k1),
+	}
+	return left, right
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"tempart/internal/graph"
 	"tempart/internal/mesh"
 )
 
@@ -65,6 +66,23 @@ func ParseStrategy(s string) (Strategy, error) {
 	return 0, fmt.Errorf("partition: unknown strategy %q", s)
 }
 
+// StrategyGraph builds the weighted dual graph a graph-based strategy
+// partitions (the exact graph PartitionMesh would construct). Geometric
+// strategies (GEOM_RCB, SFC) have no dual graph and return an error — they
+// partition coordinates, not adjacency. A cluster coordinator uses this to
+// rebuild the same graph on every node from the mesh identity alone.
+func StrategyGraph(m *mesh.Mesh, strat Strategy) (*graph.Graph, error) {
+	switch strat {
+	case SCOC:
+		return m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.SingleCost}), nil
+	case MCTL:
+		return m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel}), nil
+	case UnitCells:
+		return m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.Unit}), nil
+	}
+	return nil, fmt.Errorf("partition: strategy %v has no dual graph (geometric)", strat)
+}
+
 // PartitionMesh partitions a mesh into k domains under the given strategy.
 // The returned Result is expressed over cells (vertex v = cell v).
 // Cancellation of ctx is honoured at trial, coarsening and refinement
@@ -75,14 +93,11 @@ func PartitionMesh(ctx context.Context, m *mesh.Mesh, k int, strat Strategy, opt
 		return nil, fmt.Errorf("partition: %w", err)
 	}
 	switch strat {
-	case SCOC:
-		g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.SingleCost})
-		return Partition(ctx, g, k, opt)
-	case MCTL:
-		g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})
-		return Partition(ctx, g, k, opt)
-	case UnitCells:
-		g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.Unit})
+	case SCOC, MCTL, UnitCells:
+		g, err := StrategyGraph(m, strat)
+		if err != nil {
+			return nil, err
+		}
 		return Partition(ctx, g, k, opt)
 	case GeomRCB:
 		return GeometricRCB(m, k)

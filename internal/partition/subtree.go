@@ -1,0 +1,124 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+
+	"tempart/internal/graph"
+)
+
+// This file is the distribution seam of the recursive-bisection partitioner:
+// a coordinator can run the top of the bisection tree locally with
+// SplitSubtrees, ship the resulting frontier tasks to other processes (each
+// task is self-describing: vertex set, part range, derived seed), have every
+// peer solve its task with PartitionSubtree, and stitch the returned
+// assignments into one array. Because each tree node's computation is a pure
+// function of (graph, vertex set, seed) — never of scheduling — the stitched
+// partition is byte-identical to a fully local Partition call with the same
+// Options, at every Parallelism, on every placement of tasks onto peers.
+
+// SubtreeTask addresses one independent node of the recursive-bisection
+// tree: partition Vertices of the full graph into parts
+// [FirstPart, FirstPart+K) using the node's derived Seed.
+type SubtreeTask struct {
+	// Vertices are global vertex ids of the subtree, in the exact order the
+	// parent bisection produced (the order seeds nothing, but keeping it
+	// makes task identity content-addressable).
+	Vertices []int32
+	// FirstPart is the first part index owned by the subtree.
+	FirstPart int
+	// K is how many parts the subtree produces.
+	K int
+	// Seed is the node's derived RNG seed (a pure function of the root seed
+	// and the node's (FirstPart, K) path, see deriveSeed).
+	Seed int64
+}
+
+// SplitSubtrees runs the top levels of recursive bisection serially — each
+// interior node bisected exactly as Partition would — until at least target
+// independent subtrees exist (or every frontier node is a leaf). Leaves
+// reached on the way are committed into the returned part array; the
+// remaining interior nodes come back as tasks whose union covers every
+// still-unassigned vertex.
+//
+// Completing every returned task with PartitionSubtree over the same part
+// array yields a partition byte-identical to Partition(ctx, g, k, opt) with
+// Method RecursiveBisection and Trials <= 1 — regardless of where, in what
+// order, or at what parallelism the tasks run.
+func SplitSubtrees(ctx context.Context, g *graph.Graph, k int, opt Options, target int) ([]int32, []SubtreeTask, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("partition: k = %d, want >= 1", k)
+	}
+	n := g.NumVertices()
+	part := make([]int32, n)
+	if k == 1 {
+		return part, nil, nil
+	}
+	opt = opt.withDefaults(g.NCon)
+	pool := graph.NewPool(opt.Parallelism)
+	vertices := make([]int32, n)
+	for i := range vertices {
+		vertices[i] = int32(i)
+	}
+	if target < 1 {
+		target = 1
+	}
+	frontier := []SubtreeTask{{Vertices: vertices, FirstPart: 0, K: k, Seed: opt.Seed}}
+	for len(frontier) < target {
+		// Expand the widest interior node first: it owns the most parts, so
+		// splitting it yields the most balanced division of remaining work.
+		best := -1
+		for i, t := range frontier {
+			if t.K > 1 && len(t.Vertices) > t.K && (best < 0 || t.K > frontier[best].K) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break // every frontier node is a leaf
+		}
+		t := frontier[best]
+		left, right := bisectNode(ctx, g, t, opt, pool)
+		frontier[best] = left
+		frontier = append(frontier, right)
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("partition: %w", err)
+		}
+	}
+	// Commit leaves exactly as recursiveBisect's base cases would; only
+	// interior nodes are worth shipping anywhere.
+	tasks := frontier[:0]
+	for _, t := range frontier {
+		if !commitBaseCase(ctx, t.Vertices, t.FirstPart, t.K, part) {
+			tasks = append(tasks, t)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("partition: %w", err)
+	}
+	return part, tasks, nil
+}
+
+// PartitionSubtree solves one subtree task, writing assignments for exactly
+// task.Vertices into part (which must span the full graph). It runs the
+// same recursion Partition uses from that tree node down, so the entries it
+// writes are byte-identical to a local run — this is what a peer executes
+// when a coordinator fans the bisection tree out across a fleet.
+//
+// The task's vertex slice is not mutated (the recursion consumes a private
+// copy), so the caller can retry a task elsewhere after a peer failure.
+func PartitionSubtree(ctx context.Context, g *graph.Graph, task SubtreeTask, opt Options, part []int32) error {
+	if len(part) != g.NumVertices() {
+		return fmt.Errorf("partition: part has %d entries for %d vertices", len(part), g.NumVertices())
+	}
+	if task.K < 1 {
+		return fmt.Errorf("partition: subtree k = %d, want >= 1", task.K)
+	}
+	opt = opt.withDefaults(g.NCon)
+	pool := graph.NewPool(opt.Parallelism)
+	verts := append([]int32(nil), task.Vertices...)
+	recursiveBisect(ctx, g, verts, task.FirstPart, task.K, part, opt, task.Seed, pool)
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("partition: %w", err)
+	}
+	return nil
+}

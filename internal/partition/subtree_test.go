@@ -1,0 +1,94 @@
+package partition
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"tempart/internal/mesh"
+)
+
+// TestSubtreeSplitMatchesLocal is the distribution determinism lemma: running
+// the top of the bisection tree with SplitSubtrees and completing every
+// frontier task with PartitionSubtree — in any order, at any parallelism —
+// must reproduce the local Partition assignment bit for bit. The cluster
+// coordinator's byte-identical fan-out guarantee rests entirely on this.
+func TestSubtreeSplitMatchesLocal(t *testing.T) {
+	m, err := mesh.ByName("CYLINDER", 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{MCTL, SCOC} {
+		g, err := StrategyGraph(m, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{2, 7, 16} {
+			opt := Options{Seed: 42}
+			ref, err := Partition(context.Background(), g, k, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, target := range []int{1, 2, 3, 5} {
+				for _, par := range []int{1, 2, 8} {
+					o := opt
+					o.Parallelism = par
+					part, tasks, err := SplitSubtrees(context.Background(), g, k, o, target)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Complete the frontier in reverse order to prove order
+					// independence.
+					for i := len(tasks) - 1; i >= 0; i-- {
+						if err := PartitionSubtree(context.Background(), g, tasks[i], o, part); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if !reflect.DeepEqual(part, ref.Part) {
+						t.Fatalf("%v k=%d target=%d par=%d: stitched subtree partition differs from local run",
+							strat, k, target, par)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSubtreeTaskVerticesNotConsumed pins the retry contract: a peer failure
+// must leave the task replayable, so PartitionSubtree may not mutate the
+// task's vertex slice.
+func TestSubtreeTaskVerticesNotConsumed(t *testing.T) {
+	m, err := mesh.ByName("CUBE", 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := StrategyGraph(m, MCTL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, tasks, err := SplitSubtrees(context.Background(), g, 8, Options{Seed: 7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) == 0 {
+		t.Fatal("expected at least one interior frontier task")
+	}
+	task := tasks[0]
+	before := append([]int32(nil), task.Vertices...)
+	if err := PartitionSubtree(context.Background(), g, task, Options{Seed: 7}, part); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, task.Vertices) {
+		t.Fatal("PartitionSubtree mutated the task's vertex slice; retries would diverge")
+	}
+	// A second run over a fresh part array must write the same entries.
+	part2 := make([]int32, g.NumVertices())
+	if err := PartitionSubtree(context.Background(), g, task, Options{Seed: 7}, part2); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range task.Vertices {
+		if part[v] != part2[v] {
+			t.Fatalf("vertex %d: retry assigned %d, first run %d", v, part2[v], part[v])
+		}
+	}
+}

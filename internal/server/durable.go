@@ -38,6 +38,10 @@ import (
 const (
 	kindPartition   = "partition"
 	kindRepartition = "repartition"
+	// kindSubtree marks cluster subtree RPCs in provenance manifests; such
+	// jobs are never journaled (a coordinator retries them, the journal
+	// doesn't).
+	kindSubtree = "subtree"
 )
 
 // marshalJobRequest renders a request as its replayable journal form. The
@@ -83,7 +87,7 @@ func (s *Server) journalSubmit(ctx context.Context, j *job) error {
 		digest := hex.EncodeToString(base.meshDigest[:])
 		rec.MeshDigest = digest
 		c.Puts = append(c.Puts, store.Put{NS: store.NSMesh, Key: digest, Data: base.meshRaw,
-			Manifest: meshManifest(base)})
+			Manifest: s.meshManifest(base)})
 	}
 	c.Jobs = []store.JobRecord{rec}
 	if err := s.store.Commit(ctx, c); err != nil {
@@ -123,13 +127,13 @@ func (s *Server) persistOutcome(j *job, payload []byte) *requestError {
 	defer span.End()
 	key := resultStoreKey(j.key)
 	c := store.Commit{Puts: []store.Put{{
-		NS: store.NSResult, Key: key, Data: payload, Manifest: resultManifest(j),
+		NS: store.NSResult, Key: key, Data: payload, Manifest: s.resultManifest(j),
 	}}}
 	base := j.req.base()
 	if base.Uploaded != nil && len(base.meshRaw) > 0 {
 		c.Puts = append(c.Puts, store.Put{NS: store.NSMesh,
 			Key: hex.EncodeToString(base.meshDigest[:]), Data: base.meshRaw,
-			Manifest: meshManifest(base)})
+			Manifest: s.meshManifest(base)})
 	}
 	if j.journaled.Load() {
 		c.Jobs = []store.JobRecord{{Job: j.id, State: store.JobDone, ResultKey: key}}
@@ -143,14 +147,23 @@ func (s *Server) persistOutcome(j *job, payload []byte) *requestError {
 
 // resultManifest is the provenance context of a persisted payload: enough to
 // reproduce the run (mesh identity, k, strategy, seed, method) plus the
-// phase/counter rollup when the job was traced.
-func resultManifest(j *job) *obs.Manifest {
+// phase/counter rollup when the job was traced. On a fleet member it also
+// names the executing node, which is what lets a coordinator's result and
+// the subtree entries scattered across peers be correlated into one
+// cross-node provenance trail.
+func (s *Server) resultManifest(j *job) *obs.Manifest {
 	base := j.req.base()
 	m := obs.NewManifest("tempartd")
+	m.Node = s.cfg.NodeID
 	m.Inputs["job"] = j.id
-	if _, ok := j.req.(*RepartitionRequest); ok {
+	switch v := j.req.(type) {
+	case *subtreeRequest:
+		m.Inputs["kind"] = kindSubtree
+		m.Inputs["first_part"] = v.wire.FirstPart
+		m.Inputs["subtree_seed"] = v.wire.Seed
+	case *RepartitionRequest:
 		m.Inputs["kind"] = kindRepartition
-	} else {
+	default:
 		m.Inputs["kind"] = kindPartition
 	}
 	if base.Uploaded != nil {
@@ -169,8 +182,9 @@ func resultManifest(j *job) *obs.Manifest {
 }
 
 // meshManifest is the provenance context of a persisted mesh upload.
-func meshManifest(base *PartitionRequest) *obs.Manifest {
+func (s *Server) meshManifest(base *PartitionRequest) *obs.Manifest {
 	m := obs.NewManifest("tempartd")
+	m.Node = s.cfg.NodeID
 	m.Inputs["kind"] = "mesh-upload"
 	m.Inputs["cells"] = base.Uploaded.NumCells()
 	m.Finish(nil)

@@ -13,6 +13,7 @@ import (
 	"tempart/internal/mesh"
 	pmetrics "tempart/internal/metrics"
 	"tempart/internal/obs"
+	"tempart/internal/partition"
 	"tempart/internal/store"
 )
 
@@ -310,20 +311,33 @@ func (r *PartitionRequest) execute(ctx context.Context, s *Server) ([]byte, time
 	opt := r.partitionOptions()
 	opt.Parallelism = s.cfg.clampParallelism(opt.Parallelism)
 	start := time.Now()
-	d, err := core.Decompose(ctx, m, r.K, r.strat, opt)
-	elapsed := time.Since(start)
-	if err != nil {
-		return nil, 0, &requestError{code: http.StatusInternalServerError, msg: err.Error()}
+	var result *partition.Result
+	var quality pmetrics.PartitionQuality
+	// Coordinator mode first: on a cluster member, a large eligible request
+	// is split across the fleet. The stitched result is byte-identical to
+	// the local computation, so a nil return (ineligible, no healthy peers,
+	// fan-out failed) simply falls through to the ordinary path.
+	if res := s.fanoutDecompose(ctx, r, m, opt); res != nil {
+		result = res
+		quality = pmetrics.EvaluatePartition(m, res, r.Strategy)
+	} else {
+		d, err := core.Decompose(ctx, m, r.K, r.strat, opt)
+		if err != nil {
+			return nil, 0, &requestError{code: http.StatusInternalServerError, msg: err.Error()}
+		}
+		result = d.Result
+		quality = d.Quality
 	}
+	elapsed := time.Since(start)
 	s.metrics.countRun(r.Strategy, elapsed.Seconds())
 
-	partHash, rerr := s.storePartition(ctx, d.Result)
+	partHash, rerr := s.storePartition(ctx, result)
 	if rerr != nil {
 		return nil, 0, rerr
 	}
 	var evalRes *EvalResult
 	if r.Evaluate != nil {
-		evalRes, rerr = s.runEval(ctx, r.Evaluate, m, r.evalMeshID(), d.Result.Part, r.K)
+		evalRes, rerr = s.runEval(ctx, r.Evaluate, m, r.evalMeshID(), result.Part, r.K)
 		if rerr != nil {
 			return nil, 0, rerr
 		}
@@ -338,11 +352,11 @@ func (r *PartitionRequest) execute(ctx context.Context, s *Server) ([]byte, time
 		Strategy:     r.Strategy,
 		Method:       r.Options.Method,
 		Seed:         r.Options.Seed,
-		EdgeCut:      d.Result.EdgeCut,
-		MaxImbalance: d.Result.MaxImbalance(),
-		Quality:      d.Quality,
+		EdgeCut:      result.EdgeCut,
+		MaxImbalance: result.MaxImbalance(),
+		Quality:      quality,
 		PartHash:     partHash,
-		Part:         d.Result.Part,
+		Part:         result.Part,
 		Eval:         evalRes,
 		Debug:        debugInfo(obs.FromContext(ctx)),
 	})

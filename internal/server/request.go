@@ -75,6 +75,11 @@ type PartitionRequest struct {
 	// span recorder and its response (which embeds a debug block) is neither
 	// cached nor shared via singleflight.
 	debugTrace bool
+	// requestID is the X-Request-Id of the exchange that created the job; a
+	// cluster member propagates it on every peer hop made on the job's
+	// behalf (forward, subtree fan-out, cache probe). For singleflighted
+	// jobs it is the creating exchange's id.
+	requestID string
 }
 
 // requestError carries the HTTP status a decode/validation failure maps to.

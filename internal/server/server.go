@@ -27,10 +27,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	goruntime "runtime"
@@ -39,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tempart/internal/cluster"
 	"tempart/internal/eval"
 	"tempart/internal/mesh"
 	"tempart/internal/obs"
@@ -74,6 +77,17 @@ type Config struct {
 	// HTTP exchange (method, path, endpoint label, status, duration,
 	// request id). Nil disables access logging entirely.
 	AccessLog *slog.Logger
+
+	// NodeID names this daemon in a fleet: it stamps run manifests, subtree
+	// replies and (via store.Options.NodeID) provenance entries. Empty for a
+	// single-node daemon.
+	NodeID string
+	// Cluster, when non-nil, makes the daemon one shard of a static-
+	// membership fleet: content-addressed requests route to owner shards,
+	// eligible large requests fan their bisection subtrees across peers, and
+	// the /v1/internal/* and /v1/cluster/status endpoints come alive. Nil
+	// keeps the daemon fully single-node.
+	Cluster *cluster.Cluster
 
 	// Store, when non-nil, is the daemon's durability tier: uploaded meshes,
 	// partition results and response payloads persist to it on write (batched
@@ -147,6 +161,9 @@ type Server struct {
 	// store is the optional durability tier (Config.Store); nil means the
 	// daemon is purely in-memory, exactly as before.
 	store *store.Store
+	// cluster is the optional fleet view (Config.Cluster); nil means every
+	// cluster hook is a no-op.
+	cluster *cluster.Cluster
 	// ready flips true once the store's journal replay has re-queued
 	// interrupted jobs; /readyz gates on it.
 	ready atomic.Bool
@@ -175,6 +192,7 @@ func New(cfg Config) *Server {
 		eval:    eval.New(eval.Options{Parallelism: cfg.MaxParallelism}),
 		obsAgg:  obs.NewAgg("tempartd_pipeline"),
 		store:   cfg.Store,
+		cluster: cfg.Cluster,
 		queue:   make(chan *job, cfg.QueueDepth),
 		flights: map[cacheKey]*job{},
 		jobs:    map[string]*job{},
@@ -203,6 +221,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cluster != nil {
+		mux.HandleFunc("POST /v1/internal/subtree", s.instrument("/v1/internal/subtree", s.handleSubtree))
+		mux.HandleFunc("GET /v1/internal/cache/{key}", s.instrument("/v1/internal/cache", s.handleCacheProbe))
+		mux.HandleFunc("GET /v1/cluster/status", s.instrument("/v1/cluster/status", s.handleClusterStatus))
+	}
 	return mux
 }
 
@@ -299,23 +322,43 @@ func (s *Server) retryAfterSeconds() int {
 	return 1 + s.cfg.QueueDepth/(2*s.cfg.Workers)
 }
 
+// readRequestBody buffers a request body (up to one byte over the cap, so
+// the decoders' own limit checks still fire with their usual messages). The
+// raw bytes are what a cluster member replays verbatim when it forwards the
+// request to its owner shard.
+func readRequestBody(body io.Reader, maxBody int64) ([]byte, error) {
+	raw, err := io.ReadAll(&io.LimitedReader{R: body, N: maxBody + 1})
+	if err != nil {
+		return nil, badRequest("reading request body: %v", err)
+	}
+	return raw, nil
+}
+
 func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) int {
-	req, err := decodePartitionRequest(r.Header.Get("Content-Type"), r.URL.Query(), r.Body, s.cfg.MaxBodyBytes)
+	raw, err := readRequestBody(r.Body, s.cfg.MaxBodyBytes)
 	if err != nil {
 		return writeDecodeError(w, err)
 	}
-	return s.serveJob(w, r, req)
+	req, err := decodePartitionRequest(r.Header.Get("Content-Type"), r.URL.Query(), bytes.NewReader(raw), s.cfg.MaxBodyBytes)
+	if err != nil {
+		return writeDecodeError(w, err)
+	}
+	return s.serveJob(w, r, req, raw)
 }
 
 // handleRepartition shares the partition endpoint's whole flow — caching,
 // admission, singleflight, backpressure, cancellation — over a warm-started
 // incremental repartition job.
 func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) int {
-	req, err := decodeRepartitionRequest(r.Header.Get("Content-Type"), r.URL.Query(), r.Body, s.cfg.MaxBodyBytes)
+	raw, err := readRequestBody(r.Body, s.cfg.MaxBodyBytes)
 	if err != nil {
 		return writeDecodeError(w, err)
 	}
-	return s.serveJob(w, r, req)
+	req, err := decodeRepartitionRequest(r.Header.Get("Content-Type"), r.URL.Query(), bytes.NewReader(raw), s.cfg.MaxBodyBytes)
+	if err != nil {
+		return writeDecodeError(w, err)
+	}
+	return s.serveJob(w, r, req, raw)
 }
 
 func writeDecodeError(w http.ResponseWriter, err error) int {
@@ -330,7 +373,10 @@ func writeDecodeError(w http.ResponseWriter, err error) int {
 // ?debug=trace bypasses the cache and singleflight on both ends: the traced
 // job is private (its payload carries a per-request debug block that would be
 // wrong to share or cache) and runs with its own span recorder.
-func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, req jobRequest) int {
+func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, req jobRequest, rawBody []byte) int {
+	// The request id rides into the job (and from there across every peer
+	// hop a cluster member makes on the job's behalf).
+	req.base().requestID = w.Header().Get("X-Request-Id")
 	if r.URL.Query().Get("debug") == "trace" {
 		req.base().debugTrace = true
 	} else {
@@ -358,6 +404,12 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, req jobRequest
 				return http.StatusOK
 			}
 		}
+	}
+
+	// Cluster routing after the local caches miss: forward to the owner
+	// shard (or probe its cache when this request already made its one hop).
+	if code, handled := s.clusterRoute(w, r, req, rawBody); handled {
+		return code
 	}
 
 	j, err := s.acquireJob(req)
@@ -563,6 +615,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 	if s.store != nil {
 		renderStoreMetrics(w, s.store.Stats())
+	}
+	if s.cluster != nil {
+		s.cluster.RenderMetrics(w)
 	}
 	s.obsAgg.RenderProm(w)
 }

@@ -41,6 +41,9 @@ type Entry struct {
 	Size int64 `json:"size"`
 	// UnixMS stamps the commit (store clock).
 	UnixMS int64 `json:"unix_ms,omitempty"`
+	// Node is the cluster member that wrote the entry (Options.NodeID);
+	// empty on single-node stores. Covered by the chain hash.
+	Node string `json:"node,omitempty"`
 	// Manifest is the run manifest of the job that produced the artifact.
 	Manifest *obs.Manifest `json:"manifest,omitempty"`
 }

@@ -46,6 +46,13 @@ type Options struct {
 	MaxWait time.Duration
 	// Clock injects time for tests. Default: the real clock.
 	Clock Clock
+	// NodeID, when set, stamps every provenance entry with the identity of
+	// the cluster member that wrote it. The id is covered by the chain hash
+	// like every other field, so a fleet's per-node chains stay individually
+	// tamper-evident while remaining correlatable: a coordinator's result
+	// entry and the peer entries for the subtrees it farmed out all name
+	// their executing node.
+	NodeID string
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +125,7 @@ type Stats struct {
 // Batcher. Create with Open; all methods are safe for concurrent use.
 type Store struct {
 	dir     string
+	node    string
 	blob    Blob
 	batcher *Batcher
 	clock   Clock
@@ -140,6 +148,7 @@ func Open(opts Options) (*Store, error) {
 	opts = opts.withDefaults()
 	s := &Store{
 		dir:   opts.Dir,
+		node:  opts.NodeID,
 		blob:  opts.Blob,
 		clock: opts.Clock,
 		index: map[string]indexMeta{},
@@ -399,6 +408,7 @@ func (s *Store) applyBatch(commits []Commit) error {
 				DataHash: hex.EncodeToString(sum[:]),
 				Size:     int64(len(p.Data)),
 				UnixMS:   nowMS,
+				Node:     s.node,
 				Manifest: p.Manifest,
 			}
 			line, err := staged.nextEntry(&e)

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Three-node tempartd fleet, end to end:
+#   1. boot a single-node reference daemon and a 3-member durable fleet;
+#   2. send the same request through EVERY member (owner and non-owners) and
+#      byte-compare each answer against the single-node daemon's — routing,
+#      forwarding and coordinator fan-out must be invisible in the payload;
+#   3. SIGKILL one member and repeat with a fresh request via the survivors:
+#      degraded but correct, the client never sees the failure;
+#   4. drain the survivors and verify their provenance chains offline.
+#
+# Usage: build tempartd first, then run; TEMPARTD overrides the binary path.
+#   go build -o /tmp/tempartd ./cmd/tempartd && bash scripts/cluster_integration.sh
+set -euxo pipefail
+
+BIN=${TEMPARTD:-/tmp/tempartd}
+BASE=127.0.0.1
+P0=18080 P1=18081 P2=18082 P3=18083
+PEERS="n1=http://$BASE:$P1,n2=http://$BASE:$P2,n3=http://$BASE:$P3"
+WORK=$(mktemp -d)
+REQ1='{"mesh":"CYLINDER","scale":0.002,"k":8,"strategy":"MC_TL","options":{"seed":11}}'
+REQ2='{"mesh":"CYLINDER","scale":0.002,"k":8,"strategy":"MC_TL","options":{"seed":22}}'
+
+wait_ready() {
+  for _ in $(seq 1 100); do
+    if curl -sf "$1/readyz" >/dev/null; then return 0; fi
+    sleep 0.2
+  done
+  echo "daemon at $1 never became ready" >&2
+  return 1
+}
+
+post() { # post <port> <body> <outfile>
+  curl -sf "http://$BASE:$1/v1/partition" -H 'Content-Type: application/json' -d "$2" > "$3"
+}
+
+cleanup() { kill "$SOLO" "$N1" "$N2" "$N3" 2>/dev/null || true; }
+trap cleanup EXIT
+
+"$BIN" -addr "$BASE:$P0" -access-log=false &
+SOLO=$!
+# -fanout-min-cells 1000 puts the 12k-cell test mesh over the coordinator
+# threshold, so the fleet path actually splits the bisection tree.
+for i in 1 2 3; do
+  port=P$i
+  "$BIN" -addr "$BASE:${!port}" -node-id "n$i" -peers "$PEERS" \
+    -fanout-min-cells 1000 -data-dir "$WORK/n$i" -access-log=false &
+  eval "N$i=$!"
+done
+for port in $P0 $P1 $P2 $P3; do wait_ready "http://$BASE:$port"; done
+
+# Every member must answer with the single-node daemon's exact bytes.
+post $P0 "$REQ1" "$WORK/solo1.json"
+for port in $P1 $P2 $P3; do
+  post "$port" "$REQ1" "$WORK/fleet1-$port.json"
+  cmp "$WORK/solo1.json" "$WORK/fleet1-$port.json"
+done
+
+# Fleet visibility: full membership in status, cluster series in /metrics.
+curl -sf "http://$BASE:$P1/v1/cluster/status" | grep -q '"n3"'
+curl -sf "http://$BASE:$P1/metrics" | grep -q '^tempartd_cluster_peers 3'
+
+# Kill a member outright (no drain, no goodbye) and keep serving.
+kill -9 "$N3"
+post $P0 "$REQ2" "$WORK/solo2.json"
+for port in $P1 $P2; do
+  post "$port" "$REQ2" "$WORK/fleet2-$port.json"
+  cmp "$WORK/solo2.json" "$WORK/fleet2-$port.json"
+done
+
+# Drain the survivors; their provenance chains must verify offline.
+kill -TERM "$N1" "$N2"
+wait "$N1"
+wait "$N2"
+"$BIN" -data-dir "$WORK/n1" -verify
+"$BIN" -data-dir "$WORK/n2" -verify
+
+kill -TERM "$SOLO"
+wait "$SOLO"
+echo "cluster integration: OK"
