@@ -1,0 +1,119 @@
+// Command benchguard compares two partbench -json reports and fails when the
+// refine phase regressed. It is the CI tripwire for the refinement engine:
+// the committed BENCH_partition.json is the baseline, a fresh run (with
+// -phases) is the candidate, and any strategy whose refine-phase seconds grew
+// by more than -max-regress (default 20%) fails the build.
+//
+// Strategies below -min-seconds in the baseline are skipped: at bench-smoke
+// mesh scales the refine phase of a small strategy is tens of milliseconds
+// and a 20% band would be pure scheduler noise. Strategies present in only
+// one report are reported but do not fail the run (the table is allowed to
+// grow).
+//
+// Example:
+//
+//	partbench -mesh CYLINDER -scale 0.005 -parallel 4 -phases -json > new.json
+//	benchguard -baseline BENCH_partition.json -current new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type row struct {
+	Strategy       string  `json:"strategy"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	RefineSeconds  float64 `json:"refine_seconds"`
+	CoarsenSeconds float64 `json:"coarsen_seconds"`
+	InitialSeconds float64 `json:"initial_seconds"`
+}
+
+type benchReport struct {
+	Mesh     string `json:"mesh"`
+	Parallel int    `json:"parallel"`
+	Results  []row  `json:"results"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_partition.json", "committed partbench -json report to compare against")
+		currentPath  = flag.String("current", "", "fresh partbench -phases -json report (required)")
+		maxRegress   = flag.Float64("max-regress", 0.20, "maximum tolerated fractional refine-phase regression")
+		minSeconds   = flag.Float64("min-seconds", 0.02, "skip strategies whose baseline refine phase is below this many seconds")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	if base.Mesh != cur.Mesh {
+		fmt.Fprintf(os.Stderr, "benchguard: mesh mismatch (baseline %q, current %q) — not comparable\n", base.Mesh, cur.Mesh)
+		os.Exit(2)
+	}
+
+	baseBy := map[string]row{}
+	for _, r := range base.Results {
+		baseBy[r.Strategy] = r
+	}
+	failed := false
+	checked := 0
+	for _, c := range cur.Results {
+		b, ok := baseBy[c.Strategy]
+		if !ok {
+			fmt.Printf("benchguard: %-14s new strategy, no baseline — skipped\n", c.Strategy)
+			continue
+		}
+		delete(baseBy, c.Strategy)
+		if b.RefineSeconds < *minSeconds {
+			fmt.Printf("benchguard: %-14s baseline refine %.3fs below -min-seconds %.3fs — skipped\n",
+				c.Strategy, b.RefineSeconds, *minSeconds)
+			continue
+		}
+		checked++
+		limit := b.RefineSeconds * (1 + *maxRegress)
+		status := "ok"
+		if c.RefineSeconds > limit {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchguard: %-14s refine %.3fs -> %.3fs (limit %.3fs, wall %.3fs -> %.3fs) %s\n",
+			c.Strategy, b.RefineSeconds, c.RefineSeconds, limit, b.WallSeconds, c.WallSeconds, status)
+	}
+	for name := range baseBy {
+		fmt.Printf("benchguard: %-14s present in baseline only — skipped\n", name)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: refine phase regressed beyond %.0f%%\n", *maxRegress*100)
+		os.Exit(1)
+	}
+	if checked == 0 {
+		// A baseline without phase data (pre -phases) guards nothing; say so
+		// loudly but let CI pass so the first refresh can land.
+		fmt.Println("benchguard: no comparable strategies (baseline missing refine_seconds?) — nothing checked")
+	}
+}
+
+func load(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -40,12 +42,45 @@ const (
 	baselineSimulateAllocsOp = 12675
 )
 
+// Pre-PR-8 refinement baselines: MC_TL(rb) on CYLINDER scale 0.005 / 128
+// domains at -parallel 1, measured before the bucket-gain + pairwise-FM
+// engine replaced the serial lazy-deletion heaps. Kept in the -phases report
+// so the refine-phase trajectory stays visible next to fresh numbers.
+const (
+	baselineMCTLWallSeconds   = 0.590
+	baselineMCTLRefineSeconds = 0.194
+)
+
+// sweepRow is one -sweep-parallel measurement: MC_TL(rb) partitioned at a
+// given worker count, with the phase split.
+type sweepRow struct {
+	Parallel       int     `json:"parallel"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	CoarsenSeconds float64 `json:"coarsen_seconds"`
+	InitialSeconds float64 `json:"initial_seconds"`
+	RefineSeconds  float64 `json:"refine_seconds"`
+}
+
+// refineSection carries the refinement-perf view of the report: the pre-PR-8
+// serial baseline and the optional parallel sweep.
+type refineSection struct {
+	PrePR8WallSeconds   float64    `json:"pre_pr8_mctl_wall_seconds"`
+	PrePR8RefineSeconds float64    `json:"pre_pr8_mctl_refine_seconds"`
+	Sweep               []sweepRow `json:"parallel_sweep,omitempty"`
+}
+
 // result is one strategy's row, shared by the table and -json emitters.
 type result struct {
 	Strategy     string    `json:"strategy"`
 	WallSeconds  float64   `json:"wall_seconds"`
 	BuildSeconds float64   `json:"build_seconds"`
 	SimSeconds   float64   `json:"simulate_seconds"`
+	// Per-phase partition seconds from the obs spans (-phases). Zero for
+	// the geometric strategies, which skip the multilevel pipeline.
+	CoarsenSeconds float64 `json:"coarsen_seconds,omitempty"`
+	InitialSeconds float64 `json:"initial_seconds,omitempty"`
+	RefineSeconds  float64 `json:"refine_seconds,omitempty"`
+	ReorderSeconds float64 `json:"reorder_seconds,omitempty"`
 	EdgeCut      int64     `json:"edge_cut"`
 	MaxImbalance float64   `json:"max_imbalance"`
 	LevelImb     []float64 `json:"level_imbalance"`
@@ -78,8 +113,9 @@ type report struct {
 	Workers  int          `json:"workers"`
 	Seed     int64        `json:"seed"`
 	Parallel int          `json:"parallel"`
-	Results  []result     `json:"results"`
-	Eval     *evalSection `json:"eval,omitempty"`
+	Results  []result       `json:"results"`
+	Eval     *evalSection   `json:"eval,omitempty"`
+	Refine   *refineSection `json:"refine,omitempty"`
 }
 
 func main() {
@@ -93,6 +129,9 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker goroutines for partitioning, task-graph build and evaluation fan-out (0 = GOMAXPROCS, 1 = serial); results are identical at every setting")
 		commLat  = flag.Int64("comm-latency", 0, "time units per cross-process dependency edge")
 		kway     = flag.Bool("kway", false, "also run SC_OC/MC_TL with the direct k-way method")
+		phases   = flag.Bool("phases", false, "record the per-phase partition seconds split (coarsen/initial/refine/reorder) per strategy, printed after the table and included in -json")
+		sweepPar = flag.String("sweep-parallel", "", "comma-separated parallelism settings (e.g. 1,8); re-partitions MC_TL(rb) at each and reports wall + phase seconds next to the pre-PR8 serial baseline (implies -phases)")
+		reorder  = flag.Bool("reorder", false, "partition under a cache-conscious BFS reorder (Options.Reorder) for the multilevel strategies")
 		asJSON   = flag.Bool("json", false, "emit one JSON report instead of the table")
 		doRepart = flag.Bool("repart", false, "run the drift/repartition comparison instead of the strategy table")
 		epochs   = flag.Int("epochs", 5, "drift epochs for -repart")
@@ -116,8 +155,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "partbench: -report pins -parallel 1 so per-phase timings tile the partition wall clock")
 		*parallel = 1
 	}
+	if *sweepPar != "" {
+		*phases = true
+	}
 	var rec *obs.Recorder
-	if *reportTo != "" || *pipeTo != "" {
+	if *reportTo != "" || *pipeTo != "" || *phases {
 		rec = obs.NewRecorder()
 	}
 	ctx := obs.WithRecorder(context.Background(), rec)
@@ -139,17 +181,20 @@ func main() {
 		strat partition.Strategy
 		opt   partition.Options
 	}
+	mlOpt := partition.Options{Seed: *seed, Parallelism: *parallel, Reorder: *reorder}
 	jobs := []job{
-		{"SC_OC(rb)", partition.SCOC, partition.Options{Seed: *seed, Parallelism: *parallel}},
-		{"MC_TL(rb)", partition.MCTL, partition.Options{Seed: *seed, Parallelism: *parallel}},
-		{"UNIT(rb)", partition.UnitCells, partition.Options{Seed: *seed, Parallelism: *parallel}},
+		{"SC_OC(rb)", partition.SCOC, mlOpt},
+		{"MC_TL(rb)", partition.MCTL, mlOpt},
+		{"UNIT(rb)", partition.UnitCells, mlOpt},
 		{"GEOM_RCB", partition.GeomRCB, partition.Options{}},
 		{"SFC", partition.SFC, partition.Options{}},
 	}
 	if *kway {
+		kwOpt := mlOpt
+		kwOpt.Method = partition.DirectKWay
 		jobs = append(jobs,
-			job{"SC_OC(kway)", partition.SCOC, partition.Options{Seed: *seed, Method: partition.DirectKWay, Parallelism: *parallel}},
-			job{"MC_TL(kway)", partition.MCTL, partition.Options{Seed: *seed, Method: partition.DirectKWay, Parallelism: *parallel}},
+			job{"SC_OC(kway)", partition.SCOC, kwOpt},
+			job{"MC_TL(kway)", partition.MCTL, kwOpt},
 		)
 	}
 
@@ -169,10 +214,12 @@ func main() {
 	var bestPart []int32
 	var bestMakespan int64
 	for _, j := range jobs {
+		before := rec.PhaseTotals()
 		t0 := time.Now()
 		res, err := partition.PartitionMesh(ctx, m, *domains, j.strat, j.opt)
 		check(err)
 		elapsed := time.Since(t0)
+		after := rec.PhaseTotals()
 
 		q := metrics.EvaluatePartition(m, res, j.label)
 		out, err := ev.Evaluate(eval.Spec{
@@ -196,10 +243,14 @@ func main() {
 			}
 		}
 		r := result{
-			Strategy:     j.label,
-			WallSeconds:  elapsed.Seconds(),
-			BuildSeconds: out.BuildSeconds,
-			SimSeconds:   out.SimulateSeconds,
+			Strategy:       j.label,
+			WallSeconds:    elapsed.Seconds(),
+			BuildSeconds:   out.BuildSeconds,
+			SimSeconds:     out.SimulateSeconds,
+			CoarsenSeconds: phaseDelta(before, after, "partition/coarsen"),
+			InitialSeconds: phaseDelta(before, after, "partition/initial"),
+			RefineSeconds:  phaseDelta(before, after, "partition/refine"),
+			ReorderSeconds: phaseDelta(before, after, "partition/reorder"),
 			EdgeCut:      res.EdgeCut,
 			MaxImbalance: res.MaxImbalance(),
 			LevelImb:     q.LevelImbalance,
@@ -217,6 +268,52 @@ func main() {
 				time.Duration(r.SimSeconds*float64(time.Second)).Round(time.Microsecond),
 				r.EdgeCut, r.MaxImbalance,
 				r.WorstLvlImb, r.MaxFragments, r.Makespan, r.CommVolume, r.Efficiency)
+		}
+	}
+	if *phases && !*asJSON {
+		fmt.Printf("\nper-phase partition seconds (obs spans; concurrent spans sum CPU-cumulatively):\n")
+		fmt.Printf("%-12s %9s %9s %9s %9s\n", "strategy", "coarsen", "initial", "refine", "reorder")
+		for _, r := range rep.Results {
+			fmt.Printf("%-12s %9.3f %9.3f %9.3f %9.3f\n",
+				r.Strategy, r.CoarsenSeconds, r.InitialSeconds, r.RefineSeconds, r.ReorderSeconds)
+		}
+	}
+	if *phases {
+		rep.Refine = &refineSection{
+			PrePR8WallSeconds:   baselineMCTLWallSeconds,
+			PrePR8RefineSeconds: baselineMCTLRefineSeconds,
+		}
+		if *sweepPar != "" {
+			if !*asJSON {
+				fmt.Printf("\nMC_TL(rb) parallel sweep (pre-PR8 serial baseline: wall %.3fs, refine %.3fs):\n",
+					baselineMCTLWallSeconds, baselineMCTLRefineSeconds)
+				fmt.Printf("%8s %9s %9s %9s %9s\n", "parallel", "wall", "coarsen", "initial", "refine")
+			}
+			for _, field := range strings.Split(*sweepPar, ",") {
+				par, err := strconv.Atoi(strings.TrimSpace(field))
+				if err != nil || par < 1 {
+					check(fmt.Errorf("bad -sweep-parallel entry %q", field))
+				}
+				opt := mlOpt
+				opt.Parallelism = par
+				before := rec.PhaseTotals()
+				t0 := time.Now()
+				_, err = partition.PartitionMesh(ctx, m, *domains, partition.MCTL, opt)
+				check(err)
+				after := rec.PhaseTotals()
+				sr := sweepRow{
+					Parallel:       par,
+					WallSeconds:    time.Since(t0).Seconds(),
+					CoarsenSeconds: phaseDelta(before, after, "partition/coarsen"),
+					InitialSeconds: phaseDelta(before, after, "partition/initial"),
+					RefineSeconds:  phaseDelta(before, after, "partition/refine"),
+				}
+				rep.Refine.Sweep = append(rep.Refine.Sweep, sr)
+				if !*asJSON {
+					fmt.Printf("%8d %9.3f %9.3f %9.3f %9.3f\n",
+						sr.Parallel, sr.WallSeconds, sr.CoarsenSeconds, sr.InitialSeconds, sr.RefineSeconds)
+				}
+			}
 		}
 	}
 	if mctlPart != nil {
@@ -275,6 +372,16 @@ func main() {
 		writeFile(*reportTo, man.WriteJSON)
 		fmt.Fprintf(os.Stderr, "partbench: run manifest written to %s\n", *reportTo)
 	}
+}
+
+// phaseDelta returns the seconds a span name accumulated between two
+// PhaseTotals snapshots — the per-strategy share of a shared recorder.
+func phaseDelta(before, after map[string]obs.PhaseStat, name string) float64 {
+	d := after[name].Seconds - before[name].Seconds
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // writeFile streams one of the JSON emitters into path.

@@ -124,6 +124,9 @@ func (c *Cluster) FanoutPartition(ctx context.Context, g *graph.Graph, req Fanou
 			sub.End()
 		}
 	}
+	// Same cross-boundary polish Partition applies after its own recursion;
+	// without it the stitched assignment would diverge from a local run.
+	partition.PolishRB(ctx, g, part, req.K, req.Options)
 	return partition.NewResult(g, part, req.K), nil
 }
 

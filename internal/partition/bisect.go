@@ -94,8 +94,11 @@ func (b *bisection) cut() int64 {
 // growBisection produces an initial 0/1 assignment of g targeting fraction
 // frac of every constraint on side 0, by greedy graph growing from a
 // pseudo-peripheral seed. All vertices start on side 1 and side 0 is grown
-// until every constraint reaches its target (or growth is exhausted).
-func growBisection(g *graph.Graph, frac float64, caps0, caps1 []int64, rng randSource) []int32 {
+// until every constraint reaches its target (or growth is exhausted). The
+// returned assignment is freshly allocated (it outlives the call as a trial
+// result); all other working state comes from the scratch arena, so the
+// InitTrials loop allocates only its candidate assignments.
+func growBisection(g *graph.Graph, frac float64, caps0, caps1 []int64, rng randSource, sc *scratch) []int32 {
 	n := g.NumVertices()
 	where := make([]int32, n)
 	for i := range where {
@@ -144,9 +147,13 @@ func growBisection(g *graph.Graph, frac float64, caps0, caps1 []int64, rng randS
 	seed := pseudoPeripheral(g, int32(rng.Intn(n)))
 	// gain[v]: edges into side 0 minus edges to side 1, so tightly-connected
 	// vertices are preferred (keeps the region compact → low cut).
-	gain := make([]int32, n)
-	inFrontier := make([]bool, n)
-	h := newVertexHeap()
+	gain := growI32(sc.growGain, n)
+	sc.growGain = gain
+	inFrontier := growBool(sc.growFrontier, n)
+	sc.growFrontier = inFrontier
+	h := &sc.growHeap
+	h.reset()
+	h.bind(gain, heapCompactLimit(n))
 	add := func(v int32) {
 		if !inFrontier[v] && b.where[v] == 1 {
 			inFrontier[v] = true
@@ -177,7 +184,8 @@ func growBisection(g *graph.Graph, frac float64, caps0, caps1 []int64, rng randS
 	}
 	add(seed)
 
-	var parked []int32 // frontier vertices that currently overshoot
+	parked := sc.growParked[:0] // frontier vertices that currently overshoot
+	defer func() { sc.growParked = parked }()
 	for anyDeficit() {
 		v, ok := h.popValid(func(v int32) bool { return b.where[v] == 1 }, gain)
 		if !ok {
@@ -243,18 +251,39 @@ func bfsFarthest(g *graph.Graph, start int32) int32 {
 }
 
 // vertexHeap is a max-heap of (key, vertex) with lazy deletion: entries may
-// be stale; popValid filters them against the caller's current keys.
+// be stale; popValid filters them against the caller's current keys. Lazy
+// updates push a duplicate entry per key change, so an unbounded heap can
+// grow far past the vertex count on long refinement passes; bind attaches
+// the caller's live-key array and a size bound, and push compacts the heap
+// back to at most one fresh entry per vertex whenever the bound is exceeded.
 type vertexHeap struct {
 	keys []int32
 	vs   []int32
+
+	fresh []int32 // current key per vertex; entries with other keys are stale
+	limit int     // compact when len exceeds this (0 = never)
+	seen  []bool  // compaction dedup scratch
 }
+
+// heapCompactLimit is the stale-entry bound used by the refinement callers:
+// compaction keeps at most one entry per vertex, so a 4n bound amortises the
+// O(len) compaction over at least 3n pushes.
+func heapCompactLimit(n int) int { return 4*n + 64 }
 
 func newVertexHeap() *vertexHeap { return &vertexHeap{} }
 
 func (h *vertexHeap) len() int { return len(h.vs) }
 
-// reset empties the heap while keeping its backing arrays for reuse.
+// reset empties the heap while keeping its backing arrays for reuse. The
+// bind filter is kept; rebind to change it.
 func (h *vertexHeap) reset() { h.keys, h.vs = h.keys[:0], h.vs[:0] }
+
+// bind attaches the live-key array consulted by compaction and the size
+// bound that triggers it. fresh must outlive the heap's use and be indexed
+// by vertex id.
+func (h *vertexHeap) bind(fresh []int32, limit int) {
+	h.fresh, h.limit = fresh, limit
+}
 
 func (h *vertexHeap) push(key, v int32) {
 	h.keys = append(h.keys, key)
@@ -269,6 +298,58 @@ func (h *vertexHeap) push(key, v int32) {
 		h.vs[p], h.vs[i] = h.vs[i], h.vs[p]
 		i = p
 	}
+	if h.limit > 0 && len(h.vs) > h.limit && h.fresh != nil {
+		h.compact()
+	}
+}
+
+// compact drops stale and duplicate entries — keeping, per vertex, only the
+// first entry whose key matches the bound fresh array — and re-heapifies.
+// The survivors number at most one per vertex, so a heap bounded at 4n
+// shrinks to ≤ n entries.
+func (h *vertexHeap) compact() {
+	nv := len(h.fresh)
+	if cap(h.seen) < nv {
+		h.seen = make([]bool, nv)
+	}
+	seen := h.seen[:nv]
+	out := 0
+	for i := range h.vs {
+		v := h.vs[i]
+		if seen[v] || h.keys[i] != h.fresh[v] {
+			continue
+		}
+		seen[v] = true
+		h.keys[out], h.vs[out] = h.keys[i], h.vs[i]
+		out++
+	}
+	h.keys, h.vs = h.keys[:out], h.vs[:out]
+	for _, v := range h.vs {
+		seen[v] = false
+	}
+	for i := out/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *vertexHeap) siftDown(i int) {
+	n := len(h.vs)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h.keys[l] > h.keys[big] {
+			big = l
+		}
+		if r < n && h.keys[r] > h.keys[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.keys[i], h.keys[big] = h.keys[big], h.keys[i]
+		h.vs[i], h.vs[big] = h.vs[big], h.vs[i]
+		i = big
+	}
 }
 
 func (h *vertexHeap) pop() (key, v int32, ok bool) {
@@ -279,24 +360,7 @@ func (h *vertexHeap) pop() (key, v int32, ok bool) {
 	last := len(h.vs) - 1
 	h.keys[0], h.vs[0] = h.keys[last], h.vs[last]
 	h.keys, h.vs = h.keys[:last], h.vs[:last]
-	// Sift down.
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		big := i
-		if l < last && h.keys[l] > h.keys[big] {
-			big = l
-		}
-		if r < last && h.keys[r] > h.keys[big] {
-			big = r
-		}
-		if big == i {
-			break
-		}
-		h.keys[i], h.keys[big] = h.keys[big], h.keys[i]
-		h.vs[i], h.vs[big] = h.vs[big], h.vs[i]
-		i = big
-	}
+	h.siftDown(0)
 	return key, v, true
 }
 

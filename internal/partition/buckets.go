@@ -1,0 +1,143 @@
+package partition
+
+// gainBuckets is a METIS-style bucket-list priority structure for FM
+// refinement: an array of doubly-linked lists indexed by gain, over vertices
+// 0..n-1. Because FM gains are bounded by the maximum weighted degree of the
+// graph, the bucket array has 2·maxKey+1 slots and every operation —
+// insert, remove, and the gain updates that dominate the refinement inner
+// loop — is O(1), where the lazy-deletion binary heap it replaces paid
+// O(log n) per touch and accumulated stale duplicates. popMax walks down
+// from a cached top bucket; the walk is amortised against the inserts that
+// raised it.
+//
+// Within a bucket the discipline is LIFO (insert at head), the classical FM
+// choice: recently-touched vertices are revisited first, which keeps the
+// move frontier compact. The structure is fully deterministic — iteration
+// order is a pure function of the operation sequence — which is what lets
+// the parallel refinement keep partitions byte-identical at every
+// Options.Parallelism.
+//
+// Keys outside [-maxKey, +maxKey] are clamped to the boundary buckets:
+// callers keep the exact gain in their own arrays, the buckets only order
+// candidates, so clamping merely coarsens the ordering of extreme gains.
+// A zero gainBuckets is ready for reset.
+type gainBuckets struct {
+	offset int32   // bucket index = clamp(key) + offset
+	heads  []int32 // bucket index -> first vertex, -1 when empty
+	next   []int32 // vertex -> successor in its bucket, -1 at the tail
+	prev   []int32 // vertex -> predecessor, -1 when the vertex is the head
+	bucket []int32 // vertex -> its bucket index, -1 when absent
+	top    int     // highest bucket index that may be non-empty
+	count  int
+}
+
+// reset prepares the structure for n vertices with keys clamped to
+// [-maxKey, +maxKey]. Backing arrays are reused across resets and only grow.
+func (b *gainBuckets) reset(n int, maxKey int32) {
+	if maxKey < 0 {
+		maxKey = 0
+	}
+	nb := 2*int(maxKey) + 1
+	if cap(b.heads) < nb {
+		b.heads = make([]int32, nb)
+	}
+	b.heads = b.heads[:nb]
+	for i := range b.heads {
+		b.heads[i] = -1
+	}
+	if cap(b.bucket) < n {
+		b.bucket = make([]int32, n)
+		b.next = make([]int32, n)
+		b.prev = make([]int32, n)
+	}
+	b.bucket = b.bucket[:n]
+	b.next = b.next[:n]
+	b.prev = b.prev[:n]
+	for i := range b.bucket {
+		b.bucket[i] = -1
+	}
+	b.offset = maxKey
+	b.top = -1
+	b.count = 0
+}
+
+// grow extends the per-vertex linkage to n vertices without disturbing the
+// queued entries — used when a working set gains vertices lazily.
+func (b *gainBuckets) grow(n int) {
+	for len(b.bucket) < n {
+		b.bucket = append(b.bucket, -1)
+		b.next = append(b.next, -1)
+		b.prev = append(b.prev, -1)
+	}
+}
+
+func (b *gainBuckets) idxOf(key int32) int32 {
+	if key > b.offset {
+		key = b.offset
+	} else if key < -b.offset {
+		key = -b.offset
+	}
+	return key + b.offset
+}
+
+func (b *gainBuckets) len() int { return b.count }
+
+// contains reports whether v is currently queued.
+func (b *gainBuckets) contains(v int32) bool { return b.bucket[v] >= 0 }
+
+// insert queues v under the given key. v must not already be queued.
+func (b *gainBuckets) insert(v, key int32) {
+	idx := b.idxOf(key)
+	h := b.heads[idx]
+	b.heads[idx] = v
+	b.next[v] = h
+	b.prev[v] = -1
+	b.bucket[v] = idx
+	if h >= 0 {
+		b.prev[h] = v
+	}
+	if int(idx) > b.top {
+		b.top = int(idx)
+	}
+	b.count++
+}
+
+// remove unlinks v. v must be queued.
+func (b *gainBuckets) remove(v int32) {
+	idx := b.bucket[v]
+	if p := b.prev[v]; p >= 0 {
+		b.next[p] = b.next[v]
+	} else {
+		b.heads[idx] = b.next[v]
+	}
+	if nx := b.next[v]; nx >= 0 {
+		b.prev[nx] = b.prev[v]
+	}
+	b.bucket[v] = -1
+	b.count--
+}
+
+// update moves v to the bucket of the new key (inserting it if absent).
+func (b *gainBuckets) update(v, key int32) {
+	idx := b.idxOf(key)
+	if b.bucket[v] == idx {
+		return
+	}
+	if b.bucket[v] >= 0 {
+		b.remove(v)
+	}
+	b.insert(v, key)
+}
+
+// popMax removes and returns the head of the highest non-empty bucket.
+func (b *gainBuckets) popMax() (int32, bool) {
+	if b.count == 0 {
+		return -1, false
+	}
+	for b.top >= 0 && b.heads[b.top] < 0 {
+		b.top--
+	}
+	v := b.heads[b.top]
+	b.remove(v)
+	return v, true
+}

@@ -1,0 +1,170 @@
+package partition
+
+import "testing"
+
+func TestGainBucketsOrdering(t *testing.T) {
+	var b gainBuckets
+	b.reset(8, 5)
+	b.insert(0, 3)
+	b.insert(1, -2)
+	b.insert(2, 5)
+	b.insert(3, 0)
+	if b.len() != 4 {
+		t.Fatalf("len = %d, want 4", b.len())
+	}
+	want := []int32{2, 0, 3, 1} // descending key order
+	for _, w := range want {
+		v, ok := b.popMax()
+		if !ok || v != w {
+			t.Fatalf("popMax = %d,%v, want %d", v, ok, w)
+		}
+	}
+	if _, ok := b.popMax(); ok {
+		t.Fatal("popMax on empty structure returned a vertex")
+	}
+}
+
+func TestGainBucketsLIFOWithinBucket(t *testing.T) {
+	var b gainBuckets
+	b.reset(4, 3)
+	b.insert(0, 2)
+	b.insert(1, 2)
+	b.insert(2, 2)
+	// Most recently inserted first — the classical FM discipline.
+	for _, w := range []int32{2, 1, 0} {
+		if v, _ := b.popMax(); v != w {
+			t.Fatalf("popMax = %d, want %d (LIFO violated)", v, w)
+		}
+	}
+}
+
+func TestGainBucketsUpdateAndRemove(t *testing.T) {
+	var b gainBuckets
+	b.reset(4, 10)
+	b.insert(0, 1)
+	b.insert(1, 2)
+	b.update(0, 7) // move to a higher bucket
+	if v, _ := b.popMax(); v != 0 {
+		t.Fatal("update did not reprioritise")
+	}
+	// update on an absent vertex inserts it.
+	b.update(2, 3)
+	if !b.contains(2) {
+		t.Fatal("update did not insert absent vertex")
+	}
+	b.remove(2)
+	if b.contains(2) {
+		t.Fatal("remove left vertex queued")
+	}
+	if v, _ := b.popMax(); v != 1 {
+		t.Fatal("remaining vertex lost")
+	}
+	if b.len() != 0 {
+		t.Fatalf("len = %d after draining", b.len())
+	}
+}
+
+func TestGainBucketsClampsExtremeKeys(t *testing.T) {
+	var b gainBuckets
+	b.reset(4, 2)
+	b.insert(0, 100)  // clamps to +2
+	b.insert(1, -100) // clamps to -2
+	b.insert(2, 1)
+	order := []int32{0, 2, 1}
+	for _, w := range order {
+		if v, _ := b.popMax(); v != w {
+			t.Fatalf("clamped ordering wrong: got %d, want %d", v, w)
+		}
+	}
+}
+
+func TestGainBucketsGrow(t *testing.T) {
+	var b gainBuckets
+	b.reset(2, 4)
+	b.insert(0, 1)
+	b.grow(5)
+	b.insert(4, 3)
+	if v, _ := b.popMax(); v != 4 {
+		t.Fatal("vertex added after grow not found")
+	}
+	if v, _ := b.popMax(); v != 0 {
+		t.Fatal("pre-grow vertex lost")
+	}
+}
+
+func TestGainBucketsResetReuses(t *testing.T) {
+	var b gainBuckets
+	b.reset(4, 3)
+	b.insert(0, 1)
+	b.insert(1, 2)
+	b.reset(3, 2)
+	if b.len() != 0 {
+		t.Fatal("reset kept entries")
+	}
+	b.insert(2, -1)
+	if v, _ := b.popMax(); v != 2 {
+		t.Fatal("structure unusable after reset")
+	}
+}
+
+// TestVertexHeapCompaction is the regression test for the unbounded
+// stale-entry growth of the lazy-deletion heap: with a bound attached, lazy
+// re-pushes compact in place instead of accumulating, while popValid still
+// returns the freshest keys.
+func TestVertexHeapCompaction(t *testing.T) {
+	const n = 32
+	keys := make([]int32, n)
+	h := newVertexHeap()
+	limit := heapCompactLimit(n)
+	h.bind(keys, limit)
+	// Push far more stale updates than the bound allows: every round bumps
+	// every vertex's key and lazily re-pushes it.
+	for round := 0; round < 100; round++ {
+		for v := int32(0); v < n; v++ {
+			keys[v] = int32(round) + v
+			h.push(keys[v], v)
+		}
+		if h.len() > limit {
+			t.Fatalf("round %d: heap length %d exceeds bound %d", round, h.len(), limit)
+		}
+	}
+	// The heap must still yield vertices in fresh-key order.
+	prev := int32(1 << 30)
+	seen := map[int32]bool{}
+	for {
+		v, ok := h.popValid(func(int32) bool { return true }, keys)
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("vertex %d popped twice", v)
+		}
+		seen[v] = true
+		if keys[v] > prev {
+			t.Fatalf("pop order violated: key %d after %d", keys[v], prev)
+		}
+		prev = keys[v]
+	}
+	if len(seen) != n {
+		t.Fatalf("drained %d vertices, want %d", len(seen), n)
+	}
+}
+
+// TestVertexHeapUnboundedWithoutBind documents the pre-compaction behaviour
+// the small-n callers rely on: without bind, the heap never compacts (and
+// popValid filters the stale entries).
+func TestVertexHeapUnboundedWithoutBind(t *testing.T) {
+	keys := []int32{0, 0}
+	h := newVertexHeap()
+	for i := 0; i < 100; i++ {
+		keys[0] = int32(i)
+		h.push(keys[0], 0)
+	}
+	if h.len() != 100 {
+		t.Fatalf("unbound heap compacted: len %d", h.len())
+	}
+	v, ok := h.popValid(func(int32) bool { return true }, keys)
+	if !ok || v != 0 || keys[0] != 99 {
+		t.Fatal("fresh entry lost")
+	}
+}

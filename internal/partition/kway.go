@@ -41,6 +41,9 @@ func PartitionKWay(ctx context.Context, g *graph.Graph, k int, opt Options) (*Re
 	if k < 1 {
 		return nil, errBadK(k)
 	}
+	if opt.Reorder {
+		return reorderedConstruct(ctx, g, k, opt, PartitionKWay)
+	}
 	n := g.NumVertices()
 	if k == 1 || n <= k {
 		// Degenerate cases match the recursive-bisection behaviour.
@@ -77,7 +80,10 @@ func PartitionKWay(ctx context.Context, g *graph.Graph, k int, opt Options) (*Re
 				rspan.SetInt("level", int64(li))
 				rspan.SetInt("vertices", int64(levels[li].g.NumVertices()))
 			}
-			kwayRefine(levels[li].g, part, k, caps, opt.RefinePasses, rng)
+			mv := kwayRefine(ctx, levels[li].g, part, k, caps, opt.RefinePasses, pool)
+			if rspan.Active() {
+				rspan.SetInt("moves", int64(mv))
+			}
 			rspan.End()
 		}
 		part = projectAssignment(levels[li].cmap, part)
@@ -90,7 +96,10 @@ func PartitionKWay(ctx context.Context, g *graph.Graph, k int, opt Options) (*Re
 		rspan.SetInt("level", 0)
 		rspan.SetInt("vertices", int64(g.NumVertices()))
 	}
-	kwayRefine(g, part, k, caps, opt.RefinePasses, rng)
+	mv := kwayRefine(ctx, g, part, k, caps, opt.RefinePasses, pool)
+	if rspan.Active() {
+		rspan.SetInt("moves", int64(mv))
+	}
 	rspan.End()
 
 	return NewResult(g, part, k), nil
@@ -103,9 +112,32 @@ func errBadK(k int) error {
 // kwayCaps returns per-part per-constraint weight caps (shared by all parts
 // since targets are uniform).
 func kwayCaps(g *graph.Graph, k int, tol float64) []int64 {
-	tot := g.TotalWeights()
-	maxV := maxVertexWeights(g)
-	caps := make([]int64, g.NCon)
+	return kwayCapsInto(nil, g, k, tol)
+}
+
+// kwayCapsInto is kwayCaps writing into dst (grown as needed), so pooled
+// callers avoid the allocation. Totals and per-vertex maxima are accumulated
+// in stack buffers so the steady-state path stays allocation-free.
+func kwayCapsInto(dst []int64, g *graph.Graph, k int, tol float64) []int64 {
+	ncon := g.NCon
+	var totArr, maxArr [8]int64
+	var tot, maxV []int64
+	if ncon <= len(totArr) {
+		tot, maxV = totArr[:ncon], maxArr[:ncon]
+	} else {
+		tot, maxV = make([]int64, ncon), make([]int64, ncon)
+	}
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		row := g.VWgt[v*ncon : (v+1)*ncon]
+		for c, w := range row {
+			tot[c] += int64(w)
+			if int64(w) > maxV[c] {
+				maxV[c] = int64(w)
+			}
+		}
+	}
+	caps := growI64(dst, ncon)
 	for c := range tot {
 		ideal := float64(tot[c]) / float64(k)
 		cap := int64(ideal * tol)
@@ -125,14 +157,14 @@ func kwayCaps(g *graph.Graph, k int, tol float64) []int64 {
 // origin adds it back, lateral moves between two non-origin parts are
 // neutral. It is how incremental repartitioning (internal/repart) expresses
 // "restore balance, but migrate as little data as possible" through the
-// existing refinement machinery.
+// existing refinement machinery. The zero moveBias is "unbiased".
 type moveBias struct {
 	origin []int32
 	pen    []int64
 }
 
 // delta returns the gain adjustment for moving v from part `from` to `to`.
-func (b *moveBias) delta(v, from, to int32) int64 {
+func (b moveBias) delta(v, from, to int32) int64 {
 	switch b.origin[v] {
 	case from:
 		return -b.pen[v]
@@ -140,122 +172,4 @@ func (b *moveBias) delta(v, from, to int32) int64 {
 		return b.pen[v]
 	}
 	return 0
-}
-
-// kwayRefine runs greedy k-way boundary refinement passes in place: every
-// boundary vertex may move to the neighbouring part that maximises edge-cut
-// gain, provided the move does not push any constraint of the target part
-// past its cap and does not worsen total violation. Passes stop early when a
-// sweep makes no move.
-func kwayRefine(g *graph.Graph, part []int32, k int, caps []int64, passes int, rng *rand.Rand) {
-	kwayRefineBiased(context.Background(), g, part, k, caps, passes, rng, nil)
-}
-
-// kwayRefineBiased is kwayRefine with an optional migration bias applied to
-// every move's gain. Cancelling ctx stops at the next pass boundary.
-func kwayRefineBiased(ctx context.Context, g *graph.Graph, part []int32, k int, caps []int64, passes int, rng *rand.Rand, bias *moveBias) {
-	n := g.NumVertices()
-	ncon := g.NCon
-
-	pw := make([][]int64, k)
-	for p := range pw {
-		pw[p] = make([]int64, ncon)
-	}
-	for v := 0; v < n; v++ {
-		for c := 0; c < ncon; c++ {
-			pw[part[v]][c] += int64(g.Weight(int32(v), c))
-		}
-	}
-	overOf := func(p int32) int64 {
-		var over int64
-		for c := 0; c < ncon; c++ {
-			if d := pw[p][c] - caps[c]; d > 0 {
-				over += d
-			}
-		}
-		return over
-	}
-
-	// Scratch: connection weight to each part for the vertex under review.
-	conn := make([]int64, k)
-	touchedParts := make([]int32, 0, 8)
-
-	order := rng.Perm(n)
-	for pass := 0; pass < passes; pass++ {
-		if ctx.Err() != nil {
-			return
-		}
-		moves := 0
-		for _, vi := range order {
-			v := int32(vi)
-			from := part[v]
-
-			// Collect connections to adjacent parts.
-			touchedParts = touchedParts[:0]
-			boundary := false
-			for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
-				p := part[g.Adjncy[i]]
-				if conn[p] == 0 {
-					touchedParts = append(touchedParts, p)
-				}
-				conn[p] += int64(g.AdjWgt[i])
-				if p != from {
-					boundary = true
-				}
-			}
-			if !boundary {
-				for _, p := range touchedParts {
-					conn[p] = 0
-				}
-				continue
-			}
-
-			wv := g.WeightVec(v)
-			overFrom := overOf(from)
-			var best int32 = -1
-			var bestGain int64 = 0
-			var bestOverDelta int64 = 0
-			for _, to := range touchedParts {
-				if to == from {
-					continue
-				}
-				gain := conn[to] - conn[from]
-				if bias != nil {
-					gain += bias.delta(v, from, to)
-				}
-				// Balance effect of moving v from → to.
-				var overToNew, overFromNew int64
-				for c := 0; c < ncon; c++ {
-					if d := pw[to][c] + int64(wv[c]) - caps[c]; d > 0 {
-						overToNew += d
-					}
-					if d := pw[from][c] - int64(wv[c]) - caps[c]; d > 0 {
-						overFromNew += d
-					}
-				}
-				overDelta := (overToNew + overFromNew) - (overOf(to) + overFrom)
-				if overDelta > 0 {
-					continue // would worsen balance
-				}
-				if overDelta < bestOverDelta ||
-					(overDelta == bestOverDelta && gain > bestGain) {
-					best, bestGain, bestOverDelta = to, gain, overDelta
-				}
-			}
-			if best >= 0 && (bestGain > 0 || bestOverDelta < 0) {
-				for c := 0; c < ncon; c++ {
-					pw[from][c] -= int64(wv[c])
-					pw[best][c] += int64(wv[c])
-				}
-				part[v] = best
-				moves++
-			}
-			for _, p := range touchedParts {
-				conn[p] = 0
-			}
-		}
-		if moves == 0 {
-			return
-		}
-	}
 }

@@ -95,7 +95,7 @@ func TestKWayRefineImprovesCut(t *testing.T) {
 	}
 	before := ComputeEdgeCut(g, part)
 	caps := kwayCaps(g, 4, 1.05)
-	kwayRefine(g, part, 4, caps, 8, newTestRand(1))
+	kwayRefine(context.Background(), g, part, 4, caps, 8, nil)
 	after := ComputeEdgeCut(g, part)
 	if after > before {
 		t.Errorf("refinement worsened cut %d -> %d", before, after)

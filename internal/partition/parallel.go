@@ -35,11 +35,18 @@ type scratch struct {
 	pref  []int32       // precomputed heaviest-neighbour candidates
 
 	// FM refinement state (refineBisection / fmPass).
-	gain   []int32
-	bound  []bool
-	locked []bool
-	moves  []int32
-	heaps  [2]vertexHeap
+	gain    []int32
+	bound   []bool
+	locked  []bool
+	moves   []int32
+	heaps   [2]vertexHeap  // small-n fallback path
+	buckets [2]gainBuckets // bucket-list gain structures (fmPassBuckets)
+
+	// Greedy-graph-growing state (growBisection).
+	growGain     []int32
+	growFrontier []bool
+	growHeap     vertexHeap
+	growParked   []int32
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
@@ -52,6 +59,14 @@ func putScratch(s *scratch) { scratchPool.Put(s) }
 func growI32(buf []int32, n int) []int32 {
 	if cap(buf) < n {
 		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// growI64 is growI32 for int64 buffers.
+func growI64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
 	}
 	return buf[:n]
 }

@@ -45,12 +45,22 @@ type Options struct {
 	// handful of trials is a robust quality lever.
 	Trials int
 	// Parallelism bounds the worker goroutines the construction may use
-	// (recursive-bisection fan-out, sharded matching and contraction).
-	// Values <= 0 mean GOMAXPROCS; 1 forces serial execution. For a given
-	// Seed the result is bit-identical at every Parallelism setting: every
-	// subtree of the bisection tree draws from an RNG seeded purely by its
-	// position in the tree, never by scheduling order.
+	// (recursive-bisection fan-out, sharded matching and contraction,
+	// pairwise k-way refinement). Values <= 0 mean GOMAXPROCS; 1 forces
+	// serial execution. For a given Seed the result is bit-identical at
+	// every Parallelism setting: every subtree of the bisection tree draws
+	// from an RNG seeded purely by its position in the tree, never by
+	// scheduling order, and parallel refinement commits moves in a fixed
+	// serial order.
 	Parallelism int
+	// Reorder relabels the graph with a cache-conscious BFS ordering
+	// (graph.BFSOrder) before construction and maps the partition back to
+	// the caller's vertex ids on output, cutting cache misses in the
+	// gain-update inner loops of large meshes. The returned Result is
+	// expressed entirely in original ids; only wall time (and, because the
+	// construction sees a relabeled graph, the specific local optimum)
+	// changes.
+	Reorder bool
 }
 
 func (o Options) withDefaults(ncon int) Options {
@@ -197,13 +207,45 @@ func Partition(ctx context.Context, g *graph.Graph, k int, opt Options) (*Result
 		span.SetInt("seed", opt.Seed)
 		ctx = obs.ContextWithSpan(ctx, span)
 	}
-	res, err := partitionTrials(ctx, g, k, opt)
+	var res *Result
+	var err error
+	if opt.Reorder {
+		res, err = reorderedConstruct(ctx, g, k, opt, partitionTrials)
+	} else {
+		res, err = partitionTrials(ctx, g, k, opt)
+	}
 	if span.Active() && res != nil {
 		span.SetInt("edge_cut", res.EdgeCut)
 		span.SetFloat("imbalance", res.MaxImbalance())
 	}
 	span.End()
 	return res, err
+}
+
+// reorderedConstruct runs construct on a BFS-relabeled copy of g and maps
+// the resulting assignment back to the original vertex ids. Part weights and
+// edge cut are invariant under relabeling, so the Result is reused with only
+// its Part array rewritten.
+func reorderedConstruct(ctx context.Context, g *graph.Graph, k int, opt Options,
+	construct func(context.Context, *graph.Graph, int, Options) (*Result, error)) (*Result, error) {
+	rspan := obs.StartSpan(ctx, "partition/reorder")
+	order := graph.BFSOrder(g)
+	pg := graph.Permute(g, order)
+	if rspan.Active() {
+		rspan.SetInt("vertices", int64(g.NumVertices()))
+	}
+	rspan.End()
+	opt.Reorder = false
+	res, err := construct(ctx, pg, k, opt)
+	if err != nil || res == nil {
+		return res, err
+	}
+	part := make([]int32, len(res.Part))
+	for i, p := range res.Part {
+		part[order[i]] = p
+	}
+	res.Part = part
+	return res, nil
 }
 
 // partitionTrials runs the trials loop around the selected construction.
@@ -267,9 +309,38 @@ func partitionRB(ctx context.Context, g *graph.Graph, k int, opt Options) (*Resu
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("partition: %w", err)
 		}
+		PolishRB(ctx, g, part, k, opt)
 	}
 	r := NewResult(g, part, k)
 	return r, nil
+}
+
+// rbPolishPasses bounds the cross-boundary passes concluding RB construction.
+const rbPolishPasses = 2
+
+// PolishRB runs the cross-boundary polish that concludes recursive-bisection
+// construction: recursive bisection never reconsiders a cut once a subtree
+// splits, so a few pairwise k-way FM passes over the finished assignment
+// recover cut the recursion left between sibling subtrees. It is part of
+// Partition's RB pipeline and exported for one reason: a coordinator that
+// stitches SubtreeTask results (see SplitSubtrees) must apply the same
+// polish to the assembled assignment to reproduce Partition byte-for-byte.
+// Deterministic at every opt.Parallelism; returns the number of moves.
+func PolishRB(ctx context.Context, g *graph.Graph, part []int32, k int, opt Options) int {
+	if k < 2 {
+		return 0
+	}
+	opt = opt.withDefaults(g.NCon)
+	pool := graph.NewPool(opt.Parallelism)
+	pspan := obs.StartSpan(ctx, "partition/refine")
+	caps := kwayCaps(g, k, opt.ImbalanceTol)
+	mv := kwayRefine(ctx, g, part, k, caps, rbPolishPasses, pool)
+	if pspan.Active() {
+		pspan.SetStr("stage", "rb_polish")
+		pspan.SetInt("moves", int64(mv))
+	}
+	pspan.End()
+	return mv
 }
 
 // balanceCaps returns, per constraint, the maximum side weight allowed for a

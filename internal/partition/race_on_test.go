@@ -1,0 +1,8 @@
+//go:build race
+
+package partition
+
+// raceEnabled reports whether the race detector instruments this build.
+// sync.Pool intentionally randomises reuse under the detector, so
+// allocation-count pins are meaningless there.
+const raceEnabled = true

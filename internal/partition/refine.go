@@ -14,16 +14,15 @@ import (
 // violation; each pass keeps the best (violation, cut) prefix. Refinement
 // stops when a pass yields no improvement or after maxPasses.
 //
-// Each pass records a child span of parent with the post-pass edge cut and
-// violation; cut is O(E) to compute, so it is only evaluated when the span
-// actually records. Pass the zero Span to refine silently.
+// Each pass records a child span of parent with the post-pass violation.
+// Pass the zero Span to refine silently; tracing stays cheap enough to leave
+// on (no O(E) cut evaluation per pass).
 func refineBisection(b *bisection, maxPasses int, sc *scratch, parent obs.Span) {
 	for pass := 0; pass < maxPasses; pass++ {
 		ps := parent.Start("partition/refine/fm_pass")
 		improved := fmPass(b, sc)
 		if ps.Active() {
 			ps.SetInt("pass", int64(pass))
-			ps.SetInt("cut", b.cut())
 			ps.SetFloat("violation", b.violation())
 			if improved {
 				ps.SetInt("improved", 1)
@@ -38,18 +37,29 @@ func refineBisection(b *bisection, maxPasses int, sc *scratch, parent obs.Span) 
 	}
 }
 
+// fmBucketMinVertices gates the bucket-based pass: below it the lazy-deletion
+// heap's lower constant factors win and the heap stays (the small-n
+// fallback); above it the O(1) bucket updates dominate.
+const fmBucketMinVertices = 96
+
 // fmPass runs one FM pass and reports whether it improved (violation, cut).
 // All O(n) working state comes from the scratch arena, so repeated passes
-// (and repeated levels within one bisection) allocate nothing.
+// (and repeated levels within one bisection) allocate nothing. Large graphs
+// take the bucket-list gain structure; small graphs (and graphs whose gain
+// range dwarfs the vertex count, where a bucket array would be mostly empty)
+// fall back to the original lazy-deletion heaps. Both gates are pure
+// functions of the graph, so the choice never depends on scheduling.
 func fmPass(b *bisection, sc *scratch) bool {
 	g := b.g
 	n := g.NumVertices()
 
-	// Gains: ed - id per vertex.
+	// Gains: ed - id per vertex; maxw tracks the maximum weighted degree,
+	// which bounds every gain and sizes the bucket array.
 	gain := growI32(sc.gain, n)
 	sc.gain = gain
 	boundary := growBool(sc.bound, n)
 	sc.bound = boundary
+	var maxw int32
 	for v := 0; v < n; v++ {
 		pv := b.where[v]
 		var ed, id int32
@@ -62,12 +72,144 @@ func fmPass(b *bisection, sc *scratch) bool {
 		}
 		gain[v] = ed - id
 		boundary[v] = ed > 0
+		if wd := ed + id; wd > maxw {
+			maxw = wd
+		}
 	}
+	if n >= fmBucketMinVertices && 2*int(maxw)+1 <= 8*n {
+		return fmPassBuckets(b, sc, gain, boundary, maxw)
+	}
+	return fmPassHeap(b, sc, gain, boundary)
+}
+
+// fmPassBuckets is the bucket-list FM pass: O(1) candidate updates, no stale
+// entries, no per-move closure allocations.
+func fmPassBuckets(b *bisection, sc *scratch, gain []int32, boundary []bool, maxw int32) bool {
+	g := b.g
+	n := g.NumVertices()
+
+	bk := [2]*gainBuckets{&sc.buckets[0], &sc.buckets[1]}
+	bk[0].reset(n, maxw)
+	bk[1].reset(n, maxw)
+	locked := growBool(sc.locked, n)
+	sc.locked = locked
+	// Reverse insertion order: buckets are LIFO, so equal-gain candidates
+	// pop in ascending vertex id — spatially coherent on banded meshes,
+	// which measurably beats descending order on multi-constraint cuts.
+	for v := n - 1; v >= 0; v-- {
+		if boundary[v] {
+			bk[b.where[v]].insert(int32(v), gain[v])
+		}
+	}
+
+	startViol := b.violation()
+	curViol := startViol
+	var curCutDelta int64
+
+	moves := sc.moves[:0]
+	bestIdx := -1
+	bestViol, bestCutDelta := startViol, int64(0)
+
+	maxStall := 64 + n/16
+	stall := 0
+
+	for bk[0].len()+bk[1].len() > 0 && stall < maxStall {
+		v, ok := pickMoveBuckets(b, bk, gain, curViol)
+		if !ok {
+			break
+		}
+		locked[v] = true
+		newViol := b.violationAfterMove(v)
+		curCutDelta -= int64(gain[v])
+		s := b.where[v]
+		b.move(v)
+		curViol = newViol
+		moves = append(moves, v)
+
+		// Update neighbour gains: O(1) bucket moves instead of heap pushes.
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			u := g.Adjncy[i]
+			w := g.AdjWgt[i]
+			if b.where[u] == s {
+				gain[u] += 2 * w // edge became external for u
+			} else {
+				gain[u] -= 2 * w // edge became internal for u
+			}
+			if !locked[u] {
+				bk[b.where[u]].update(u, gain[u])
+			}
+		}
+
+		if betterState(curViol, curCutDelta, bestViol, bestCutDelta) {
+			bestViol, bestCutDelta = curViol, curCutDelta
+			bestIdx = len(moves) - 1
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+
+	for i := len(moves) - 1; i > bestIdx; i-- {
+		b.move(moves[i])
+	}
+	sc.moves = moves
+	return betterState(bestViol, bestCutDelta, startViol, 0)
+}
+
+// pickMoveBuckets selects the best admissible move from either direction's
+// bucket structure: pop each side's top candidate, drop candidates whose move
+// would increase the violation (they re-enter when a neighbour move changes
+// their gain), and keep the (violation, gain)-best of the two, returning the
+// loser to its bucket. A second probe round avoids stalling on a single
+// inadmissible top entry, mirroring the heap path.
+func pickMoveBuckets(b *bisection, bk [2]*gainBuckets, gain []int32, curViol float64) (int32, bool) {
+	const eps = 1e-12
+	for probe := 0; probe < 2; probe++ {
+		var bestV int32 = -1
+		var bestGain int32
+		var bestViol float64
+		for s := int32(0); s < 2; s++ {
+			v, ok := bk[s].popMax()
+			if !ok {
+				continue
+			}
+			nv := b.violationAfterMove(v)
+			if nv > curViol+eps {
+				// Inadmissible now; leave it out. A neighbour move that
+				// changes its gain re-inserts it via update.
+				continue
+			}
+			if bestV < 0 || nv < bestViol-eps || (nv <= bestViol+eps && gain[v] > bestGain) {
+				if bestV >= 0 {
+					bk[b.where[bestV]].insert(bestV, gain[bestV])
+				}
+				bestV, bestGain, bestViol = v, gain[v], nv
+			} else {
+				bk[s].insert(v, gain[v])
+			}
+		}
+		if bestV >= 0 {
+			return bestV, true
+		}
+		if bk[0].len()+bk[1].len() == 0 {
+			break
+		}
+	}
+	return -1, false
+}
+
+// fmPassHeap is the original lazy-deletion-heap FM pass, retained as the
+// small-n fallback (see fmPass).
+func fmPassHeap(b *bisection, sc *scratch, gain []int32, boundary []bool) bool {
+	g := b.g
+	n := g.NumVertices()
 
 	// One heap per move direction (from side s).
 	sc.heaps[0].reset()
 	sc.heaps[1].reset()
 	heaps := [2]*vertexHeap{&sc.heaps[0], &sc.heaps[1]}
+	heaps[0].bind(gain, heapCompactLimit(n))
+	heaps[1].bind(gain, heapCompactLimit(n))
 	locked := growBool(sc.locked, n)
 	sc.locked = locked
 	for v := 0; v < n; v++ {
@@ -264,7 +406,7 @@ func bisectGraph(ctx context.Context, g *graph.Graph, frac float64, opt Options,
 		if ctx.Err() != nil {
 			break
 		}
-		where := growBisection(coarsest, frac, caps0, caps1, rng)
+		where := growBisection(coarsest, frac, caps0, caps1, rng, sc)
 		b := newBisection(coarsest, where, caps0, caps1)
 		refineBisection(b, opt.RefinePasses, sc, ispan)
 		viol, cut := b.violation(), b.cut()

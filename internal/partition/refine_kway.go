@@ -3,7 +3,6 @@ package partition
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
 	"tempart/internal/graph"
 )
@@ -14,8 +13,13 @@ type RefineOptions struct {
 	ImbalanceTol float64
 	// Passes bounds the refinement sweeps (default 8).
 	Passes int
-	// Seed drives the sweep order.
+	// Seed is retained for compatibility; the pairwise-FM engine is fully
+	// deterministic and no longer consumes randomness.
 	Seed int64
+	// Parallelism bounds the worker goroutines of the refinement engine
+	// (<= 0: one per core). The refined assignment is byte-identical at
+	// every setting; see Options.Parallelism.
+	Parallelism int
 	// Origin and MovePenalty, when both set (length = vertices), bias
 	// refinement against migration: moving vertex v off Origin[v] reduces
 	// the move's gain by MovePenalty[v] edge-weight units, and moving it
@@ -28,10 +32,11 @@ type RefineOptions struct {
 }
 
 // RefineKWay improves an existing k-way assignment in place with the
-// multi-constraint greedy boundary refinement used by the direct k-way
+// multi-constraint pairwise-FM boundary refinement used by the direct k-way
 // construction, optionally biased against migration (see RefineOptions).
 // Cancelling ctx stops at the next pass boundary; the assignment is always
-// left in a consistent (if less refined) state.
+// left in a consistent (if less refined) state. Steady-state calls allocate
+// nothing: every working buffer comes from pooled scratch arenas.
 func RefineKWay(ctx context.Context, g *graph.Graph, part []int32, k int, opt RefineOptions) error {
 	n := g.NumVertices()
 	if len(part) != n {
@@ -46,7 +51,7 @@ func RefineKWay(ctx context.Context, g *graph.Graph, part []int32, k int, opt Re
 	if opt.Passes <= 0 {
 		opt.Passes = 8
 	}
-	var bias *moveBias
+	var bias moveBias
 	if opt.Origin != nil {
 		if len(opt.Origin) != n {
 			return fmt.Errorf("partition: origin length %d, want %d", len(opt.Origin), n)
@@ -55,11 +60,13 @@ func RefineKWay(ctx context.Context, g *graph.Graph, part []int32, k int, opt Re
 			if len(opt.MovePenalty) != n {
 				return fmt.Errorf("partition: penalty length %d, want %d", len(opt.MovePenalty), n)
 			}
-			bias = &moveBias{origin: opt.Origin, pen: opt.MovePenalty}
+			bias = moveBias{origin: opt.Origin, pen: opt.MovePenalty}
 		}
 	}
-	caps := kwayCaps(g, k, opt.ImbalanceTol)
-	rng := rand.New(rand.NewSource(opt.Seed))
-	kwayRefineBiased(ctx, g, part, k, caps, opt.Passes, rng, bias)
+	pool := graph.NewPool(opt.Parallelism)
+	ks := getKwayScratch(n)
+	defer putKwayScratch(ks)
+	ks.caps = kwayCapsInto(ks.caps, g, k, opt.ImbalanceTol)
+	kwayRefineWith(ctx, g, part, k, ks.caps, opt.Passes, pool, bias, ks)
 	return nil
 }

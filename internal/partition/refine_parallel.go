@@ -1,0 +1,682 @@
+package partition
+
+import (
+	"context"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"tempart/internal/graph"
+)
+
+// This file is the parallel k-way refinement engine. Each pass decomposes
+// k-way boundary refinement into pairwise FM subproblems — one per adjacent
+// part pair — and schedules non-adjacent pairs concurrently:
+//
+//  1. One sweep over the graph discovers the part-adjacency pairs, their
+//     boundary vertices, and their boundary edge weight.
+//  2. The pairs, sorted by descending weight (heaviest boundaries first get
+//     the smallest colors and the most refinement), are greedily
+//     edge-colored on the part-adjacency graph, so every color class is a
+//     set of part-disjoint pairs.
+//  3. Color classes run in sequence. Within a class, every pair runs
+//     pairwise FM over its boundary concurrently on the graph.Pool,
+//     computing a move list against the read-only pre-round state; a serial
+//     in-order commit then applies each pair's best move prefix.
+//
+// Determinism: pairs within a round are part-disjoint, so one pair's moves
+// never change another pair's gains (an edge into a third part contributes
+// the same cut weight whichever of its endpoints' pair-parts they sit in)
+// nor its part weights. The compute phase therefore reads identical state
+// no matter how the pool schedules it, results land in per-pair slots, and
+// the commit order is the deterministic pair order — so the refined
+// partition is byte-identical at every Options.Parallelism, including
+// serial. The same property makes the compute phase race-free: concurrent
+// pairs write only pair-local scratch and disjoint entries of the shared
+// localID array.
+
+// pairInfo is one adjacent part pair discovered during the boundary sweep.
+type pairInfo struct {
+	a, b  int32 // a < b
+	w     int64 // total boundary edge weight (counted from both endpoints)
+	color int32
+}
+
+// maxDensePairs bounds the k*k dense pair-index table; beyond it the sweep
+// falls back to a map (k that large only occurs far outside the solver's
+// domain counts).
+const maxDensePairs = 1 << 22
+
+// kwayScratch is the pooled arena of the k-way refinement engine: every
+// per-pass working array lives here, so steady-state refinement allocates
+// nothing once the buffers have grown to the problem size.
+type kwayScratch struct {
+	caps    []int64 // kwayCapsInto buffer (RefineKWay)
+	pw      []int64 // part weights, k*ncon flattened
+	mark    []int32 // per-part stamp for the boundary sweep
+	wsum    []int64 // per-part edge weight of the vertex under review
+	touched []int32 // distinct adjacent parts of the vertex under review
+	pairIdx []int32 // dense (a*k+b) -> pair index, -1 when absent
+	pairMap map[int64]int32
+	pairs   []pairInfo
+	lists   [][]int32 // per-pair boundary vertex lists (slot-reused)
+	order   []int32   // pair indices in coloring order
+	sorter  pairSorter
+	colors  [][]uint64 // per-part used-color bitset
+	rounds  [][]int32  // pair indices grouped by color, in order
+	results [][]int32  // per-slot committed move lists of the active round
+	localID []int32    // global vertex -> pair-local id, -1 outside any pair
+
+	// Active-round state read by runOne. The closure is built once per
+	// arena and reused, so steady-state passes allocate nothing.
+	cg     *graph.Graph
+	cpart  []int32
+	ccaps  []int64
+	cbias  moveBias
+	cround []int32
+	runOne func(i int)
+}
+
+var kwayScratchPool = sync.Pool{New: func() any { return new(kwayScratch) }}
+
+// getKwayScratch returns an arena whose localID covers n vertices. The
+// localID array holds -1 everywhere between uses (every pair run resets the
+// entries it claimed), so acquisition only initialises newly grown entries.
+func getKwayScratch(n int) *kwayScratch {
+	ks := kwayScratchPool.Get().(*kwayScratch)
+	if cap(ks.localID) < n {
+		grown := make([]int32, n)
+		copy(grown, ks.localID)
+		for i := len(ks.localID); i < n; i++ {
+			grown[i] = -1
+		}
+		ks.localID = grown
+	} else {
+		old := len(ks.localID)
+		ks.localID = ks.localID[:cap(ks.localID)]
+		for i := old; i < len(ks.localID); i++ {
+			ks.localID[i] = -1
+		}
+	}
+	return ks
+}
+
+func putKwayScratch(ks *kwayScratch) { kwayScratchPool.Put(ks) }
+
+// pairSorter orders pair indices by descending boundary weight, ties by
+// (a, b) — a pure function of the pair set, never of discovery scheduling.
+type pairSorter struct {
+	order []int32
+	pairs []pairInfo
+}
+
+func (s *pairSorter) Len() int      { return len(s.order) }
+func (s *pairSorter) Swap(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] }
+func (s *pairSorter) Less(i, j int) bool {
+	pi, pj := &s.pairs[s.order[i]], &s.pairs[s.order[j]]
+	if pi.w != pj.w {
+		return pi.w > pj.w
+	}
+	if pi.a != pj.a {
+		return pi.a < pj.a
+	}
+	return pi.b < pj.b
+}
+
+// kwayRefine runs parallel pairwise-FM k-way refinement passes in place; see
+// the engine comment above. Passes stop early when a full pass commits no
+// move.
+func kwayRefine(ctx context.Context, g *graph.Graph, part []int32, k int, caps []int64, passes int, pool *graph.Pool) int {
+	return kwayRefineBiased(ctx, g, part, k, caps, passes, pool, moveBias{})
+}
+
+// kwayRefineBiased is kwayRefine with an optional migration bias applied to
+// every move's gain (zero moveBias = unbiased). Cancelling ctx stops at the
+// next pass boundary. Returns the total number of committed moves.
+func kwayRefineBiased(ctx context.Context, g *graph.Graph, part []int32, k int, caps []int64, passes int, pool *graph.Pool, bias moveBias) int {
+	n := g.NumVertices()
+	if n == 0 || k <= 1 {
+		return 0
+	}
+	ks := getKwayScratch(n)
+	defer putKwayScratch(ks)
+	return kwayRefineWith(ctx, g, part, k, caps, passes, pool, bias, ks)
+}
+
+// kwayRefineWith is kwayRefineBiased against a caller-held scratch arena.
+func kwayRefineWith(ctx context.Context, g *graph.Graph, part []int32, k int, caps []int64, passes int, pool *graph.Pool, bias moveBias, ks *kwayScratch) int {
+	n := g.NumVertices()
+	if n == 0 || k <= 1 {
+		return 0
+	}
+
+	// Part weights, maintained across passes by the commit phase.
+	ncon := g.NCon
+	ks.pw = growI64(ks.pw, k*ncon)
+	for i := range ks.pw {
+		ks.pw[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		dst := ks.pw[int(part[v])*ncon:]
+		wv := g.WeightVec(int32(v))
+		for c := 0; c < ncon; c++ {
+			dst[c] += int64(wv[c])
+		}
+	}
+
+	total := 0
+	for pass := 0; pass < passes; pass++ {
+		if ctx.Err() != nil {
+			break
+		}
+		moved := kwayPass(g, part, k, caps, ks, pool, bias)
+		total += moved
+		if moved == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// kwayPass runs one full refinement pass and returns the number of moves it
+// committed.
+func kwayPass(g *graph.Graph, part []int32, k int, caps []int64, ks *kwayScratch, pool *graph.Pool, bias moveBias) int {
+	n := g.NumVertices()
+
+	// Sweep: discover pairs, their boundary vertices and weights. A vertex
+	// joins the list of every pair formed by its part and a distinct
+	// adjacent part.
+	ks.pairs = ks.pairs[:0]
+	dense := k*k <= maxDensePairs
+	if dense {
+		ks.pairIdx = growPairIdx(ks.pairIdx, k*k)
+	} else if ks.pairMap == nil {
+		ks.pairMap = make(map[int64]int32)
+	}
+	ks.mark = growI32(ks.mark, k)
+	for i := range ks.mark {
+		ks.mark[i] = 0
+	}
+	ks.wsum = growI64(ks.wsum, k)
+	touched := ks.touched[:0]
+	for v := 0; v < n; v++ {
+		from := part[v]
+		stamp := int32(v) + 1
+		touched = touched[:0]
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			p := part[g.Adjncy[i]]
+			if p == from {
+				continue
+			}
+			if ks.mark[p] != stamp {
+				ks.mark[p] = stamp
+				ks.wsum[p] = 0
+				touched = append(touched, p)
+			}
+			ks.wsum[p] += int64(g.AdjWgt[i])
+		}
+		for _, p := range touched {
+			a, b := from, p
+			if a > b {
+				a, b = b, a
+			}
+			key := int(a)*k + int(b)
+			var pi int32
+			if dense {
+				pi = ks.pairIdx[key]
+			} else if got, ok := ks.pairMap[int64(key)]; ok {
+				pi = got
+			} else {
+				pi = -1
+			}
+			if pi < 0 {
+				pi = int32(len(ks.pairs))
+				ks.pairs = append(ks.pairs, pairInfo{a: a, b: b})
+				if dense {
+					ks.pairIdx[key] = pi
+				} else {
+					ks.pairMap[int64(key)] = pi
+				}
+				if int(pi) < len(ks.lists) {
+					ks.lists[pi] = ks.lists[pi][:0]
+				} else {
+					ks.lists = append(ks.lists, nil)
+				}
+			}
+			ks.pairs[pi].w += ks.wsum[p]
+			ks.lists[pi] = append(ks.lists[pi], int32(v))
+		}
+	}
+	ks.touched = touched
+	np := len(ks.pairs)
+	if np == 0 {
+		return 0
+	}
+
+	// Greedy edge coloring of the part-adjacency graph, heaviest pair first:
+	// each pair takes the smallest color unused at both endpoints.
+	ks.order = ks.order[:0]
+	for i := 0; i < np; i++ {
+		ks.order = append(ks.order, int32(i))
+	}
+	ks.sorter.order, ks.sorter.pairs = ks.order, ks.pairs
+	sort.Sort(&ks.sorter)
+	for len(ks.colors) < k {
+		ks.colors = append(ks.colors, nil)
+	}
+	for p := 0; p < k; p++ {
+		ks.colors[p] = ks.colors[p][:0]
+	}
+	ncolors := 0
+	for _, pi := range ks.order {
+		pr := &ks.pairs[pi]
+		c := freeColor(ks.colors[pr.a], ks.colors[pr.b])
+		ks.colors[pr.a] = setColorBit(ks.colors[pr.a], c)
+		ks.colors[pr.b] = setColorBit(ks.colors[pr.b], c)
+		pr.color = int32(c)
+		if c+1 > ncolors {
+			ncolors = c + 1
+		}
+	}
+	for len(ks.rounds) < ncolors {
+		ks.rounds = append(ks.rounds, nil)
+	}
+	for c := 0; c < ncolors; c++ {
+		ks.rounds[c] = ks.rounds[c][:0]
+	}
+	for _, pi := range ks.order {
+		c := ks.pairs[pi].color
+		ks.rounds[c] = append(ks.rounds[c], pi)
+	}
+
+	// Execute the color rounds: concurrent pairwise FM against the
+	// read-only pre-round state, then a serial in-order commit.
+	ncon := g.NCon
+	total := 0
+	ks.cg, ks.cpart, ks.ccaps, ks.cbias = g, part, caps, bias
+	if ks.runOne == nil {
+		ks.runOne = func(i int) {
+			pr := ks.pairs[ks.cround[i]]
+			ps := pairScratchPool.Get().(*pairScratch)
+			ks.results[i] = ps.run(ks.cg, ks.cpart, ks, pr.a, pr.b, ks.lists[ks.cround[i]], ks.ccaps, ks.cbias, ks.results[i][:0])
+			pairScratchPool.Put(ps)
+		}
+	}
+	for c := 0; c < ncolors; c++ {
+		round := ks.rounds[c]
+		for len(ks.results) < len(round) {
+			ks.results = append(ks.results, nil)
+		}
+		ks.cround = round
+		pool.RunN(len(round), ks.runOne)
+		for i, pi := range round {
+			pr := ks.pairs[pi]
+			for _, v := range ks.results[i] {
+				from := part[v]
+				to := pr.a
+				if from == pr.a {
+					to = pr.b
+				}
+				fw := ks.pw[int(from)*ncon:]
+				tw := ks.pw[int(to)*ncon:]
+				wv := g.WeightVec(v)
+				for ci := 0; ci < ncon; ci++ {
+					fw[ci] -= int64(wv[ci])
+					tw[ci] += int64(wv[ci])
+				}
+				part[v] = to
+				total++
+			}
+		}
+	}
+
+	// Restore the pair-index invariant (-1 / empty) for the next pass.
+	if dense {
+		for i := range ks.pairs {
+			ks.pairIdx[int(ks.pairs[i].a)*k+int(ks.pairs[i].b)] = -1
+		}
+	} else if ks.pairMap != nil {
+		for key := range ks.pairMap {
+			delete(ks.pairMap, key)
+		}
+	}
+	ks.cg, ks.cpart, ks.ccaps, ks.cbias = nil, nil, nil, moveBias{}
+	return total
+}
+
+// growPairIdx returns buf resized to n with every entry -1. Entries of a
+// reused buffer are already -1 (kwayPass restores them), so only newly grown
+// capacity needs filling.
+func growPairIdx(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		buf = make([]int32, n)
+		for i := range buf {
+			buf[i] = -1
+		}
+		return buf
+	}
+	old := len(buf)
+	buf = buf[:cap(buf)]
+	for i := old; i < len(buf); i++ {
+		buf[i] = -1
+	}
+	return buf[:n]
+}
+
+// freeColor returns the smallest color absent from both bitsets.
+func freeColor(a, b []uint64) int {
+	nw := len(a)
+	if len(b) > nw {
+		nw = len(b)
+	}
+	for w := 0; w < nw; w++ {
+		var used uint64
+		if w < len(a) {
+			used = a[w]
+		}
+		if w < len(b) {
+			used |= b[w]
+		}
+		if used != ^uint64(0) {
+			return w*64 + bits.TrailingZeros64(^used)
+		}
+	}
+	return nw * 64
+}
+
+// setColorBit marks color c used, growing the bitset as needed.
+func setColorBit(set []uint64, c int) []uint64 {
+	for len(set) <= c/64 {
+		set = append(set, 0)
+	}
+	set[c/64] |= 1 << (c % 64)
+	return set
+}
+
+// pairScratch is the per-worker arena of one pairwise FM run. The run's
+// parameters are stored as fields so the hot helpers are methods (closures
+// here would escape to the heap on every run).
+type pairScratch struct {
+	g       *graph.Graph
+	part    []int32
+	localID []int32
+	caps    []int64
+	a, b    int32
+	bias    moveBias
+
+	verts  []int32 // local id -> global vertex
+	gain   []int64 // exact gain of moving the vertex to the pair's other part
+	side   []int8  // current side: 0 = part a, 1 = part b
+	locked []bool
+	moves  []int32 // applied moves, local ids
+	pwa    []int64 // pair-local copies of the two part weight vectors
+	pwb    []int64
+	bk     [2]gainBuckets
+	maxDeg int64
+}
+
+var pairScratchPool = sync.Pool{New: func() any { return new(pairScratch) }}
+
+// run executes pairwise FM between parts a and b over the given boundary
+// vertex list, reading part and ks.pw as the immutable pre-round state, and
+// appends the best move prefix (global vertex ids, in order) to out. The
+// caller commits those moves serially; run itself never writes part.
+func (ps *pairScratch) run(g *graph.Graph, part []int32, ks *kwayScratch, a, b int32, list []int32, caps []int64, bias moveBias, out []int32) []int32 {
+	ncon := g.NCon
+	ps.g, ps.part, ps.localID, ps.caps = g, part, ks.localID, caps
+	ps.a, ps.b, ps.bias = a, b, bias
+	ps.pwa = growI64(ps.pwa, ncon)
+	copy(ps.pwa, ks.pw[int(a)*ncon:int(a)*ncon+ncon])
+	ps.pwb = growI64(ps.pwb, ncon)
+	copy(ps.pwb, ks.pw[int(b)*ncon:int(b)*ncon+ncon])
+	ps.verts = ps.verts[:0]
+	ps.gain = ps.gain[:0]
+	ps.side = ps.side[:0]
+	ps.locked = ps.locked[:0]
+	ps.moves = ps.moves[:0]
+	ps.maxDeg = 1
+
+	// Register the initial working set. List vertices may have been moved to
+	// a third part by an earlier round of this pass; skip those.
+	for _, v := range list {
+		if pv := part[v]; pv != a && pv != b {
+			continue
+		}
+		if ps.localID[v] >= 0 {
+			continue
+		}
+		ps.register(v)
+	}
+	nloc := len(ps.verts)
+	if nloc == 0 {
+		return out
+	}
+	// Bound the bucket key range by the working-set size so coarse levels
+	// (few vertices, heavy accumulated weights) cannot blow up the bucket
+	// array; extreme gains clamp to the boundary buckets.
+	keyBound := int32(4*nloc + 64)
+	maxKey := satKey(ps.maxDeg, keyBound)
+	ps.bk[0].reset(nloc, maxKey)
+	ps.bk[1].reset(nloc, maxKey)
+	// Reverse insertion: LIFO buckets then pop equal-gain candidates in
+	// ascending local (≈ global) id — spatially coherent, see fmPassBuckets.
+	for l := nloc - 1; l >= 0; l-- {
+		ps.bk[ps.side[l]].insert(int32(l), satKey(ps.gain[l], maxKey))
+	}
+
+	startOver := overage(ps.pwa, caps) + overage(ps.pwb, caps)
+	curOver := startOver
+	var curScore int64
+	bestIdx := -1
+	bestOver, bestScore := startOver, int64(0)
+	maxStall := 64 + nloc/16
+	stall := 0
+
+	for ps.bk[0].len()+ps.bk[1].len() > 0 && stall < maxStall {
+		l, newOver, ok := ps.pickMove(curOver, maxKey)
+		if !ok {
+			break
+		}
+		v := ps.verts[l]
+		ps.locked[l] = true
+		s := ps.side[l]
+		wv := g.WeightVec(v)
+		if s == 0 {
+			for c := 0; c < ncon; c++ {
+				ps.pwa[c] -= int64(wv[c])
+				ps.pwb[c] += int64(wv[c])
+			}
+		} else {
+			for c := 0; c < ncon; c++ {
+				ps.pwb[c] -= int64(wv[c])
+				ps.pwa[c] += int64(wv[c])
+			}
+		}
+		ps.side[l] = 1 - s
+		curOver = newOver
+		curScore += ps.gain[l]
+		ps.gain[l] = -ps.gain[l]
+		ps.moves = append(ps.moves, l)
+
+		// Neighbour gain updates; vertices of the pair that just became
+		// boundary join the working set lazily. Membership is decided by
+		// part[u] first: the shared localID array also carries entries of
+		// other (part-disjoint) pairs running concurrently, and only
+		// vertices whose part is a or b can be local to this pair.
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			u := g.Adjncy[i]
+			if pu := part[u]; pu != a && pu != b {
+				continue
+			}
+			lu := ps.localID[u]
+			if lu < 0 {
+				lu = ps.register(u) // gain computed against the post-move state
+				ps.bk[0].grow(len(ps.verts))
+				ps.bk[1].grow(len(ps.verts))
+				ps.bk[ps.side[lu]].insert(lu, satKey(ps.gain[lu], maxKey))
+				continue
+			}
+			w := int64(g.AdjWgt[i])
+			if ps.side[lu] == s {
+				ps.gain[lu] += 2 * w // the edge became external for u
+			} else {
+				ps.gain[lu] -= 2 * w // the edge became internal for u
+			}
+			if !ps.locked[lu] {
+				ps.bk[ps.side[lu]].update(lu, satKey(ps.gain[lu], maxKey))
+			}
+		}
+
+		if curOver < bestOver || (curOver == bestOver && curScore > bestScore) {
+			bestOver, bestScore = curOver, curScore
+			bestIdx = len(ps.moves) - 1
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+
+	// Keep the best prefix only when it beats the starting state; emit it in
+	// global ids for the commit phase.
+	if bestOver < startOver || bestScore > 0 {
+		for _, l := range ps.moves[:bestIdx+1] {
+			out = append(out, ps.verts[l])
+		}
+	}
+	for _, v := range ps.verts {
+		ps.localID[v] = -1
+	}
+	return out
+}
+
+// register adds vertex v (in part a or b, not yet local) to the working set,
+// computing its gain against the current effective state — locally moved
+// vertices count on their moved side.
+func (ps *pairScratch) register(v int32) int32 {
+	g := ps.g
+	var ca, cb int64
+	for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+		u := g.Adjncy[i]
+		pu := ps.part[u]
+		if pu != ps.a && pu != ps.b {
+			continue // includes other pairs' localID entries — not ours
+		}
+		su := int8(0)
+		if pu == ps.b {
+			su = 1
+		}
+		if lu := ps.localID[u]; lu >= 0 {
+			su = ps.side[lu] // locally moved within this pair run
+		}
+		if su == 0 {
+			ca += int64(g.AdjWgt[i])
+		} else {
+			cb += int64(g.AdjWgt[i])
+		}
+	}
+	var s int8
+	var gv int64
+	from, to := ps.a, ps.b
+	if ps.part[v] == ps.a {
+		gv = cb - ca
+	} else {
+		s = 1
+		gv = ca - cb
+		from, to = ps.b, ps.a
+	}
+	if ps.bias.origin != nil {
+		gv += ps.bias.delta(v, from, to)
+	}
+	l := int32(len(ps.verts))
+	ps.localID[v] = l
+	ps.verts = append(ps.verts, v)
+	ps.gain = append(ps.gain, gv)
+	ps.side = append(ps.side, s)
+	ps.locked = append(ps.locked, false)
+	if wd := ca + cb; wd > ps.maxDeg {
+		ps.maxDeg = wd
+	}
+	return l
+}
+
+// pickMove selects the best admissible move from either direction's buckets:
+// pop each side's top candidate, drop candidates that would worsen the pair
+// overage (they re-enter when a neighbour move changes their gain), keep the
+// (overage, gain)-best of the two and return the loser. A second probe round
+// avoids stalling on a single inadmissible top entry.
+func (ps *pairScratch) pickMove(curOver int64, maxKey int32) (int32, int64, bool) {
+	for probe := 0; probe < 2; probe++ {
+		best := int32(-1)
+		var bestOver, bestGain int64
+		for s := 0; s < 2; s++ {
+			l, ok := ps.bk[s].popMax()
+			if !ok {
+				continue
+			}
+			no := ps.overAfter(l)
+			if no > curOver {
+				continue
+			}
+			if best < 0 || no < bestOver || (no == bestOver && ps.gain[l] > bestGain) {
+				if best >= 0 {
+					ps.bk[ps.side[best]].insert(best, satKey(ps.gain[best], maxKey))
+				}
+				best, bestOver, bestGain = l, no, ps.gain[l]
+			} else {
+				ps.bk[s].insert(l, satKey(ps.gain[l], maxKey))
+			}
+		}
+		if best >= 0 {
+			return best, bestOver, true
+		}
+		if ps.bk[0].len()+ps.bk[1].len() == 0 {
+			break
+		}
+	}
+	return -1, 0, false
+}
+
+// overAfter returns the pair overage if local vertex l moved to the other
+// side.
+func (ps *pairScratch) overAfter(l int32) int64 {
+	wv := ps.g.WeightVec(ps.verts[l])
+	var over int64
+	sgnA := int64(1)
+	if ps.side[l] == 0 {
+		sgnA = -1
+	}
+	for c := range ps.caps {
+		if d := ps.pwa[c] + sgnA*int64(wv[c]) - ps.caps[c]; d > 0 {
+			over += d
+		}
+		if d := ps.pwb[c] - sgnA*int64(wv[c]) - ps.caps[c]; d > 0 {
+			over += d
+		}
+	}
+	return over
+}
+
+// overage sums the per-constraint cap overshoot of one part weight vector.
+func overage(pw, caps []int64) int64 {
+	var over int64
+	for c := range caps {
+		if d := pw[c] - caps[c]; d > 0 {
+			over += d
+		}
+	}
+	return over
+}
+
+// satKey saturates an int64 gain into the bucket key range. The buckets
+// clamp keys to ±maxKey anyway; saturating first just avoids int32 overflow.
+// Exact gains stay in the caller's arrays — clamping only coarsens the
+// ordering of extreme (usually bias-dominated) gains.
+func satKey(gv int64, maxKey int32) int32 {
+	if gv > int64(maxKey) {
+		return maxKey
+	}
+	if gv < -int64(maxKey) {
+		return -maxKey
+	}
+	return int32(gv)
+}

@@ -1,0 +1,55 @@
+package partition
+
+import (
+	"context"
+	"testing"
+
+	"tempart/internal/mesh"
+)
+
+// TestPartitionReorderValid: Options.Reorder is transparent to callers — the
+// result is expressed in original vertex ids, validates, and its recorded
+// edge cut matches a recomputation on the original graph.
+func TestPartitionReorderValid(t *testing.T) {
+	m := mesh.Cylinder(0.002)
+	g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})
+	for _, method := range []Method{RecursiveBisection, DirectKWay} {
+		res, err := Partition(context.Background(), g, 12, Options{Seed: 5, Method: method, Reorder: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(g); err != nil {
+			t.Fatalf("method %v: %v", method, err)
+		}
+		if got := ComputeEdgeCut(g, res.Part); got != res.EdgeCut {
+			t.Fatalf("method %v: result cut %d, recomputed on original ids %d — back-mapping broken",
+				method, res.EdgeCut, got)
+		}
+		if imb := res.MaxImbalance(); imb > 2.0 {
+			t.Errorf("method %v: imbalance %.3f out of line", method, imb)
+		}
+	}
+}
+
+// TestPartitionReorderDeterministicAcrossParallelism: the reorder is a pure
+// function of the graph, so the determinism contract survives it.
+func TestPartitionReorderDeterministicAcrossParallelism(t *testing.T) {
+	m := mesh.Cylinder(0.003)
+	g := m.DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})
+	var ref *Result
+	for _, par := range parallelismSettings {
+		res, err := Partition(context.Background(), g, 8, Options{Seed: 11, Reorder: true, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for i := range res.Part {
+			if res.Part[i] != ref.Part[i] {
+				t.Fatalf("parallelism %d: vertex %d differs", par, i)
+			}
+		}
+	}
+}

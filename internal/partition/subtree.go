@@ -14,8 +14,10 @@ import (
 // peer solve its task with PartitionSubtree, and stitch the returned
 // assignments into one array. Because each tree node's computation is a pure
 // function of (graph, vertex set, seed) — never of scheduling — the stitched
-// partition is byte-identical to a fully local Partition call with the same
-// Options, at every Parallelism, on every placement of tasks onto peers.
+// partition (after the coordinator applies PolishRB, the cross-boundary
+// pass that concludes local construction too) is byte-identical to a fully
+// local Partition call with the same Options, at every Parallelism, on every
+// placement of tasks onto peers.
 
 // SubtreeTask addresses one independent node of the recursive-bisection
 // tree: partition Vertices of the full graph into parts
@@ -42,9 +44,9 @@ type SubtreeTask struct {
 // still-unassigned vertex.
 //
 // Completing every returned task with PartitionSubtree over the same part
-// array yields a partition byte-identical to Partition(ctx, g, k, opt) with
-// Method RecursiveBisection and Trials <= 1 — regardless of where, in what
-// order, or at what parallelism the tasks run.
+// array and then applying PolishRB yields a partition byte-identical to
+// Partition(ctx, g, k, opt) with Method RecursiveBisection and Trials <= 1 —
+// regardless of where, in what order, or at what parallelism the tasks run.
 func SplitSubtrees(ctx context.Context, g *graph.Graph, k int, opt Options, target int) ([]int32, []SubtreeTask, error) {
 	if k < 1 {
 		return nil, nil, fmt.Errorf("partition: k = %d, want >= 1", k)

@@ -9,10 +9,11 @@ import (
 )
 
 // TestSubtreeSplitMatchesLocal is the distribution determinism lemma: running
-// the top of the bisection tree with SplitSubtrees and completing every
+// the top of the bisection tree with SplitSubtrees, completing every
 // frontier task with PartitionSubtree — in any order, at any parallelism —
-// must reproduce the local Partition assignment bit for bit. The cluster
-// coordinator's byte-identical fan-out guarantee rests entirely on this.
+// and applying the coordinator's PolishRB must reproduce the local Partition
+// assignment bit for bit. The cluster coordinator's byte-identical fan-out
+// guarantee rests entirely on this.
 func TestSubtreeSplitMatchesLocal(t *testing.T) {
 	m, err := mesh.ByName("CYLINDER", 0.004)
 	if err != nil {
@@ -44,6 +45,7 @@ func TestSubtreeSplitMatchesLocal(t *testing.T) {
 							t.Fatal(err)
 						}
 					}
+					PolishRB(context.Background(), g, part, k, o)
 					if !reflect.DeepEqual(part, ref.Part) {
 						t.Fatalf("%v k=%d target=%d par=%d: stitched subtree partition differs from local run",
 							strat, k, target, par)

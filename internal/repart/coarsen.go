@@ -83,6 +83,7 @@ func refineWarm(ctx context.Context, g *graph.Graph, part []int32, k int, opt Op
 			ImbalanceTol: opt.Part.ImbalanceTol,
 			Passes:       opt.Part.RefinePasses,
 			Seed:         opt.Part.Seed + int64(li),
+			Parallelism:  opt.Part.Parallelism,
 			Origin:       lv.origin,
 			MovePenalty:  lv.pen,
 		})

@@ -278,6 +278,7 @@ func refinePolish(ctx context.Context, g *graph.Graph, part []int32, k int, opt 
 		ImbalanceTol: opt.Part.ImbalanceTol,
 		Passes:       opt.Part.RefinePasses,
 		Seed:         opt.Part.Seed,
+		Parallelism:  opt.Part.Parallelism,
 		Origin:       origin,
 		MovePenalty:  penalties(g, opt),
 	})
