@@ -1,19 +1,25 @@
 // Command benchguard compares two partbench -json reports and fails when the
-// refine phase regressed. It is the CI tripwire for the refinement engine:
-// the committed BENCH_partition.json is the baseline, a fresh run (with
-// -phases) is the candidate, and any strategy whose refine-phase seconds grew
-// by more than -max-regress (default 20%) fails the build.
+// refine phase — or, with -mem, the memory footprint — regressed. It is the
+// CI tripwire for the partitioning engine: the committed BENCH_partition.json
+// is the baseline, a fresh run (with -phases, plus -mem for the memory check)
+// is the candidate, and any strategy whose refine-phase seconds grew by more
+// than -max-regress (default 20%) fails the build. With -mem, a bytes/cell
+// peak-heap figure more than -max-regress above the baseline's fails too, and
+// -max-bytes-per-cell optionally pins an absolute ceiling (the full-scale
+// lane uses it to enforce the paper-scale streaming bound).
 //
 // Strategies below -min-seconds in the baseline are skipped: at bench-smoke
 // mesh scales the refine phase of a small strategy is tens of milliseconds
 // and a 20% band would be pure scheduler noise. Strategies present in only
 // one report are reported but do not fail the run (the table is allowed to
-// grow).
+// grow). The full-scale lane runs with -refine=false: its baseline is the
+// small-scale committed report, so phase seconds are not comparable there —
+// only the scale-free bytes/cell is.
 //
 // Example:
 //
-//	partbench -mesh CYLINDER -scale 0.005 -parallel 4 -phases -json > new.json
-//	benchguard -baseline BENCH_partition.json -current new.json
+//	partbench -mesh CYLINDER -scale 0.005 -parallel 4 -phases -mem -json > new.json
+//	benchguard -baseline BENCH_partition.json -current new.json -mem
 package main
 
 import (
@@ -31,18 +37,28 @@ type row struct {
 	InitialSeconds float64 `json:"initial_seconds"`
 }
 
+type memSection struct {
+	PeakHeapBytes int64   `json:"peak_heap_bytes"`
+	PeakRSSBytes  int64   `json:"peak_rss_bytes"`
+	BytesPerCell  float64 `json:"bytes_per_cell"`
+}
+
 type benchReport struct {
-	Mesh     string `json:"mesh"`
-	Parallel int    `json:"parallel"`
-	Results  []row  `json:"results"`
+	Mesh     string      `json:"mesh"`
+	Parallel int         `json:"parallel"`
+	Results  []row       `json:"results"`
+	Mem      *memSection `json:"mem"`
 }
 
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_partition.json", "committed partbench -json report to compare against")
 		currentPath  = flag.String("current", "", "fresh partbench -phases -json report (required)")
-		maxRegress   = flag.Float64("max-regress", 0.20, "maximum tolerated fractional refine-phase regression")
+		maxRegress   = flag.Float64("max-regress", 0.20, "maximum tolerated fractional regression (refine seconds, and bytes/cell under -mem)")
 		minSeconds   = flag.Float64("min-seconds", 0.02, "skip strategies whose baseline refine phase is below this many seconds")
+		checkRefine  = flag.Bool("refine", true, "compare per-strategy refine-phase seconds (disable when baseline and current run at different scales)")
+		checkMem     = flag.Bool("mem", false, "compare the mem section's peak-heap bytes/cell against the baseline's")
+		maxBPC       = flag.Float64("max-bytes-per-cell", 0, "absolute bytes/cell ceiling for the current report's peak heap (0 = no ceiling); requires -mem")
 	)
 	flag.Parse()
 	if *currentPath == "" {
@@ -64,11 +80,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	failed := false
+	if *checkRefine {
+		failed = compareRefine(base, cur, *maxRegress, *minSeconds) || failed
+	}
+	if *checkMem {
+		failed = compareMem(base, cur, *maxRegress, *maxBPC) || failed
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: regression beyond %.0f%%\n", *maxRegress*100)
+		os.Exit(1)
+	}
+}
+
+func compareRefine(base, cur *benchReport, maxRegress, minSeconds float64) (failed bool) {
 	baseBy := map[string]row{}
 	for _, r := range base.Results {
 		baseBy[r.Strategy] = r
 	}
-	failed := false
 	checked := 0
 	for _, c := range cur.Results {
 		b, ok := baseBy[c.Strategy]
@@ -77,13 +106,13 @@ func main() {
 			continue
 		}
 		delete(baseBy, c.Strategy)
-		if b.RefineSeconds < *minSeconds {
+		if b.RefineSeconds < minSeconds {
 			fmt.Printf("benchguard: %-14s baseline refine %.3fs below -min-seconds %.3fs — skipped\n",
-				c.Strategy, b.RefineSeconds, *minSeconds)
+				c.Strategy, b.RefineSeconds, minSeconds)
 			continue
 		}
 		checked++
-		limit := b.RefineSeconds * (1 + *maxRegress)
+		limit := b.RefineSeconds * (1 + maxRegress)
 		status := "ok"
 		if c.RefineSeconds > limit {
 			status = "FAIL"
@@ -95,15 +124,42 @@ func main() {
 	for name := range baseBy {
 		fmt.Printf("benchguard: %-14s present in baseline only — skipped\n", name)
 	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchguard: refine phase regressed beyond %.0f%%\n", *maxRegress*100)
-		os.Exit(1)
-	}
 	if checked == 0 {
 		// A baseline without phase data (pre -phases) guards nothing; say so
 		// loudly but let CI pass so the first refresh can land.
 		fmt.Println("benchguard: no comparable strategies (baseline missing refine_seconds?) — nothing checked")
 	}
+	return failed
+}
+
+func compareMem(base, cur *benchReport, maxRegress, maxBPC float64) (failed bool) {
+	if cur.Mem == nil {
+		fmt.Fprintln(os.Stderr, "benchguard: -mem set but current report has no mem section (run partbench with -mem)")
+		return true
+	}
+	if maxBPC > 0 {
+		status := "ok"
+		if cur.Mem.BytesPerCell > maxBPC {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchguard: mem            %.1f bytes/cell (ceiling %.1f) %s\n", cur.Mem.BytesPerCell, maxBPC, status)
+	}
+	if base.Mem == nil {
+		// Same contract as a phase-less baseline: loud pass so the first
+		// -mem refresh can land.
+		fmt.Println("benchguard: baseline has no mem section — bytes/cell regression not checked")
+		return failed
+	}
+	limit := base.Mem.BytesPerCell * (1 + maxRegress)
+	status := "ok"
+	if cur.Mem.BytesPerCell > limit {
+		status = "FAIL"
+		failed = true
+	}
+	fmt.Printf("benchguard: mem            peak heap %.1f -> %.1f bytes/cell (limit %.1f) %s\n",
+		base.Mem.BytesPerCell, cur.Mem.BytesPerCell, limit, status)
+	return failed
 }
 
 func load(path string) (*benchReport, error) {

@@ -18,6 +18,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"testing"
@@ -81,6 +84,13 @@ type result struct {
 	InitialSeconds float64 `json:"initial_seconds,omitempty"`
 	RefineSeconds  float64 `json:"refine_seconds,omitempty"`
 	ReorderSeconds float64 `json:"reorder_seconds,omitempty"`
+	// Memory view (-mem): peak live-heap bytes while this strategy
+	// partitioned, and per-phase net heap deltas from the obs spans
+	// (negative when a GC ran inside the phase).
+	PeakHeapBytes    int64 `json:"peak_heap_bytes,omitempty"`
+	CoarsenHeapBytes int64 `json:"coarsen_heap_bytes,omitempty"`
+	InitialHeapBytes int64 `json:"initial_heap_bytes,omitempty"`
+	RefineHeapBytes  int64 `json:"refine_heap_bytes,omitempty"`
 	EdgeCut      int64     `json:"edge_cut"`
 	MaxImbalance float64   `json:"max_imbalance"`
 	LevelImb     []float64 `json:"level_imbalance"`
@@ -104,6 +114,41 @@ type evalSection struct {
 	BuildTasksPerSec         float64 `json:"build_tasks_per_sec"`
 }
 
+// memSection is the -mem footprint view: the mesh-generation footprint split
+// from the partitioning footprint, the analytic finest-CSR size the streaming
+// bound is stated against, and the process-level peaks.
+type memSection struct {
+	// MeshHeapBytes is the retained heap growth of mesh generation (GC'd
+	// before and after, so transient generator garbage is excluded).
+	MeshHeapBytes int64 `json:"mesh_heap_bytes"`
+	// GraphCSRBytes is the analytic size of the finest MC_TL dual-graph CSR:
+	// 4·((n+1) + 4·interiorFaces + n·ncon) with ncon = MaxLevel+1. The
+	// paper-scale acceptance bound (peak RSS ≤ 2.5× this) divides by it.
+	GraphCSRBytes int64 `json:"graph_csr_bytes"`
+	// PeakHeapBytes is the largest per-strategy sampled live-heap peak.
+	PeakHeapBytes int64 `json:"peak_heap_bytes"`
+	// PeakRSSBytes is the kernel's VmHWM for the whole process (0 when the
+	// platform hides it).
+	PeakRSSBytes int64   `json:"peak_rss_bytes"`
+	BytesPerCell float64 `json:"bytes_per_cell"`
+	Full         *fullMem `json:"full,omitempty"`
+}
+
+// fullMem is the -mem-full subsection: one MC_TL(rb) partition of the same
+// mesh at the paper's full scale, reporting the streaming acceptance ratios.
+type fullMem struct {
+	Scale           float64 `json:"scale"`
+	Cells           int     `json:"cells"`
+	MeshHeapBytes   int64   `json:"mesh_heap_bytes"`
+	GraphCSRBytes   int64   `json:"graph_csr_bytes"`
+	PeakHeapBytes   int64   `json:"peak_heap_bytes"`
+	PeakRSSBytes    int64   `json:"peak_rss_bytes"`
+	BytesPerCell    float64 `json:"bytes_per_cell"`
+	PeakHeapOverCSR float64 `json:"peak_heap_over_csr"`
+	PeakRSSOverCSR  float64 `json:"peak_rss_over_csr"`
+	WallSeconds     float64 `json:"wall_seconds"`
+}
+
 type report struct {
 	Mesh     string       `json:"mesh"`
 	Cells    int          `json:"cells"`
@@ -116,7 +161,16 @@ type report struct {
 	Results  []result       `json:"results"`
 	Eval     *evalSection   `json:"eval,omitempty"`
 	Refine   *refineSection `json:"refine,omitempty"`
+	Mem      *memSection    `json:"mem,omitempty"`
 }
+
+// graphCSRBytes is the analytic finest-CSR footprint: xadj (n+1) + adjncy and
+// adjwgt (2·faces each) + vwgt (n·ncon), all int32.
+func graphCSRBytes(cells, interiorFaces, ncon int) int64 {
+	return 4 * (int64(cells+1) + 4*int64(interiorFaces) + int64(cells)*int64(ncon))
+}
+
+func mib(b int64) float64 { return float64(b) / (1 << 20) }
 
 func main() {
 	var (
@@ -132,6 +186,10 @@ func main() {
 		phases   = flag.Bool("phases", false, "record the per-phase partition seconds split (coarsen/initial/refine/reorder) per strategy, printed after the table and included in -json")
 		sweepPar = flag.String("sweep-parallel", "", "comma-separated parallelism settings (e.g. 1,8); re-partitions MC_TL(rb) at each and reports wall + phase seconds next to the pre-PR8 serial baseline (implies -phases)")
 		reorder  = flag.Bool("reorder", false, "partition under a cache-conscious BFS reorder (Options.Reorder) for the multilevel strategies")
+		mem      = flag.Bool("mem", false, "record the memory footprint: mesh-generation heap split from partitioning heap, analytic finest-CSR bytes, per-strategy peak heap and per-phase heap deltas, process peak RSS; printed after the table and included in -json")
+		memFull  = flag.Bool("mem-full", false, "additionally run one MC_TL(rb) partition of the mesh at the paper's full scale (-scale 1.0) and report peak heap/RSS against the finest-CSR footprint (implies -mem; takes minutes and gigabytes)")
+		memChild = flag.Bool("mem-full-child", false, "internal: run only the full-scale footprint probe and emit its JSON on stdout (spawned by -mem-full for a clean per-process RSS high-water)")
+		arena    = flag.Bool("arena", false, "mmap spilled coarse levels read-only (partition.Options.Arena) instead of heap read-back; results are byte-identical either way")
 		asJSON   = flag.Bool("json", false, "emit one JSON report instead of the table")
 		doRepart = flag.Bool("repart", false, "run the drift/repartition comparison instead of the strategy table")
 		epochs   = flag.Int("epochs", 5, "drift epochs for -repart")
@@ -151,6 +209,12 @@ func main() {
 		runFleet(*peers, *meshName, *scale, *domains, *seed, *asJSON)
 		return
 	}
+	if *memChild {
+		f := fullScaleFootprint(*meshName, *domains,
+			partition.Options{Seed: *seed, Parallelism: *parallel, Reorder: *reorder, Arena: *arena})
+		check(json.NewEncoder(os.Stdout).Encode(f))
+		return
+	}
 	if *reportTo != "" && *parallel != 1 {
 		fmt.Fprintln(os.Stderr, "partbench: -report pins -parallel 1 so per-phase timings tile the partition wall clock")
 		*parallel = 1
@@ -158,14 +222,29 @@ func main() {
 	if *sweepPar != "" {
 		*phases = true
 	}
+	if *memFull {
+		*mem = true
+	}
 	var rec *obs.Recorder
-	if *reportTo != "" || *pipeTo != "" || *phases {
+	if *reportTo != "" || *pipeTo != "" || *phases || *mem {
 		rec = obs.NewRecorder()
+	}
+	if *mem {
+		rec.TrackMemory()
 	}
 	ctx := obs.WithRecorder(context.Background(), rec)
 
+	var meshHeap int64
+	if *mem {
+		runtime.GC()
+		meshHeap = -obs.HeapBytes()
+	}
 	m, err := core.LoadMesh(*meshName, *scale)
 	check(err)
+	if *mem {
+		runtime.GC()
+		meshHeap += obs.HeapBytes()
+	}
 	ev := eval.New(eval.Options{Parallelism: *parallel})
 	if *doRepart {
 		runRepart(ev, m, *domains, *procs, *workers, *parallel, *seed, *commLat, *epochs, *step, *asJSON)
@@ -181,7 +260,7 @@ func main() {
 		strat partition.Strategy
 		opt   partition.Options
 	}
-	mlOpt := partition.Options{Seed: *seed, Parallelism: *parallel, Reorder: *reorder}
+	mlOpt := partition.Options{Seed: *seed, Parallelism: *parallel, Reorder: *reorder, Arena: *arena}
 	jobs := []job{
 		{"SC_OC(rb)", partition.SCOC, mlOpt},
 		{"MC_TL(rb)", partition.MCTL, mlOpt},
@@ -214,12 +293,21 @@ func main() {
 	var bestPart []int32
 	var bestMakespan int64
 	for _, j := range jobs {
+		var sampler *obs.PeakSampler
+		if *mem {
+			runtime.GC() // isolate this strategy's peak from prior garbage
+			sampler = obs.StartPeakSampler(0)
+		}
 		before := rec.PhaseTotals()
 		t0 := time.Now()
 		res, err := partition.PartitionMesh(ctx, m, *domains, j.strat, j.opt)
 		check(err)
 		elapsed := time.Since(t0)
 		after := rec.PhaseTotals()
+		var peakHeap int64
+		if sampler != nil {
+			peakHeap = sampler.Stop()
+		}
 
 		q := metrics.EvaluatePartition(m, res, j.label)
 		out, err := ev.Evaluate(eval.Spec{
@@ -251,6 +339,10 @@ func main() {
 			InitialSeconds: phaseDelta(before, after, "partition/initial"),
 			RefineSeconds:  phaseDelta(before, after, "partition/refine"),
 			ReorderSeconds: phaseDelta(before, after, "partition/reorder"),
+			PeakHeapBytes:    peakHeap,
+			CoarsenHeapBytes: phaseHeapDelta(before, after, "partition/coarsen"),
+			InitialHeapBytes: phaseHeapDelta(before, after, "partition/initial"),
+			RefineHeapBytes:  phaseHeapDelta(before, after, "partition/refine"),
 			EdgeCut:      res.EdgeCut,
 			MaxImbalance: res.MaxImbalance(),
 			LevelImb:     q.LevelImbalance,
@@ -313,6 +405,38 @@ func main() {
 					fmt.Printf("%8d %9.3f %9.3f %9.3f %9.3f\n",
 						sr.Parallel, sr.WallSeconds, sr.CoarsenSeconds, sr.InitialSeconds, sr.RefineSeconds)
 				}
+			}
+		}
+	}
+	if *mem {
+		ms := &memSection{
+			MeshHeapBytes: meshHeap,
+			GraphCSRBytes: graphCSRBytes(m.NumCells(), m.NumInteriorFaces, int(m.MaxLevel)+1),
+		}
+		for _, r := range rep.Results {
+			if r.PeakHeapBytes > ms.PeakHeapBytes {
+				ms.PeakHeapBytes = r.PeakHeapBytes
+			}
+		}
+		ms.BytesPerCell = float64(ms.PeakHeapBytes) / float64(m.NumCells())
+		if *memFull {
+			ms.Full = measureFullScale(*meshName, *domains, mlOpt)
+		}
+		ms.PeakRSSBytes = obs.PeakRSSBytes()
+		rep.Mem = ms
+		if !*asJSON {
+			fmt.Printf("\nmemory (-mem): mesh gen %.1f MiB heap, finest CSR %.1f MiB (analytic), peak heap %.1f MiB (%.1f bytes/cell), peak RSS %.1f MiB\n",
+				mib(ms.MeshHeapBytes), mib(ms.GraphCSRBytes), mib(ms.PeakHeapBytes), ms.BytesPerCell, mib(ms.PeakRSSBytes))
+			fmt.Printf("%-12s %10s %10s %10s %10s  (MiB; phase deltas net of GC)\n",
+				"strategy", "peak heap", "coarsen", "initial", "refine")
+			for _, r := range rep.Results {
+				fmt.Printf("%-12s %10.1f %10.1f %10.1f %10.1f\n", r.Strategy,
+					mib(r.PeakHeapBytes), mib(r.CoarsenHeapBytes), mib(r.InitialHeapBytes), mib(r.RefineHeapBytes))
+			}
+			if ms.Full != nil {
+				f := ms.Full
+				fmt.Printf("\nfull scale (-mem-full, MC_TL(rb), %d cells): peak heap %.0f MiB (%.2f x CSR), peak RSS %.0f MiB (%.2f x CSR), %.1f bytes/cell, %.1fs\n",
+					f.Cells, mib(f.PeakHeapBytes), f.PeakHeapOverCSR, mib(f.PeakRSSBytes), f.PeakRSSOverCSR, f.BytesPerCell, f.WallSeconds)
 			}
 		}
 	}
@@ -382,6 +506,94 @@ func phaseDelta(before, after map[string]obs.PhaseStat, name string) float64 {
 		return 0
 	}
 	return d
+}
+
+// phaseHeapDelta is phaseDelta for net heap growth; negative values (a GC
+// landed inside the phase) are kept, they are informative.
+func phaseHeapDelta(before, after map[string]obs.PhaseStat, name string) int64 {
+	return after[name].HeapDelta - before[name].HeapDelta
+}
+
+// measureFullScale runs the full-scale footprint probe in a child process and
+// returns its report. Peak RSS (VmHWM) is a process-lifetime high-water mark,
+// so measured in this process it would also count whatever the small-scale
+// strategy sweep touched; re-execing partbench with the internal
+// -mem-full-child flag gives the probe a process of its own whose high-water
+// is exactly the full-scale run. If the executable path cannot be resolved
+// (unusual embedding), the probe degrades to measuring in-process.
+func measureFullScale(meshName string, domains int, opt partition.Options) *fullMem {
+	exe, err := os.Executable()
+	if err != nil {
+		return fullScaleFootprint(meshName, domains, opt)
+	}
+	args := []string{
+		"-mem-full-child",
+		"-mesh", meshName,
+		"-domains", strconv.Itoa(domains),
+		"-seed", strconv.FormatInt(opt.Seed, 10),
+		"-parallel", strconv.Itoa(opt.Parallelism),
+	}
+	if opt.Reorder {
+		args = append(args, "-reorder")
+	}
+	if opt.Arena {
+		args = append(args, "-arena")
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		check(fmt.Errorf("-mem-full child: %w", err))
+	}
+	var f fullMem
+	check(json.Unmarshal(out, &f))
+	return &f
+}
+
+// fullScaleFootprint partitions the named mesh at the paper's full scale with
+// MC_TL(rb) — the configuration the streaming-coarsening acceptance bound is
+// stated for — and reports footprint against the analytic finest-CSR size.
+// It is meant to run in a fresh process (see measureFullScale).
+func fullScaleFootprint(meshName string, domains int, opt partition.Options) *fullMem {
+	fmt.Fprintf(os.Stderr, "partbench: -mem-full: partitioning %s at scale 1.0 (takes minutes and gigabytes)...\n", meshName)
+	t0 := time.Now()
+	m, err := core.LoadMesh(meshName, 1.0)
+	check(err)
+	runtime.GC()
+	meshHeap := obs.HeapBytes()
+	cells := m.NumCells()
+	csr := graphCSRBytes(cells, m.NumInteriorFaces, int(m.MaxLevel)+1)
+	// The soft limit goes up before the dual graph is even built: peak RSS is
+	// a process high-water mark, so GC garbage — normally allowed to reach
+	// ~1× live heap — would otherwise inflate RSS past the bound during
+	// graph assembly and the partition alike. The bound is stated against
+	// the analytic finest-CSR footprint, known as soon as the mesh exists.
+	prevLimit := debug.SetMemoryLimit(23 * csr / 10)
+	g, err := partition.StrategyGraph(m, partition.MCTL)
+	check(err)
+	// The partitioner only needs the dual graph; dropping the mesh (and
+	// returning its pages to the OS) before partitioning keeps the measured
+	// peak to what the partition itself costs.
+	m = nil //nolint:ineffassign // drops the last mesh reference for the GC
+	debug.FreeOSMemory()
+	sampler := obs.StartPeakSampler(0)
+	_, err = partition.Partition(context.Background(), g, domains, opt)
+	check(err)
+	peak := sampler.Stop()
+	rss := obs.PeakRSSBytes()
+	debug.SetMemoryLimit(prevLimit)
+	return &fullMem{
+		Scale:           1.0,
+		Cells:           cells,
+		MeshHeapBytes:   meshHeap,
+		GraphCSRBytes:   csr,
+		PeakHeapBytes:   peak,
+		PeakRSSBytes:    rss,
+		BytesPerCell:    float64(peak) / float64(cells),
+		PeakHeapOverCSR: float64(peak) / float64(csr),
+		PeakRSSOverCSR:  float64(rss) / float64(csr),
+		WallSeconds:     time.Since(t0).Seconds(),
+	}
 }
 
 // writeFile streams one of the JSON emitters into path.

@@ -10,7 +10,8 @@ import (
 // rejected at build time.
 type Builder struct {
 	ncon  int
-	vwgt  [][]int32
+	nv    int
+	vwgt  []int32 // flat n×ncon constraint matrix, row per vertex
 	edges []builderEdge
 }
 
@@ -28,16 +29,33 @@ func NewBuilder(ncon int) *Builder {
 	return &Builder{ncon: ncon}
 }
 
+// Reserve pre-sizes the builder for nv vertices and ne undirected edges, so
+// ingest from a source with exact counts (a mesh knows its cell and interior
+// face totals) runs without any append regrowth — at paper scale the
+// geometric-doubling garbage of a cold builder is several times the final
+// CSR footprint.
+func (b *Builder) Reserve(nv, ne int) {
+	if c := nv * b.ncon; cap(b.vwgt)-len(b.vwgt) < c {
+		grown := make([]int32, len(b.vwgt), len(b.vwgt)+c)
+		copy(grown, b.vwgt)
+		b.vwgt = grown
+	}
+	if cap(b.edges)-len(b.edges) < ne {
+		grown := make([]builderEdge, len(b.edges), len(b.edges)+ne)
+		copy(grown, b.edges)
+		b.edges = grown
+	}
+}
+
 // AddVertex appends a vertex with the given constraint vector and returns its
 // id. The vector length must equal the builder's ncon.
 func (b *Builder) AddVertex(wgt ...int32) int32 {
 	if len(wgt) != b.ncon {
 		panic(fmt.Sprintf("graph: AddVertex got %d weights, want %d", len(wgt), b.ncon))
 	}
-	row := make([]int32, b.ncon)
-	copy(row, wgt)
-	b.vwgt = append(b.vwgt, row)
-	return int32(len(b.vwgt) - 1)
+	b.vwgt = append(b.vwgt, wgt...)
+	b.nv++
+	return int32(b.nv - 1)
 }
 
 // AddEdge records the undirected edge {u,v} with the given weight.
@@ -52,12 +70,12 @@ func (b *Builder) AddEdge(u, v int32, w int32) {
 }
 
 // NumVertices returns the number of vertices added so far.
-func (b *Builder) NumVertices() int { return len(b.vwgt) }
+func (b *Builder) NumVertices() int { return b.nv }
 
 // Build assembles the CSR graph. It may be called once; the builder should
 // not be reused afterwards.
 func (b *Builder) Build() (*Graph, error) {
-	n := len(b.vwgt)
+	n := b.nv
 	for _, e := range b.edges {
 		if e.u < 0 || int(e.v) >= n {
 			return nil, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", e.u, e.v, n)
@@ -84,9 +102,7 @@ func (b *Builder) Build() (*Graph, error) {
 		Xadj: make([]int32, n+1),
 		VWgt: make([]int32, n*b.ncon),
 	}
-	for v, row := range b.vwgt {
-		copy(g.VWgt[v*b.ncon:(v+1)*b.ncon], row)
-	}
+	copy(g.VWgt, b.vwgt)
 	deg := make([]int32, n)
 	for _, e := range merged {
 		deg[e.u]++
@@ -118,6 +134,7 @@ func FromCSR(xadj, adjncy, adjwgt []int32, ncon int, vwgt []int32) *Graph {
 // Vertex (i,j) has id i*ny+j. It is a convenience for tests.
 func Grid(nx, ny int) *Graph {
 	b := NewBuilder(1)
+	b.Reserve(nx*ny, (nx-1)*ny+nx*(ny-1))
 	for i := 0; i < nx*ny; i++ {
 		b.AddVertex(1)
 	}

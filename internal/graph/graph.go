@@ -175,14 +175,25 @@ func (g *Graph) Contract(cmap []int32, ncoarse int) *Graph {
 	return g.ContractP(cmap, ncoarse, nil)
 }
 
-// posPool recycles the -1-filled position tables contractRange uses. The
-// algorithm restores every touched entry to -1 before returning, so a pooled
-// table is clean by construction and only first use (or growth) pays the
-// fill.
-var posPool = sync.Pool{New: func() any { return new([]int32) }}
+// posPools recycles the -1-filled position tables contractRange uses,
+// bucketed by power-of-two size class so one paper-scale contraction cannot
+// pin multi-megabyte tables into every later small request (see sizeclass.go
+// for the class discipline). The algorithm restores every touched entry to -1
+// before returning, so a pooled table is clean by construction and only first
+// use (or growth) pays the fill.
+var posPools [sizeClasses]sync.Pool
 
 func getPosTable(n int) *[]int32 {
-	p := posPool.Get().(*[]int32)
+	var p *[]int32
+	for c, hi := reqClass(n), 0; hi < classProbes && c < sizeClasses; c, hi = c+1, hi+1 {
+		if v := posPools[c].Get(); v != nil {
+			p = v.(*[]int32)
+			break
+		}
+	}
+	if p == nil {
+		p = new([]int32)
+	}
 	if cap(*p) < n {
 		*p = make([]int32, n)
 		for i := range *p {
@@ -192,6 +203,8 @@ func getPosTable(n int) *[]int32 {
 	*p = (*p)[:cap(*p)]
 	return p
 }
+
+func putPosTable(p *[]int32) { posPools[capClass(cap(*p))].Put(p) }
 
 // ContractP is Contract with the row assembly sharded over the pool's
 // workers. Every coarse vertex's weight and adjacency row depend only on its
@@ -240,18 +253,45 @@ func (g *Graph) ContractP(cmap []int32, ncoarse int, pool *Pool) *Graph {
 // returns the concatenated adjacency/weight rows for the range.
 func (g *Graph) contractRange(cg *Graph, cmap, order, starts []int32, lo, hi int) (adj, wgt []int32) {
 	posBuf := getPosTable(len(cg.Xadj) - 1)
-	defer posPool.Put(posBuf)
+	defer putPosTable(posBuf)
 	pos := *posBuf
 
-	edgeCap := 0
-	for _, v := range order[starts[lo]:starts[hi]] {
-		edgeCap += int(g.Xadj[v+1] - g.Xadj[v])
-	}
-	adj = make([]int32, 0, edgeCap)
-	wgt = make([]int32, 0, edgeCap)
+	// Pass 1: count each row's distinct coarse neighbours. Sizing the shard
+	// rows by the fine edge count instead would over-allocate by the dedup
+	// factor — and at one shard the returned slices BECOME the coarse graph,
+	// so the slack would ride along for the level's whole lifetime, right
+	// through the triple-resident contraction window that is the
+	// partitioner's peak-memory moment.
 	touched := make([]int32, 0, 64)
+	total := 0
 	for cv := lo; cv < hi; cv++ {
-		rowStart := len(adj)
+		rowLen := 0
+		for _, v := range order[starts[cv]:starts[cv+1]] {
+			for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+				cu := cmap[g.Adjncy[i]]
+				if int(cu) == cv {
+					continue
+				}
+				if pos[cu] < 0 {
+					pos[cu] = 0
+					rowLen++
+					touched = append(touched, cu)
+				}
+			}
+		}
+		for _, cu := range touched {
+			pos[cu] = -1
+		}
+		touched = touched[:0]
+		cg.Xadj[cv+1] = int32(rowLen)
+		total += rowLen
+	}
+
+	// Pass 2: fill, scanning in exactly the same order, so rows keep the
+	// first-seen adjacency order and the bytes match a single-pass assembly.
+	adj = make([]int32, 0, total)
+	wgt = make([]int32, 0, total)
+	for cv := lo; cv < hi; cv++ {
 		for _, v := range order[starts[cv]:starts[cv+1]] {
 			for c := 0; c < g.NCon; c++ {
 				cg.VWgt[cv*g.NCon+c] += g.VWgt[int(v)*g.NCon+c]
@@ -275,7 +315,6 @@ func (g *Graph) contractRange(cg *Graph, cmap, order, starts []int32, lo, hi int
 			pos[cu] = -1
 		}
 		touched = touched[:0]
-		cg.Xadj[cv+1] = int32(len(adj) - rowStart)
 	}
 	return adj, wgt
 }
@@ -319,6 +358,10 @@ func (g *Graph) Subgraph(vertices []int32) (*Graph, []int32) {
 type Scratch struct {
 	local []int32 // global vertex id -> local index, -1 when unset
 }
+
+// Cap returns the number of global vertex ids the scratch currently covers.
+// Pooled callers use it to file the scratch under its size class.
+func (s *Scratch) Cap() int { return len(s.local) }
 
 // SubgraphWith is Subgraph backed by caller-provided scratch (nil allocates
 // fresh buffers). Unlike Subgraph it returns the input slice itself as the

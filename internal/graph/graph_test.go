@@ -73,6 +73,61 @@ func TestBuilderRejectsOutOfRange(t *testing.T) {
 	}
 }
 
+// TestBuilderReserveNoRegrowth: after Reserve with exact counts, ingest must
+// not reallocate the vertex or edge backing arrays — that is the compact-CSR
+// contract the mesh generators rely on at paper scale.
+func TestBuilderReserveNoRegrowth(t *testing.T) {
+	const nx, ny = 23, 17
+	b := NewBuilder(2)
+	b.Reserve(nx*ny, (nx-1)*ny+nx*(ny-1))
+	vcap, ecap := cap(b.vwgt), cap(b.edges)
+	for i := 0; i < nx*ny; i++ {
+		b.AddVertex(1, int32(i%3))
+	}
+	id := func(i, j int) int32 { return int32(i*ny + j) }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			if i+1 < nx {
+				b.AddEdge(id(i, j), id(i+1, j), 1)
+			}
+			if j+1 < ny {
+				b.AddEdge(id(i, j), id(i, j+1), 1)
+			}
+		}
+	}
+	if cap(b.vwgt) != vcap {
+		t.Errorf("vwgt regrew: cap %d -> %d", vcap, cap(b.vwgt))
+	}
+	if cap(b.edges) != ecap {
+		t.Errorf("edges regrew: cap %d -> %d", ecap, cap(b.edges))
+	}
+	g := mustBuild(t, b)
+	if g.NumVertices() != nx*ny {
+		t.Fatalf("NumVertices = %d, want %d", g.NumVertices(), nx*ny)
+	}
+	if g.NumEdges() != (nx-1)*ny+nx*(ny-1) {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), (nx-1)*ny+nx*(ny-1))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Reserve on a partially filled builder keeps existing content intact.
+	b2 := NewBuilder(1)
+	b2.AddVertex(7)
+	b2.AddVertex(9)
+	b2.AddEdge(0, 1, 4)
+	b2.Reserve(2, 1)
+	b2.AddVertex(11)
+	b2.AddEdge(1, 2, 5)
+	g2 := mustBuild(t, b2)
+	if got := g2.WeightVec(2)[0]; got != 11 {
+		t.Errorf("vertex 2 weight = %d, want 11", got)
+	}
+	if got := g2.EdgeWeights(0)[0]; got != 4 {
+		t.Errorf("edge {0,1} weight = %d, want 4", got)
+	}
+}
+
 func TestBuilderPanicsOnSelfLoop(t *testing.T) {
 	defer func() {
 		if recover() == nil {

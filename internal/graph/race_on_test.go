@@ -1,0 +1,8 @@
+//go:build race
+
+package graph
+
+// raceEnabled reports whether the race detector instruments this build.
+// sync.Pool intentionally randomises reuse under the detector, so pool-reuse
+// assertions are meaningless there.
+const raceEnabled = true

@@ -1,0 +1,48 @@
+package graph
+
+import "math/bits"
+
+// Power-of-two size classing for sync.Pool'd buffers. A flat pool has a
+// pinning failure mode: one paper-scale request grows a buffer to hundreds of
+// megabytes, returns it, and every later kilobyte-scale request draws (and
+// keeps alive) that giant buffer. Classed pools file each buffer by size and
+// requests probe only their own class and the next classProbes-1 above it —
+// so a request can receive a buffer at most ~2^classProbes× its size, and
+// oversized buffers wait in their own class until a matching large request
+// (or the GC) takes them.
+//
+// Both filing and probing use the CEIL class (smallest c with 2^c >= size).
+// Buffers are allocated at exact sizes, not rounded up, so a buffer grown
+// for an n-sized request refiles at reqClass(n) — precisely where the next
+// n-sized request probes first, which is what keeps steady-state reuse at
+// zero allocations. The price is that a class-c buffer may have capacity
+// just under a class-c request's n; every get site grows defensively, so a
+// rare undersized draw costs one reallocation, never correctness.
+
+// sizeClasses covers capacities up to 2^30 elements — far beyond the 12.6M
+// vertices of the largest paper mesh.
+const sizeClasses = 31
+
+// classProbes is how many classes (its own included) a request probes before
+// allocating fresh; it bounds oversize handout at 4× while letting buffers
+// that grew a little across reuses keep circulating.
+const classProbes = 3
+
+// reqClass returns the class a request of n elements starts probing at:
+// the smallest c with 1<<c >= n.
+func reqClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// capClass returns the class a buffer of capacity c is filed under when
+// returned: reqClass(c), clamped to the table.
+func capClass(c int) int {
+	k := reqClass(c)
+	if k >= sizeClasses {
+		k = sizeClasses - 1
+	}
+	return k
+}

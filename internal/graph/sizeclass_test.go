@@ -1,0 +1,50 @@
+package graph
+
+import "testing"
+
+func TestSizeClassFunctions(t *testing.T) {
+	cases := []struct{ n, req int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := reqClass(c.n); got != c.req {
+			t.Errorf("reqClass(%d) = %d, want %d", c.n, got, c.req)
+		}
+	}
+	// Filing is ceil-based: a buffer grown for an n-sized request refiles in
+	// the class that an identical request probes first.
+	for _, n := range []int{1, 2, 3, 100, 1024, 4095, 4096, 1 << 20} {
+		if capClass(n) != reqClass(n) {
+			t.Errorf("capClass(%d) = %d, want reqClass = %d", n, capClass(n), reqClass(n))
+		}
+	}
+	if got := capClass(1 << 62); got != sizeClasses-1 {
+		t.Errorf("capClass(1<<62) = %d, want clamp to %d", got, sizeClasses-1)
+	}
+}
+
+// TestPosPoolNoPinning is the pool-pinning regression test: after a huge
+// position table cycles through the pool, a small request must NOT receive
+// it — classed pools keep paper-scale buffers away from kilobyte requests.
+func TestPosPoolNoPinning(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool bypasses reuse under the race detector")
+	}
+	const big = 1 << 20
+	p := getPosTable(big)
+	if cap(*p) < big {
+		t.Fatalf("getPosTable(%d) returned cap %d", big, cap(*p))
+	}
+	putPosTable(p)
+	small := getPosTable(64)
+	if cap(*small) >= big {
+		t.Fatalf("small request received the %d-element buffer (cap %d) — pool pinning", big, cap(*small))
+	}
+	putPosTable(small)
+	// The big buffer is still reusable by an equally big request.
+	again := getPosTable(big)
+	if cap(*again) < big {
+		t.Fatalf("big request after small one got cap %d, want >= %d", cap(*again), big)
+	}
+	putPosTable(again)
+}

@@ -1,0 +1,18 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps length bytes of f starting at the page-aligned offset off,
+// read-only and shared (the pages stay file-backed and evictable, which is
+// the point of the arena mode: reloaded coarse graphs cost page cache, not
+// heap).
+func mmapFile(f *os.File, off int64, length int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), off, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapBytes(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("mmap unsupported on this platform")
+
+// mmapFile is unavailable here; SpillStore.LoadMapped returns an error and
+// callers (the partition hierarchy) fall back to the heap read-back path,
+// which is byte-identical.
+func mmapFile(*os.File, int64, int) ([]byte, error) { return nil, errNoMmap }
+
+func munmapBytes([]byte) error { return nil }

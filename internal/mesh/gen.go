@@ -92,17 +92,30 @@ func Nozzle(scale float64) *Mesh {
 }
 
 // ByName returns the generator output for one of the three paper meshes
-// ("CYLINDER", "CUBE", "PPRIME_NOZZLE"), case-sensitive.
+// ("CYLINDER", "CUBE", "PPRIME_NOZZLE"), case-sensitive. The scale must be
+// positive and large enough that the generated grid has at least two cells:
+// scaleCounts clamps every level to one cell, so an extreme down-scale would
+// otherwise silently collapse to a degenerate 0- or 1-cell grid that no
+// partitioner input should be built from.
 func ByName(name string, scale float64) (*Mesh, error) {
+	if !(scale > 0) || math.IsInf(scale, 0) { // !(x>0) also rejects NaN
+		return nil, fmt.Errorf("mesh: scale %v for mesh %q, want a positive finite value", scale, name)
+	}
+	var m *Mesh
 	switch name {
 	case "CYLINDER":
-		return Cylinder(scale), nil
+		m = Cylinder(scale)
 	case "CUBE":
-		return Cube(scale), nil
+		m = Cube(scale)
 	case "PPRIME_NOZZLE":
-		return Nozzle(scale), nil
+		m = Nozzle(scale)
+	default:
+		return nil, fmt.Errorf("mesh: unknown mesh %q", name)
 	}
-	return nil, fmt.Errorf("mesh: unknown mesh %q", name)
+	if n := m.NumCells(); n < 2 {
+		return nil, fmt.Errorf("mesh: scale %v yields a degenerate %d-cell %s grid; increase the scale", scale, n, name)
+	}
+	return m, nil
 }
 
 // scaleCounts multiplies every count by scale, keeping a minimum of 1 cell
@@ -360,6 +373,9 @@ func buildGridFaces(m *Mesh, nx, ny, nz int) {
 		}
 	}
 	m.NumInteriorFaces = len(faces)
+	m.BNx = make([]float32, 0, nBoundary)
+	m.BNy = make([]float32, 0, nBoundary)
+	m.BNz = make([]float32, 0, nBoundary)
 	addB := func(c int32, nx, ny, nz float32) {
 		faces = append(faces, Face{c, Boundary})
 		m.BNx = append(m.BNx, nx)

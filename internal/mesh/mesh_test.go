@@ -139,6 +139,27 @@ func TestByName(t *testing.T) {
 	}
 }
 
+// TestByNameScaleValidation: ByName must reject scales that cannot yield a
+// usable partitioner input — zero, negative, NaN and infinite — with a
+// descriptive error, while extreme-but-positive down-scales still produce a
+// valid multi-cell mesh (the per-level clamp in scaleCounts guarantees it).
+func TestByNameScaleValidation(t *testing.T) {
+	for _, s := range []float64{0, -1, -0.001, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := ByName("CYLINDER", s); err == nil {
+			t.Errorf("ByName accepted scale %v", s)
+		}
+	}
+	for _, s := range []float64{1e-12, 1e-6, 0.001} {
+		m, err := ByName("CYLINDER", s)
+		if err != nil {
+			t.Fatalf("ByName(CYLINDER, %v): %v", s, err)
+		}
+		if m.NumCells() < 2 {
+			t.Errorf("scale %v yielded a degenerate %d-cell mesh", s, m.NumCells())
+		}
+	}
+}
+
 // TestHotRegionsAreSpatiallyCoherent checks that the level-0 cells cluster
 // near the hot regions: their mean score must be far below the global mean.
 func TestHotRegionsAreSpatiallyCoherent(t *testing.T) {

@@ -7,27 +7,23 @@ import (
 	"tempart/internal/obs"
 )
 
-// level is one rung of the multilevel hierarchy: the coarse graph plus the
-// mapping from the finer graph's vertices to coarse vertices.
-type level struct {
-	g    *graph.Graph
-	cmap []int32 // fine vertex -> coarse vertex (len = finer graph size)
-}
-
 // coarsen builds the multilevel hierarchy by repeated heavy-edge matching
 // until the graph has at most coarsenTo vertices or matching stalls (the
 // coarse graph shrinks by less than 10%). It returns the hierarchy from
-// finest (input, cmap nil) to coarsest. Cancellation is honoured *inside*
-// heavyEdgeMatching (every matchCancelStride vertices), not just between
-// levels, so a cancelled request never pays for a full matching pass — let
-// alone the contraction that would follow it — on a large graph.
-func coarsen(ctx context.Context, g *graph.Graph, coarsenTo int, rng randSource, pool *graph.Pool, sc *scratch) []level {
-	levels := []level{{g: g}}
+// finest (input, cmap nil) to coarsest; interior rungs above cfg.minVerts are
+// spilled out of the heap as soon as they stop being the active coarsening
+// frontier (see hier). Cancellation is honoured *inside* heavyEdgeMatching
+// (every matchCancelStride vertices), not just between levels, so a cancelled
+// request never pays for a full matching pass — let alone the contraction
+// that would follow it — on a large graph.
+func coarsen(ctx context.Context, g *graph.Graph, coarsenTo int, rng randSource, pool *graph.Pool, sc *scratch, cfg hierConfig) *hier {
+	h := newHier(g, cfg)
 	cur := g
 	for cur.NumVertices() > coarsenTo && ctx.Err() == nil {
+		shrinkMatchScratch(sc, cur.NumVertices())
 		lspan := obs.StartSpan(ctx, "partition/coarsen")
 		if lspan.Active() {
-			lspan.SetInt("level", int64(len(levels)-1))
+			lspan.SetInt("level", int64(h.levels()-1))
 			lspan.SetInt("vertices", int64(cur.NumVertices()))
 		}
 		mspan := lspan.Start("partition/coarsen/match")
@@ -41,6 +37,10 @@ func coarsen(ctx context.Context, g *graph.Graph, coarsenTo int, rng randSource,
 			lspan.End()
 			break // diminishing returns; stop here
 		}
+		// The matching buffers are dead until the next level's pass; drop
+		// oversized ones before contraction so they don't sit under the
+		// triple-resident window (finest + current + coarse being built).
+		shrinkMatchScratch(sc, ncoarse)
 		cspan := lspan.Start("partition/coarsen/contract")
 		cg := cur.ContractP(cmap, ncoarse, pool)
 		cspan.End()
@@ -48,15 +48,30 @@ func coarsen(ctx context.Context, g *graph.Graph, coarsenTo int, rng randSource,
 			lspan.SetInt("coarse_vertices", int64(ncoarse))
 		}
 		lspan.End()
-		levels = append(levels, level{g: cg, cmap: cmap})
+		h.push(cg, cmap)
 		cur = cg
 	}
-	return levels
+	return h
 }
 
 // matchCancelStride is how many vertices heavyEdgeMatching processes between
 // context checks; it bounds cancellation latency within a matching pass.
 const matchCancelStride = 1024
+
+// shrinkMatchScratch drops the matching buffers when their capacity is at
+// least twice the current level's need and the excess is real memory. The
+// arena normally only grows — right for refinement, where every pass runs at
+// the finest size — but during coarsening each level halves, so buffers grown
+// for the finest matching would otherwise sit at full size through the
+// triple-resident contraction window that is the partitioner's peak-RSS
+// moment. The realloc this costs is one small allocation per deep level.
+func shrinkMatchScratch(sc *scratch, n int) {
+	const floorWords = 2 << 20 // don't bother below 8 MiB per buffer
+	if c := cap(sc.match); c >= 2*n && c > floorWords {
+		sc.match = nil
+		sc.pref = nil
+	}
+}
 
 // heavyEdgeMatching computes a matching that pairs each unmatched vertex with
 // its unmatched neighbour of heaviest connecting edge, visiting vertices in

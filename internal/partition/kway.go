@@ -58,10 +58,11 @@ func PartitionKWay(ctx context.Context, g *graph.Graph, k int, opt Options) (*Re
 	if min := 16 * k; coarseTo < min {
 		coarseTo = min
 	}
-	sc := getScratch()
-	levels := coarsen(ctx, g, coarseTo, rng, pool, sc)
+	sc := getScratch(n)
+	h := coarsen(ctx, g, coarseTo, rng, pool, sc, hierConfigFor(opt))
 	putScratch(sc)
-	coarsest := levels[len(levels)-1].g
+	defer h.close()
+	coarsest := h.coarsest()
 
 	// Initial k-way on the coarsest graph via recursive bisection.
 	part := make([]int32, coarsest.NumVertices())
@@ -71,23 +72,29 @@ func PartitionKWay(ctx context.Context, g *graph.Graph, k int, opt Options) (*Re
 	}
 	recursiveBisect(ctx, coarsest, vertices, 0, k, part, opt, opt.Seed, pool)
 
-	// Uncoarsen with k-way refinement at every level.
+	// Uncoarsen with k-way refinement at every level. Spilled interior
+	// rungs are reloaded one at a time and released after their pass.
 	caps := kwayCaps(g, k, opt.ImbalanceTol)
-	for li := len(levels) - 1; li >= 1; li-- {
+	for li := h.levels() - 1; li >= 1; li-- {
 		if ctx.Err() == nil {
+			cg := h.graph(li)
 			rspan := obs.StartSpan(ctx, "partition/refine")
 			if rspan.Active() {
 				rspan.SetInt("level", int64(li))
-				rspan.SetInt("vertices", int64(levels[li].g.NumVertices()))
+				rspan.SetInt("vertices", int64(cg.NumVertices()))
 			}
-			mv := kwayRefine(ctx, levels[li].g, part, k, caps, opt.RefinePasses, pool)
+			mv := kwayRefine(ctx, cg, part, k, caps, opt.RefinePasses, pool)
 			if rspan.Active() {
 				rspan.SetInt("moves", int64(mv))
 			}
 			rspan.End()
 		}
-		part = projectAssignment(levels[li].cmap, part)
+		part = projectAssignment(h.cmap(li), part)
+		h.release(li)
 	}
+	// The walk is done loading; free the read-back buffers before the
+	// finest level's refinement.
+	h.dropReloadBuffers()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("partition: %w", err)
 	}

@@ -26,13 +26,12 @@ func deriveSeed(parent int64, firstPart, k int) int64 {
 // pass or per matching sweep lives here instead; workers take an arena from
 // the pool at each recursion node and return it before fanning out, so the
 // pool holds at most one arena per concurrently active node. Buffers only
-// ever grow; a long-lived process converges to zero steady-state allocation
-// in these paths.
+// ever grow within an arena; the pools are size-classed (see sizeclass.go),
+// so an arena grown by a paper-scale request is never handed to a small one.
 type scratch struct {
-	gsc   graph.Scratch // Subgraph local-id table
-	split []int32       // stable-partition spill buffer (recursiveBisect)
-	match []int32       // heavy-edge matching state
-	pref  []int32       // precomputed heaviest-neighbour candidates
+	split []int32 // stable-partition spill buffer (recursiveBisect)
+	match []int32 // heavy-edge matching state
+	pref  []int32 // precomputed heaviest-neighbour candidates
 
 	// FM refinement state (refineBisection / fmPass).
 	gain    []int32
@@ -49,10 +48,50 @@ type scratch struct {
 	growParked   []int32
 }
 
-var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+// class files the arena by its largest node-sized buffer.
+func (s *scratch) class() int {
+	m := cap(s.match)
+	for _, c := range [5]int{cap(s.pref), cap(s.gain), cap(s.split), cap(s.growGain), cap(s.moves)} {
+		if c > m {
+			m = c
+		}
+	}
+	return capClass(m)
+}
 
-func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
-func putScratch(s *scratch) { scratchPool.Put(s) }
+var scratchPools [sizeClasses]sync.Pool
+
+// getScratch returns an arena sized for roughly n vertices: it probes the
+// request's size class and the next two above it, allocating an empty arena
+// (buffers grow on demand) when none is pooled.
+func getScratch(n int) *scratch {
+	for c, hi := reqClass(n), 0; hi < classProbes && c < sizeClasses; c, hi = c+1, hi+1 {
+		if v := scratchPools[c].Get(); v != nil {
+			return v.(*scratch)
+		}
+	}
+	return new(scratch)
+}
+
+func putScratch(s *scratch) { scratchPools[s.class()].Put(s) }
+
+// gscPools pools graph.Scratch tables separately from the node-sized scratch
+// arenas: a Subgraph local-id table is sized by the GLOBAL vertex count, so
+// folding it into scratch would drag every arena into the top class during a
+// large run (and pay an O(global n) -1 refill per small node). Classed by
+// the global count, every recursion node of one run shares the same class.
+var gscPools [sizeClasses]sync.Pool
+
+func getGraphScratch(n int) *graph.Scratch {
+	for c, hi := reqClass(n), 0; hi < classProbes && c < sizeClasses; c, hi = c+1, hi+1 {
+		if v := gscPools[c].Get(); v != nil {
+			return v.(*graph.Scratch)
+		}
+	}
+	return new(graph.Scratch)
+}
+
+func putGraphScratch(gs *graph.Scratch) { gscPools[capClass(gs.Cap())].Put(gs) }
 
 // growI32 returns buf resized to n, reallocating only when capacity is short.
 // Contents are unspecified — callers must fully initialise the slice.

@@ -151,9 +151,10 @@ func TestCoarsenCancelLatency(t *testing.T) {
 	g := mesh.Cylinder(0.01).DualGraph(mesh.DualGraphOptions{Constraints: mesh.PerLevel})
 	ctx, cancel := context.WithCancel(context.Background())
 	src := &cancelOnPerm{rng: rand.New(rand.NewSource(1)), cancel: cancel}
-	levels := coarsen(ctx, g, 128, src, nil, new(scratch))
-	if len(levels) != 1 {
-		t.Fatalf("coarsen built %d levels after mid-match cancellation, want 1 (no contraction)", len(levels))
+	h := coarsen(ctx, g, 128, src, nil, new(scratch), hierConfigFor(Options{}))
+	defer h.close()
+	if h.levels() != 1 {
+		t.Fatalf("coarsen built %d levels after mid-match cancellation, want 1 (no contraction)", h.levels())
 	}
 	// And a cancelled match must report !ok rather than a partial matching.
 	if _, _, ok := heavyEdgeMatching(ctx, g, src, nil, new(scratch)); ok {

@@ -61,6 +61,20 @@ type Options struct {
 	// construction sees a relabeled graph, the specific local optimum)
 	// changes.
 	Reorder bool
+	// Arena maps spilled intermediate coarse graphs from the on-disk spill
+	// store read-only (mmap) during uncoarsening instead of reading them
+	// back onto the heap. Spilling itself is always on for rungs above an
+	// internal size floor; Arena only selects the reload mechanism.
+	// Partitions are byte-identical with Arena on or off: spilled bytes are
+	// a verbatim round-trip of the coarse CSR, never a recomputation. On
+	// platforms without mmap the setting silently degrades to the heap
+	// read-back path.
+	Arena bool
+
+	// streamMinVerts overrides the streaming floor (streamMinVertices) so
+	// tests can force spilling on tiny meshes or disable it entirely; zero
+	// means the default.
+	streamMinVerts int
 }
 
 func (o Options) withDefaults(ncon int) Options {
@@ -297,19 +311,39 @@ func partitionRB(ctx context.Context, g *graph.Graph, k int, opt Options) (*Resu
 		return nil, fmt.Errorf("partition: k = %d, want >= 1", k)
 	}
 	n := g.NumVertices()
-	part := make([]int32, n)
-	if k > 1 {
+	if k > 1 && n > k && ctx.Err() == nil {
 		opt = opt.withDefaults(g.NCon)
 		pool := graph.NewPool(opt.Parallelism)
-		vertices := make([]int32, n)
-		for i := range vertices {
-			vertices[i] = int32(i)
-		}
-		recursiveBisect(ctx, g, vertices, 0, k, part, opt, opt.Seed, pool)
+		// The root bisection runs before part or the identity vertex list
+		// exist: both arrays are dead weight during the root's coarsening,
+		// which is the peak-memory moment of the whole partition (see
+		// rootBisect). They are materialized right after, for the subtrees.
+		left, right := rootBisect(ctx, g, k, opt, pool)
+		part := make([]int32, n)
+		pool.Fork(
+			func() {
+				recursiveBisect(ctx, g, left.Vertices, left.FirstPart, left.K, part, opt, left.Seed, pool)
+			},
+			func() {
+				recursiveBisect(ctx, g, right.Vertices, right.FirstPart, right.K, part, opt, right.Seed, pool)
+			},
+		)
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("partition: %w", err)
 		}
 		PolishRB(ctx, g, part, k, opt)
+		return NewResult(g, part, k), nil
+	}
+	// Base cases (k == 1, degenerate n <= k, pre-cancelled ctx): identical to
+	// what recursiveBisect's commitBaseCase produces over identity vertices.
+	part := make([]int32, n)
+	if k > 1 && ctx.Err() == nil {
+		for i := range part {
+			part[i] = int32(i % k)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
 	}
 	r := NewResult(g, part, k)
 	return r, nil

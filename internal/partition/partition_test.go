@@ -306,20 +306,21 @@ func TestHeavyEdgeMatchingValid(t *testing.T) {
 func TestCoarsenHierarchyConservesWeight(t *testing.T) {
 	g := graph.Grid(20, 20)
 	rng := rand.New(rand.NewSource(2))
-	levels := coarsen(context.Background(), g, 16, rng, nil, new(scratch))
-	if len(levels) < 2 {
+	h := coarsen(context.Background(), g, 16, rng, nil, new(scratch), hierConfigFor(Options{}))
+	defer h.close()
+	if h.levels() < 2 {
 		t.Fatal("coarsening produced no levels")
 	}
 	want := g.TotalWeights()
-	for i, lv := range levels {
-		got := lv.g.TotalWeights()
+	for i := 0; i < h.levels(); i++ {
+		got := h.graph(i).TotalWeights()
 		for c := range want {
 			if got[c] != want[c] {
 				t.Errorf("level %d: total weight %v, want %v", i, got, want)
 			}
 		}
 	}
-	last := levels[len(levels)-1].g.NumVertices()
+	last := h.coarsest().NumVertices()
 	if last > 40 { // 16 requested; matching can stall slightly above
 		t.Errorf("coarsest graph has %d vertices, want near 16", last)
 	}

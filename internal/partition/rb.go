@@ -41,6 +41,16 @@ func recursiveBisect(ctx context.Context, g *graph.Graph, vertices []int32, firs
 	)
 }
 
+// isIdentity reports whether vertices is exactly [0, 1, ..., len-1].
+func isIdentity(vertices []int32) bool {
+	for i, v := range vertices {
+		if v != int32(i) {
+			return false
+		}
+	}
+	return true
+}
+
 // commitBaseCase handles the leaves of the bisection tree (k == 1,
 // cancellation, or fewer vertices than parts), writing the assignment into
 // part and reporting whether the node was a leaf. The exact same base cases
@@ -75,10 +85,25 @@ func bisectNode(ctx context.Context, g *graph.Graph, t SubtreeTask, opt Options,
 	k1 := t.K / 2
 	frac := float64(k1) / float64(t.K)
 
-	sc := getScratch()
+	sc := getScratch(len(t.Vertices))
 	rng := rand.New(rand.NewSource(t.Seed))
 	sspan := obs.StartSpan(ctx, "partition/subgraph")
-	sg, orig := g.SubgraphWith(t.Vertices, &sc.gsc) // orig aliases t.Vertices
+	var sg *graph.Graph
+	var orig []int32
+	if len(t.Vertices) == g.NumVertices() && isIdentity(t.Vertices) {
+		// Root node (or root of a subtree covering the whole graph): the
+		// extracted subgraph would be byte-for-byte g itself — the identity
+		// mapping keeps adjacency order and drops no edges — so skip the
+		// wholesale CSR copy. At paper scale that copy is the single largest
+		// live object at the peak-memory moment of the whole partition.
+		sg, orig = g, t.Vertices
+	} else {
+		// The local-id table is sized by the GLOBAL vertex count, so it is
+		// pooled separately from the node-sized scratch arena (see gscPools).
+		gsc := getGraphScratch(g.NumVertices())
+		sg, orig = g.SubgraphWith(t.Vertices, gsc) // orig aliases t.Vertices
+		putGraphScratch(gsc)
+	}
 	if sspan.Active() {
 		sspan.SetInt("vertices", int64(len(t.Vertices)))
 	}
@@ -121,6 +146,64 @@ func bisectNode(ctx context.Context, g *graph.Graph, t SubtreeTask, opt Options,
 		FirstPart: t.FirstPart + k1,
 		K:         t.K - k1,
 		Seed:      deriveSeed(t.Seed, t.FirstPart+k1, t.K-k1),
+	}
+	return left, right
+}
+
+// rootBisect is bisectNode specialized to the tree root, where the vertex set
+// is the identity [0..n). It defers materializing the n-word vertex buffer
+// until after bisectGraph returns: the root's coarsening is the peak-memory
+// moment of the whole partition, and the buffer is pure dead weight during it.
+// Filling the buffer afterwards by stable-partitioning the identity over
+// `where` produces exactly the bytes bisectNode's in-place partition would,
+// so the children — and the final partition — are byte-identical.
+func rootBisect(ctx context.Context, g *graph.Graph, k int, opt Options, pool *graph.Pool) (left, right SubtreeTask) {
+	k1 := k / 2
+	frac := float64(k1) / float64(k)
+	n := g.NumVertices()
+
+	sc := getScratch(n)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	sspan := obs.StartSpan(ctx, "partition/subgraph")
+	if sspan.Active() {
+		sspan.SetInt("vertices", int64(n))
+	}
+	sspan.End()
+	where := bisectGraph(ctx, g, frac, opt, rng, pool, sc)
+
+	vertices := make([]int32, n)
+	nleft := 0
+	for _, w := range where {
+		if w == 0 {
+			nleft++
+		}
+	}
+	li, ri := 0, nleft
+	for i, w := range where {
+		if w == 0 {
+			vertices[li] = int32(i)
+			li++
+		} else {
+			vertices[ri] = int32(i)
+			ri++
+		}
+	}
+	// The root's scratch is deliberately NOT pooled: its buffers are sized by
+	// the whole graph, and ceil filing would hand them to the first child —
+	// whose coarsening window is the next peak-memory moment — instead of
+	// letting them die here. Children allocate half-sized arenas of their own.
+
+	left = SubtreeTask{
+		Vertices:  vertices[:nleft],
+		FirstPart: 0,
+		K:         k1,
+		Seed:      deriveSeed(opt.Seed, 0, k1),
+	}
+	right = SubtreeTask{
+		Vertices:  vertices[nleft:],
+		FirstPart: k1,
+		K:         k - k1,
+		Seed:      deriveSeed(opt.Seed, k1, k-k1),
 	}
 	return left, right
 }

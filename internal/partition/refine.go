@@ -395,8 +395,9 @@ func forceBalance(b *bisection) {
 // construction reports the cancellation.
 func bisectGraph(ctx context.Context, g *graph.Graph, frac float64, opt Options, rng randSource, pool *graph.Pool, sc *scratch) []int32 {
 	caps0, caps1 := sideCaps(g, frac, opt.ImbalanceTol)
-	levels := coarsen(ctx, g, opt.CoarsenTo, rng, pool, sc)
-	coarsest := levels[len(levels)-1].g
+	h := coarsen(ctx, g, opt.CoarsenTo, rng, pool, sc, hierConfigFor(opt))
+	defer h.close()
+	coarsest := h.coarsest()
 
 	// Initial bisection trials on the coarsest graph.
 	ispan := obs.StartSpan(ctx, "partition/initial")
@@ -425,23 +426,33 @@ func bisectGraph(ctx context.Context, g *graph.Graph, frac float64, opt Options,
 	}
 	ispan.End()
 
-	// Uncoarsen and refine.
+	// Uncoarsen and refine. Spilled interior rungs are reloaded one at a
+	// time (h.graph) and released once their refinement pass is done, so
+	// the resident graph state stays O(finest + coarsest + one rung).
 	where := bestWhere
-	for li := len(levels) - 1; li >= 1; li-- {
+	for li := h.levels() - 1; li >= 1; li-- {
 		rspan := obs.StartSpan(ctx, "partition/refine")
-		where = projectAssignment(levels[li].cmap, where)
+		where = projectAssignment(h.cmap(li), where)
+		if li == 1 {
+			// Level 0 is always resident: nothing loads after this
+			// projection, so the read-back buffers must not sit under the
+			// finest level's refinement.
+			h.dropReloadBuffers()
+		}
 		if ctx.Err() != nil {
 			rspan.End()
 			continue
 		}
-		b := newBisection(levels[li-1].g, where, caps0, caps1)
+		fg := h.graph(li - 1)
+		b := newBisection(fg, where, caps0, caps1)
 		if rspan.Active() {
 			rspan.SetInt("level", int64(li-1))
-			rspan.SetInt("vertices", int64(levels[li-1].g.NumVertices()))
+			rspan.SetInt("vertices", int64(fg.NumVertices()))
 		}
 		refineBisection(b, opt.RefinePasses, sc, rspan)
 		rspan.End()
 		where = b.where
+		h.release(li - 1)
 	}
 	if ctx.Err() != nil {
 		return where

@@ -77,13 +77,24 @@ type kwayScratch struct {
 	runOne func(i int)
 }
 
-var kwayScratchPool = sync.Pool{New: func() any { return new(kwayScratch) }}
+// kwayScratchPools is size-classed by localID capacity (the arena's dominant,
+// vertex-count-sized array); see sizeclass.go for the filing discipline.
+var kwayScratchPools [sizeClasses]sync.Pool
 
 // getKwayScratch returns an arena whose localID covers n vertices. The
 // localID array holds -1 everywhere between uses (every pair run resets the
 // entries it claimed), so acquisition only initialises newly grown entries.
 func getKwayScratch(n int) *kwayScratch {
-	ks := kwayScratchPool.Get().(*kwayScratch)
+	var ks *kwayScratch
+	for c, hi := reqClass(n), 0; hi < classProbes && c < sizeClasses; c, hi = c+1, hi+1 {
+		if v := kwayScratchPools[c].Get(); v != nil {
+			ks = v.(*kwayScratch)
+			break
+		}
+	}
+	if ks == nil {
+		ks = new(kwayScratch)
+	}
 	if cap(ks.localID) < n {
 		grown := make([]int32, n)
 		copy(grown, ks.localID)
@@ -101,7 +112,7 @@ func getKwayScratch(n int) *kwayScratch {
 	return ks
 }
 
-func putKwayScratch(ks *kwayScratch) { kwayScratchPool.Put(ks) }
+func putKwayScratch(ks *kwayScratch) { kwayScratchPools[capClass(cap(ks.localID))].Put(ks) }
 
 // pairSorter orders pair indices by descending boundary weight, ties by
 // (a, b) — a pure function of the pair set, never of discovery scheduling.
@@ -297,9 +308,10 @@ func kwayPass(g *graph.Graph, part []int32, k int, caps []int64, ks *kwayScratch
 	if ks.runOne == nil {
 		ks.runOne = func(i int) {
 			pr := ks.pairs[ks.cround[i]]
-			ps := pairScratchPool.Get().(*pairScratch)
-			ks.results[i] = ps.run(ks.cg, ks.cpart, ks, pr.a, pr.b, ks.lists[ks.cround[i]], ks.ccaps, ks.cbias, ks.results[i][:0])
-			pairScratchPool.Put(ps)
+			list := ks.lists[ks.cround[i]]
+			ps := getPairScratch(len(list))
+			ks.results[i] = ps.run(ks.cg, ks.cpart, ks, pr.a, pr.b, list, ks.ccaps, ks.cbias, ks.results[i][:0])
+			putPairScratch(ps)
 		}
 	}
 	for c := 0; c < ncolors; c++ {
@@ -415,7 +427,20 @@ type pairScratch struct {
 	maxDeg int64
 }
 
-var pairScratchPool = sync.Pool{New: func() any { return new(pairScratch) }}
+// pairScratchPools is size-classed by verts capacity — the run's boundary
+// list length bounds every per-vertex array the arena grows.
+var pairScratchPools [sizeClasses]sync.Pool
+
+func getPairScratch(hint int) *pairScratch {
+	for c, hi := reqClass(hint), 0; hi < classProbes && c < sizeClasses; c, hi = c+1, hi+1 {
+		if v := pairScratchPools[c].Get(); v != nil {
+			return v.(*pairScratch)
+		}
+	}
+	return new(pairScratch)
+}
+
+func putPairScratch(ps *pairScratch) { pairScratchPools[capClass(cap(ps.verts))].Put(ps) }
 
 // run executes pairwise FM between parts a and b over the given boundary
 // vertex list, reading part and ks.pw as the immutable pre-round state, and

@@ -1,0 +1,34 @@
+package partition
+
+import "math/bits"
+
+// Power-of-two size classing for the package's pooled scratch arenas,
+// mirroring internal/graph's discipline (see graph/sizeclass.go for the full
+// rationale): both filing and probing use the ceil class, getters probe
+// their own class plus the next classProbes-1, and every get site grows its
+// buffers defensively. A paper-scale arena can never be handed to a
+// kilobyte-scale request, while an arena grown for an n-sized node refiles
+// exactly where the next n-sized node probes first — preserving the
+// zero-alloc steady state pinned by TestRefineKWayAllocs.
+
+const sizeClasses = 31
+
+const classProbes = 3
+
+// reqClass is the class a request of n elements starts probing at.
+func reqClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// capClass is the class an arena of capacity c is filed under when returned:
+// reqClass(c), clamped to the table.
+func capClass(c int) int {
+	k := reqClass(c)
+	if k >= sizeClasses {
+		k = sizeClasses - 1
+	}
+	return k
+}
