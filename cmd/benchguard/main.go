@@ -44,10 +44,61 @@ type memSection struct {
 }
 
 type benchReport struct {
+	// Schema/provenance stamps partbench writes into every -json report.
+	SchemaVersion int    `json:"schema_version"`
+	GeneratedAt   string `json:"generated_at"`
+	GitRev        string `json:"git_rev"`
+
 	Mesh     string      `json:"mesh"`
 	Parallel int         `json:"parallel"`
 	Results  []row       `json:"results"`
 	Mem      *memSection `json:"mem"`
+}
+
+// trajectoryRecord is the one-line JSONL summary -trajectory appends per
+// refresh: enough to plot wall/refine seconds and bytes/cell over time
+// without retaining every full snapshot.
+type trajectoryRecord struct {
+	SchemaVersion int     `json:"schema_version"`
+	GeneratedAt   string  `json:"generated_at"`
+	GitRev        string  `json:"git_rev,omitempty"`
+	Mesh          string  `json:"mesh"`
+	Parallel      int     `json:"parallel"`
+	Passed        bool    `json:"passed"`
+	Results       []row   `json:"results"`
+	BytesPerCell  float64 `json:"bytes_per_cell,omitempty"`
+}
+
+// appendTrajectory appends the current report's summary line to the JSONL
+// trajectory file. Failures here are warnings, never CI failures: the
+// trajectory is a convenience series, not the guard itself.
+func appendTrajectory(path string, cur *benchReport, passed bool) {
+	rec := trajectoryRecord{
+		SchemaVersion: cur.SchemaVersion,
+		GeneratedAt:   cur.GeneratedAt,
+		GitRev:        cur.GitRev,
+		Mesh:          cur.Mesh,
+		Parallel:      cur.Parallel,
+		Passed:        passed,
+		Results:       cur.Results,
+	}
+	if cur.Mem != nil {
+		rec.BytesPerCell = cur.Mem.BytesPerCell
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: trajectory:", err)
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: trajectory:", err)
+		return
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: trajectory:", err)
+	}
 }
 
 func main() {
@@ -59,6 +110,7 @@ func main() {
 		checkRefine  = flag.Bool("refine", true, "compare per-strategy refine-phase seconds (disable when baseline and current run at different scales)")
 		checkMem     = flag.Bool("mem", false, "compare the mem section's peak-heap bytes/cell against the baseline's")
 		maxBPC       = flag.Float64("max-bytes-per-cell", 0, "absolute bytes/cell ceiling for the current report's peak heap (0 = no ceiling); requires -mem")
+		trajectory   = flag.String("trajectory", "", "append a one-line JSONL summary of the current report (schema version, timestamp, git rev, per-strategy seconds) to this file")
 	)
 	flag.Parse()
 	if *currentPath == "" {
@@ -86,6 +138,9 @@ func main() {
 	}
 	if *checkMem {
 		failed = compareMem(base, cur, *maxRegress, *maxBPC) || failed
+	}
+	if *trajectory != "" {
+		appendTrajectory(*trajectory, cur, !failed)
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchguard: regression beyond %.0f%%\n", *maxRegress*100)

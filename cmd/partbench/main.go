@@ -74,10 +74,10 @@ type refineSection struct {
 
 // result is one strategy's row, shared by the table and -json emitters.
 type result struct {
-	Strategy     string    `json:"strategy"`
-	WallSeconds  float64   `json:"wall_seconds"`
-	BuildSeconds float64   `json:"build_seconds"`
-	SimSeconds   float64   `json:"simulate_seconds"`
+	Strategy     string  `json:"strategy"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	BuildSeconds float64 `json:"build_seconds"`
+	SimSeconds   float64 `json:"simulate_seconds"`
 	// Per-phase partition seconds from the obs spans (-phases). Zero for
 	// the geometric strategies, which skip the multilevel pipeline.
 	CoarsenSeconds float64 `json:"coarsen_seconds,omitempty"`
@@ -87,18 +87,18 @@ type result struct {
 	// Memory view (-mem): peak live-heap bytes while this strategy
 	// partitioned, and per-phase net heap deltas from the obs spans
 	// (negative when a GC ran inside the phase).
-	PeakHeapBytes    int64 `json:"peak_heap_bytes,omitempty"`
-	CoarsenHeapBytes int64 `json:"coarsen_heap_bytes,omitempty"`
-	InitialHeapBytes int64 `json:"initial_heap_bytes,omitempty"`
-	RefineHeapBytes  int64 `json:"refine_heap_bytes,omitempty"`
-	EdgeCut      int64     `json:"edge_cut"`
-	MaxImbalance float64   `json:"max_imbalance"`
-	LevelImb     []float64 `json:"level_imbalance"`
-	WorstLvlImb  float64   `json:"worst_level_imbalance"`
-	MaxFragments int       `json:"max_fragments"`
-	Makespan     int64     `json:"makespan"`
-	CommVolume   int64     `json:"comm_volume"`
-	Efficiency   float64   `json:"efficiency"`
+	PeakHeapBytes    int64     `json:"peak_heap_bytes,omitempty"`
+	CoarsenHeapBytes int64     `json:"coarsen_heap_bytes,omitempty"`
+	InitialHeapBytes int64     `json:"initial_heap_bytes,omitempty"`
+	RefineHeapBytes  int64     `json:"refine_heap_bytes,omitempty"`
+	EdgeCut          int64     `json:"edge_cut"`
+	MaxImbalance     float64   `json:"max_imbalance"`
+	LevelImb         []float64 `json:"level_imbalance"`
+	WorstLvlImb      float64   `json:"worst_level_imbalance"`
+	MaxFragments     int       `json:"max_fragments"`
+	Makespan         int64     `json:"makespan"`
+	CommVolume       int64     `json:"comm_volume"`
+	Efficiency       float64   `json:"efficiency"`
 }
 
 // evalSection tracks the evaluation pipeline's own performance: per-strategy
@@ -129,8 +129,8 @@ type memSection struct {
 	PeakHeapBytes int64 `json:"peak_heap_bytes"`
 	// PeakRSSBytes is the kernel's VmHWM for the whole process (0 when the
 	// platform hides it).
-	PeakRSSBytes int64   `json:"peak_rss_bytes"`
-	BytesPerCell float64 `json:"bytes_per_cell"`
+	PeakRSSBytes int64    `json:"peak_rss_bytes"`
+	BytesPerCell float64  `json:"bytes_per_cell"`
 	Full         *fullMem `json:"full,omitempty"`
 }
 
@@ -149,15 +149,27 @@ type fullMem struct {
 	WallSeconds     float64 `json:"wall_seconds"`
 }
 
+// benchSchemaVersion versions the -json report layout. Bump it when a field
+// changes meaning or disappears; adding fields does not require a bump.
+const benchSchemaVersion = 1
+
 type report struct {
-	Mesh     string       `json:"mesh"`
-	Cells    int          `json:"cells"`
-	Census   []int64      `json:"census"`
-	Domains  int          `json:"domains"`
-	Procs    int          `json:"procs"`
-	Workers  int          `json:"workers"`
-	Seed     int64        `json:"seed"`
-	Parallel int          `json:"parallel"`
+	// SchemaVersion/GeneratedAt/GitRev stamp the report with its layout
+	// version, production time (RFC 3339 UTC) and the VCS revision of the
+	// binary, so committed snapshots and trajectory records carry their own
+	// provenance.
+	SchemaVersion int    `json:"schema_version"`
+	GeneratedAt   string `json:"generated_at"`
+	GitRev        string `json:"git_rev,omitempty"`
+
+	Mesh     string         `json:"mesh"`
+	Cells    int            `json:"cells"`
+	Census   []int64        `json:"census"`
+	Domains  int            `json:"domains"`
+	Procs    int            `json:"procs"`
+	Workers  int            `json:"workers"`
+	Seed     int64          `json:"seed"`
+	Parallel int            `json:"parallel"`
 	Results  []result       `json:"results"`
 	Eval     *evalSection   `json:"eval,omitempty"`
 	Refine   *refineSection `json:"refine,omitempty"`
@@ -284,7 +296,10 @@ func main() {
 	cluster := flusim.Cluster{NumProcs: *procs, WorkersPerProc: *workers}
 	procOf := flusim.BlockMap(*domains, *procs)
 	rep := report{
-		Mesh: m.Name, Cells: m.NumCells(), Census: m.Census(),
+		SchemaVersion: benchSchemaVersion,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GitRev:        obs.ReadBuildInfo().Revision,
+		Mesh:          m.Name, Cells: m.NumCells(), Census: m.Census(),
 		Domains: *domains, Procs: *procs, Workers: *workers, Seed: *seed,
 		Parallel: *parallel,
 	}
@@ -331,26 +346,26 @@ func main() {
 			}
 		}
 		r := result{
-			Strategy:       j.label,
-			WallSeconds:    elapsed.Seconds(),
-			BuildSeconds:   out.BuildSeconds,
-			SimSeconds:     out.SimulateSeconds,
-			CoarsenSeconds: phaseDelta(before, after, "partition/coarsen"),
-			InitialSeconds: phaseDelta(before, after, "partition/initial"),
-			RefineSeconds:  phaseDelta(before, after, "partition/refine"),
-			ReorderSeconds: phaseDelta(before, after, "partition/reorder"),
+			Strategy:         j.label,
+			WallSeconds:      elapsed.Seconds(),
+			BuildSeconds:     out.BuildSeconds,
+			SimSeconds:       out.SimulateSeconds,
+			CoarsenSeconds:   phaseDelta(before, after, "partition/coarsen"),
+			InitialSeconds:   phaseDelta(before, after, "partition/initial"),
+			RefineSeconds:    phaseDelta(before, after, "partition/refine"),
+			ReorderSeconds:   phaseDelta(before, after, "partition/reorder"),
 			PeakHeapBytes:    peakHeap,
 			CoarsenHeapBytes: phaseHeapDelta(before, after, "partition/coarsen"),
 			InitialHeapBytes: phaseHeapDelta(before, after, "partition/initial"),
 			RefineHeapBytes:  phaseHeapDelta(before, after, "partition/refine"),
-			EdgeCut:      res.EdgeCut,
-			MaxImbalance: res.MaxImbalance(),
-			LevelImb:     q.LevelImbalance,
-			WorstLvlImb:  worstLvl,
-			MaxFragments: q.MaxFragments(),
-			Makespan:     out.Makespan,
-			CommVolume:   out.CommVolume,
-			Efficiency:   out.Efficiency,
+			EdgeCut:          res.EdgeCut,
+			MaxImbalance:     res.MaxImbalance(),
+			LevelImb:         q.LevelImbalance,
+			WorstLvlImb:      worstLvl,
+			MaxFragments:     q.MaxFragments(),
+			Makespan:         out.Makespan,
+			CommVolume:       out.CommVolume,
+			Efficiency:       out.Efficiency,
 		}
 		rep.Results = append(rep.Results, r)
 		if !*asJSON {

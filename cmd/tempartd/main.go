@@ -78,6 +78,8 @@ func main() {
 		peersSpec    = flag.String("peers", "", `static fleet membership as "id=url,id=url,..." including this node (same list on every member); enables cluster mode`)
 		fanoutCells  = flag.Int("fanout-min-cells", 0, "minimum mesh cells before a request is fanned out across the fleet (0 = default 65536)")
 		hedge        = flag.Duration("cluster-hedge", 0, "race a local recompute against a peer subtree slower than this (0 = only after the peer fails)")
+		traceSample  = flag.Float64("trace-sample", 0, "flight-recorder head-sampling rate in [0,1]: fraction of fresh jobs traced into /v1/traces (0 = only ?debug=trace requests)")
+		traceRing    = flag.Int("trace-ring", 64, "completed request traces the flight recorder retains (plus the slowest, pinned)")
 		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -152,16 +154,18 @@ func main() {
 		access = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		CacheBytes:     *cacheMB << 20,
-		MaxBodyBytes:   *maxBodyMB << 20,
-		DefaultTimeout: *timeout,
-		MaxParallelism: *parallel,
-		AccessLog:      access,
-		Store:          st,
-		NodeID:         *nodeID,
-		Cluster:        cl,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheBytes:      *cacheMB << 20,
+		MaxBodyBytes:    *maxBodyMB << 20,
+		DefaultTimeout:  *timeout,
+		MaxParallelism:  *parallel,
+		AccessLog:       access,
+		Store:           st,
+		NodeID:          *nodeID,
+		Cluster:         cl,
+		TraceSampleRate: *traceSample,
+		TraceRingSize:   *traceRing,
 	})
 	if *debugAddr != "" {
 		go func() {

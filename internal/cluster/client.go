@@ -73,9 +73,9 @@ type ForwardResult struct {
 
 // Forward replays a client request body against the owner shard and returns
 // its response for relaying. The hop guard header carries our id so the
-// owner never forwards again, and the request id rides along for cross-node
-// tracing.
-func (c *Cluster) Forward(ctx context.Context, peer Node, path, rawQuery, contentType, requestID string, body []byte) (*ForwardResult, error) {
+// owner never forwards again, and the request id and trace context ride
+// along for cross-node tracing.
+func (c *Cluster) Forward(ctx context.Context, peer Node, path, rawQuery, contentType, requestID, traceHeader string, body []byte) (*ForwardResult, error) {
 	var out *ForwardResult
 	err := c.callPeer(ctx, peer, "forward", func() (bool, error) {
 		cctx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
@@ -92,6 +92,9 @@ func (c *Cluster) Forward(ctx context.Context, peer Node, path, rawQuery, conten
 		req.Header.Set(HeaderForwarded, c.self.ID)
 		if requestID != "" {
 			req.Header.Set(HeaderRequestID, requestID)
+		}
+		if traceHeader != "" {
+			req.Header.Set(HeaderTrace, traceHeader)
 		}
 		resp, err := c.client.Do(req)
 		if err != nil {
@@ -126,7 +129,7 @@ func (c *Cluster) Forward(ctx context.Context, peer Node, path, rawQuery, conten
 // content address. A miss is (nil, false, nil) — only transport trouble is
 // an error. Used by nodes that are about to compute a key they do not own
 // (hop-guarded forwards land here), so a warm owner cache saves the compute.
-func (c *Cluster) ProbeCache(ctx context.Context, peer Node, keyHex, requestID string) ([]byte, bool, error) {
+func (c *Cluster) ProbeCache(ctx context.Context, peer Node, keyHex, requestID, traceHeader string) ([]byte, bool, error) {
 	var payload []byte
 	var hit bool
 	err := c.callPeer(ctx, peer, "probe", func() (bool, error) {
@@ -138,6 +141,9 @@ func (c *Cluster) ProbeCache(ctx context.Context, peer Node, keyHex, requestID s
 		}
 		if requestID != "" {
 			req.Header.Set(HeaderRequestID, requestID)
+		}
+		if traceHeader != "" {
+			req.Header.Set(HeaderTrace, traceHeader)
 		}
 		resp, err := c.client.Do(req)
 		if err != nil {
@@ -172,14 +178,15 @@ func (c *Cluster) ProbeCache(ctx context.Context, peer Node, keyHex, requestID s
 
 // Subtree executes one bisection-subtree task on a peer and returns the
 // per-vertex assignments (aligned with the wire task's vertex order) plus
-// the id of the node that computed them.
-func (c *Cluster) Subtree(ctx context.Context, peer Node, wire *SubtreeWire, requestID string) ([]int32, string, error) {
+// the decoded reply (executing node id, and — for sampled trace contexts —
+// the peer's span snapshot for stitching).
+func (c *Cluster) Subtree(ctx context.Context, peer Node, wire *SubtreeWire, requestID, traceHeader string) ([]int32, *SubtreeReply, error) {
 	body, err := json.Marshal(wire)
 	if err != nil {
-		return nil, "", err
+		return nil, nil, err
 	}
 	var vals []int32
-	var nodeID string
+	var reply SubtreeReply
 	err = c.callPeer(ctx, peer, "subtree", func() (bool, error) {
 		cctx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
 		defer cancel()
@@ -190,6 +197,9 @@ func (c *Cluster) Subtree(ctx context.Context, peer Node, wire *SubtreeWire, req
 		req.Header.Set("Content-Type", "application/json")
 		if requestID != "" {
 			req.Header.Set(HeaderRequestID, requestID)
+		}
+		if traceHeader != "" {
+			req.Header.Set(HeaderTrace, traceHeader)
 		}
 		resp, err := c.client.Do(req)
 		if err != nil {
@@ -203,7 +213,7 @@ func (c *Cluster) Subtree(ctx context.Context, peer Node, wire *SubtreeWire, req
 		if resp.StatusCode != http.StatusOK {
 			return true, fmt.Errorf("cluster: subtree: peer %s returned %d: %.200s", peer.ID, resp.StatusCode, raw)
 		}
-		var reply SubtreeReply
+		reply = SubtreeReply{}
 		if err := json.Unmarshal(raw, &reply); err != nil {
 			return true, fmt.Errorf("cluster: subtree: decoding peer %s reply: %w", peer.ID, err)
 		}
@@ -214,11 +224,10 @@ func (c *Cluster) Subtree(ctx context.Context, peer Node, wire *SubtreeWire, req
 		if want := len(wire.Vertices) / 4; len(vals) != want {
 			return true, fmt.Errorf("cluster: subtree: peer %s returned %d assignments for %d vertices", peer.ID, len(vals), want)
 		}
-		nodeID = reply.NodeID
 		return true, nil
 	})
 	if err != nil {
-		return nil, "", err
+		return nil, nil, err
 	}
-	return vals, nodeID, nil
+	return vals, &reply, nil
 }

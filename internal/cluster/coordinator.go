@@ -34,6 +34,11 @@ type FanoutRequest struct {
 	K int
 	// RequestID propagates the client's request id to every peer hop.
 	RequestID string
+	// Trace is the request's trace context, forwarded on every subtree RPC.
+	// When Sampled is set, peers run their subtree with a recorder attached
+	// and ship the span snapshot back; the coordinator grafts it (node-
+	// stamped, clock-offset-adjusted) under its per-RPC span.
+	Trace obs.TraceContext
 }
 
 // subtreeOutcome reports one fanned-out task for spans/metrics.
@@ -153,9 +158,37 @@ func (c *Cluster) remoteSubtree(ctx context.Context, g *graph.Graph, t partition
 		vals []int32
 		err  error
 	}
+	traceHeader := ""
+	if req.Trace.Valid() {
+		traceHeader = req.Trace.Header()
+	}
 	resCh := make(chan remoteRes, 1)
 	go func() {
-		vals, node, err := c.Subtree(ctx, peer, wire, req.RequestID)
+		// The per-RPC span brackets the wire round trip; a sampled peer's
+		// snapshot is grafted under it, shifted so the midpoint of the
+		// peer's recorded activity aligns with the midpoint of our
+		// [send, recv] window (obs.ClockOffset). Grafting happens on reply
+		// receipt even if a hedge wins the race — the trace then shows the
+		// losing RPC too, which is the point of tracing.
+		rec := obs.FromContext(ctx)
+		rpc := obs.StartSpan(ctx, "cluster/fanout/rpc")
+		if rpc.Active() {
+			rpc.SetStr("peer", peer.ID)
+			rpc.SetInt("first_part", int64(t.FirstPart))
+			rpc.SetInt("vertices", int64(len(t.Vertices)))
+		}
+		sendNs := rec.NowNs()
+		vals, reply, err := c.Subtree(ctx, peer, wire, req.RequestID, traceHeader)
+		node := ""
+		if reply != nil {
+			node = reply.NodeID
+			if err == nil && len(reply.Spans) > 0 && rec.Enabled() {
+				recvNs := rec.NowNs()
+				offset := obs.ClockOffset(sendNs, recvNs, reply.Spans)
+				rec.Graft(rpc, reply.NodeID, reply.Spans, offset)
+			}
+		}
+		rpc.End()
 		resCh <- remoteRes{vals, node, err}
 	}()
 	// The hedge computes into a private buffer: the winning side commits

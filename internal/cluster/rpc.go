@@ -3,6 +3,8 @@ package cluster
 import (
 	"encoding/binary"
 	"fmt"
+
+	"tempart/internal/obs"
 )
 
 // Wire types for POST /v1/internal/subtree. The subtree RPC ships a node of
@@ -23,6 +25,12 @@ const HeaderForwarded = "X-Tempartd-Forwarded"
 // HeaderRequestID propagates the client's request id across peer hops so a
 // fleet-wide trace can be stitched from per-node access logs and manifests.
 const HeaderRequestID = "X-Request-Id"
+
+// HeaderTrace carries the compact trace context (obs.TraceContext wire form:
+// trace id, parent span, sampling bit) on every peer hop next to the request
+// id. A sampled subtree RPC runs on the peer with a recorder attached and
+// ships its span snapshot back in the reply for stitching.
+const HeaderTrace = "X-Tempartd-Trace"
 
 // MeshRef identifies the mesh a subtree task is over. Exactly one of Gen or
 // TMSH is set.
@@ -64,6 +72,13 @@ type SubtreeReply struct {
 	// and cross-node provenance assertions).
 	NodeID string `json:"node_id"`
 	Parts  []byte `json:"parts_i32"`
+	// Spans is the executing node's span snapshot, present only when the
+	// request carried a sampled trace context. Times are nanosecond offsets
+	// from the peer recorder's epoch; the coordinator clock-adjusts and
+	// grafts them under its own fan-out span (obs.ClockOffset, obs.Graft).
+	// Replies carrying spans are never cached or persisted by the peer —
+	// they come from a private job, exactly like ?debug=trace responses.
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
 }
 
 // PackInt32s encodes values as little-endian int32 bytes (base64 once JSON-

@@ -37,3 +37,31 @@ func BenchmarkSpanOverhead(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkSpanOverheadSampled measures the sampled flight-recorder path:
+// a per-request recorder records a small span tree, is snapshotted and filed
+// into the ring. This is what a head-sampled request pays on top of the
+// (0-alloc) disabled path; CI bench-smoke tracks it next to the disabled and
+// enabled numbers.
+func BenchmarkSpanOverheadSampled(b *testing.B) {
+	fr := NewFlightRecorder(64, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !fr.SampleHead() {
+			continue
+		}
+		rec := NewRecorder()
+		sp := rec.Start("phase")
+		child := sp.Start("sub")
+		child.SetInt("n", int64(i))
+		child.End()
+		sp.End()
+		rec.Count("events", 1)
+		fr.Record(FlightEntry{
+			RequestID: "bench",
+			Kind:      "partition",
+			Spans:     rec.Snapshot(),
+			Counters:  rec.Counters(),
+		})
+	}
+}

@@ -12,14 +12,55 @@ import (
 // format via internal/trace's exporter, so pipeline spans open in Perfetto
 // (or chrome://tracing) with the same workflow as FLUSIM schedules. Span
 // start/end nanoseconds map to microsecond timestamps; durations are floored
-// at 1µs so even the shortest phases stay visible. Spans land on PID 0 and
-// are packed into TID "lanes" so concurrently open spans (parallel bisection
-// subtrees, eval fan-out) never overlap within a lane. On a nil recorder the
-// output is an empty event array.
+// at 1µs so even the shortest phases stay visible. Spans are packed into TID
+// "lanes" so concurrently open spans (parallel bisection subtrees, eval
+// fan-out) never overlap within a lane. On a nil recorder the output is an
+// empty event array.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	spans := r.Snapshot()
-	events := make([]trace.ChromeEvent, 0, len(spans))
-	lanes := assignLanes(spans)
+	return WriteSpansChrome(w, r.Snapshot(), "")
+}
+
+// WriteSpansChrome writes a span snapshot as Chrome trace-event JSON. Spans
+// sharing a SpanRecord.Node land in one trace "process": each distinct node
+// gets its own PID plus a process_name metadata event, so a stitched
+// cross-node trace opens in Perfetto with one lane group per fleet member.
+// localName labels the PID of node-less (locally recorded) spans; when every
+// span is node-less no metadata is emitted at all and the output matches the
+// single-node format byte-for-byte.
+func WriteSpansChrome(w io.Writer, spans []SpanRecord, localName string) error {
+	nodes := make([]string, 0, 4) // distinct non-empty nodes, first-seen order
+	seen := map[string]bool{}
+	for i := range spans {
+		if n := spans[i].Node; n != "" && !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Strings(nodes)
+	pidOf := make(map[string]int32, len(nodes)+1)
+	pidOf[""] = 0
+	for i, n := range nodes {
+		pidOf[n] = int32(i + 1)
+	}
+
+	events := make([]trace.ChromeEvent, 0, len(spans)+len(nodes)+1)
+	if len(nodes) > 0 {
+		if localName == "" {
+			localName = "local"
+		}
+		events = append(events, trace.ChromeEvent{
+			Name: "process_name", Ph: "M", PID: 0,
+			Args: map[string]string{"name": localName},
+		})
+		for _, n := range nodes {
+			events = append(events, trace.ChromeEvent{
+				Name: "process_name", Ph: "M", PID: pidOf[n],
+				Args: map[string]string{"name": n},
+			})
+		}
+	}
+
+	lanes := assignLanesByNode(spans)
 	for i := range spans {
 		sp := &spans[i]
 		end := sp.End
@@ -43,12 +84,37 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			Ph:   "X",
 			Ts:   sp.Start / 1000,
 			Dur:  dur,
-			PID:  0,
+			PID:  pidOf[sp.Node],
 			TID:  lanes[i],
 			Args: args,
 		})
 	}
 	return trace.WriteChromeEvents(w, events)
+}
+
+// assignLanesByNode runs the laminar lane packing once per node group, so
+// lanes are dense within each trace process (TIDs are scoped to their PID in
+// the Chrome format). The single-node case degenerates to assignLanes.
+func assignLanesByNode(spans []SpanRecord) []int32 {
+	byNode := map[string][]int{}
+	for i := range spans {
+		byNode[spans[i].Node] = append(byNode[spans[i].Node], i)
+	}
+	if len(byNode) <= 1 {
+		return assignLanes(spans)
+	}
+	lanes := make([]int32, len(spans))
+	for _, idxs := range byNode {
+		group := make([]SpanRecord, len(idxs))
+		for j, i := range idxs {
+			group[j] = spans[i]
+		}
+		groupLanes := assignLanes(group)
+		for j, i := range idxs {
+			lanes[i] = groupLanes[j]
+		}
+	}
+	return lanes
 }
 
 // value renders an attribute for trace args and manifests.

@@ -78,6 +78,80 @@ func TestWriteChromeTrace(t *testing.T) {
 	}
 }
 
+// TestWriteSpansChromeMultiNode checks the stitched-trace export: spans from
+// distinct Node stamps land in distinct trace processes, each named by a
+// process_name metadata event, with the local (node-less) spans in PID 0.
+func TestWriteSpansChromeMultiNode(t *testing.T) {
+	spans := []SpanRecord{
+		{Name: "server/partition", Parent: -1, Start: 0, End: 100_000},
+		{Name: "cluster/fanout/rpc", Parent: 0, Start: 10_000, End: 60_000},
+		{Name: "server/subtree", Parent: 1, Start: 15_000, End: 55_000, Node: "n2"},
+		{Name: "server/subtree", Parent: 0, Start: 20_000, End: 70_000, Node: "n3"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSpansChrome(&buf, spans, "n1"); err != nil {
+		t.Fatal(err)
+	}
+	var events []trace.ChromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("multi-node trace invalid JSON: %v\n%s", err, buf.String())
+	}
+	procName := map[int32]string{}
+	pids := map[int32]bool{}
+	for _, e := range events {
+		if e.Ph == "M" && e.Name == "process_name" {
+			procName[e.PID] = e.Args["name"]
+			continue
+		}
+		pids[e.PID] = true
+	}
+	if procName[0] != "n1" {
+		t.Errorf("PID 0 named %q, want n1 (local)", procName[0])
+	}
+	names := map[string]bool{}
+	for _, n := range procName {
+		names[n] = true
+	}
+	if !names["n2"] || !names["n3"] {
+		t.Errorf("process_name metadata = %v, want n1, n2, n3", procName)
+	}
+	if len(pids) != 3 {
+		t.Errorf("span events span %d PIDs, want 3 (one per node)", len(pids))
+	}
+	// Every span event's PID must have a process_name.
+	for pid := range pids {
+		if procName[pid] == "" {
+			t.Errorf("PID %d has span events but no process_name", pid)
+		}
+	}
+}
+
+// TestWriteSpansChromeSingleNodeBackCompat pins the no-node format: when no
+// span carries a Node stamp, no metadata events are emitted and the output is
+// exactly the pre-stitching single-process trace.
+func TestWriteSpansChromeSingleNodeBackCompat(t *testing.T) {
+	spans := []SpanRecord{
+		{Name: "a", Parent: -1, Start: 0, End: 2000},
+		{Name: "b", Parent: 0, Start: 100, End: 1000},
+	}
+	var buf bytes.Buffer
+	if err := WriteSpansChrome(&buf, spans, "ignored"); err != nil {
+		t.Fatal(err)
+	}
+	var events []trace.ChromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2 (no metadata for single-node traces)", len(events))
+	}
+	for _, e := range events {
+		if e.Ph != "X" || e.PID != 0 {
+			t.Errorf("event %+v: want ph=X pid=0", e)
+		}
+	}
+}
+
 func TestWriteChromeTraceNilRecorder(t *testing.T) {
 	var rec *Recorder
 	var buf bytes.Buffer

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlightEntry is one completed request's span tree as retained by the
+// flight recorder: enough to re-emit the request's Chrome trace after the
+// fact, plus the summary fields /v1/traces/recent lists.
+type FlightEntry struct {
+	// RequestID is the X-Request-Id of the exchange that ran the job.
+	RequestID string `json:"request_id"`
+	// TraceID names the distributed trace the request belonged to (equal to
+	// RequestID for requests that originated locally).
+	TraceID string `json:"trace_id,omitempty"`
+	// Kind labels the job ("partition", "repartition", "subtree").
+	Kind string `json:"kind,omitempty"`
+	// Start is the job's wall-clock creation time.
+	Start time.Time `json:"start"`
+	// Duration is the job's total latency.
+	Duration time.Duration `json:"duration_ns"`
+	// Spans is the request's full span snapshot (stitched, for a
+	// coordinator: peer subtree spans are already grafted and node-stamped).
+	Spans []SpanRecord `json:"spans,omitempty"`
+	// Counters is the request recorder's counter rollup.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// FlightRecorder is the always-on trace ring: a fixed-size buffer of
+// recently completed request span trees, fed by head-sampled requests (plus
+// every explicitly traced one), so an operator can pull the trace of a slow
+// request *after* it happened without having set ?debug=trace in advance.
+//
+// Two retention rules compose:
+//
+//   - the ring proper evicts strictly oldest-first — entry N+size overwrites
+//     entry N regardless of how interesting either was;
+//   - the slowest entry ever recorded is additionally pinned outside the
+//     ring ("always keep slowest"), because the request an operator comes
+//     looking for is usually exactly the one a small ring already evicted.
+//
+// Head sampling is deterministic — a stride over the admission counter, no
+// RNG — so the sampled request stream is reproducible and the partitioner's
+// seeded RNG streams are never touched. All methods are safe for concurrent
+// use and safe on a nil receiver (the disabled flight recorder).
+type FlightRecorder struct {
+	rate float64
+	seq  atomic.Uint64 // head-sampling stride counter
+
+	mu      sync.Mutex
+	ring    []FlightEntry
+	next    int // ring index the next Record overwrites
+	total   int // entries ever recorded (caps at len(ring) for occupancy)
+	slowest FlightEntry
+	pinned  bool
+}
+
+// NewFlightRecorder sizes the ring (≤0 takes 64) and sets the head-sampling
+// rate, clamped to [0, 1]. Rate 0 disables head sampling — only explicitly
+// traced requests reach the ring.
+func NewFlightRecorder(size int, rate float64) *FlightRecorder {
+	if size <= 0 {
+		size = 64
+	}
+	if math.IsNaN(rate) || rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &FlightRecorder{rate: rate, ring: make([]FlightEntry, 0, size)}
+}
+
+// SampleHead makes the head-sampling decision for one incoming request:
+// true when the request should run with a recorder attached. The stride
+// floor(n·rate) ≠ floor((n-1)·rate) admits exactly rate·N of every N
+// consecutive requests, deterministically. Rate 0 costs one branch and
+// nothing else, preserving the disabled path's zero-overhead contract.
+func (f *FlightRecorder) SampleHead() bool {
+	if f == nil || f.rate <= 0 {
+		return false
+	}
+	if f.rate >= 1 {
+		return true
+	}
+	n := f.seq.Add(1)
+	return math.Floor(float64(n)*f.rate) != math.Floor(float64(n-1)*f.rate)
+}
+
+// Record retains one completed request. Oldest-first eviction; the slowest
+// entry seen so far is pinned separately and survives any number of ring
+// wraps.
+func (f *FlightRecorder) Record(e FlightEntry) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, e)
+	} else {
+		f.ring[f.next] = e
+		f.next = (f.next + 1) % len(f.ring)
+	}
+	f.total++
+	if !f.pinned || e.Duration >= f.slowest.Duration {
+		f.slowest = e
+		f.pinned = true
+	}
+	f.mu.Unlock()
+}
+
+// Recent returns the retained entries newest-first, the pinned slowest entry
+// appended last when the ring no longer holds it. Entries are copies of the
+// ring slots; Spans/Counters are shared and must be treated read-only.
+func (f *FlightRecorder) Recent() []FlightEntry {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.ring)
+	out := make([]FlightEntry, 0, n+1)
+	for i := 1; i <= n; i++ {
+		out = append(out, f.ring[(f.next+n-i)%n])
+	}
+	if f.pinned {
+		inRing := false
+		for i := range out {
+			if out[i].RequestID == f.slowest.RequestID && out[i].Start.Equal(f.slowest.Start) {
+				inRing = true
+				break
+			}
+		}
+		if !inRing {
+			out = append(out, f.slowest)
+		}
+	}
+	return out
+}
+
+// Get returns the retained entry for a request id (the newest when the same
+// id was recorded more than once), checking the pinned slowest slot too.
+func (f *FlightRecorder) Get(requestID string) (FlightEntry, bool) {
+	if f == nil {
+		return FlightEntry{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.ring)
+	for i := 1; i <= n; i++ {
+		if e := f.ring[(f.next+n-i)%n]; e.RequestID == requestID {
+			return e, true
+		}
+	}
+	if f.pinned && f.slowest.RequestID == requestID {
+		return f.slowest, true
+	}
+	return FlightEntry{}, false
+}
+
+// Len reports current ring occupancy (the pinned slowest slot excluded).
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.ring)
+}

@@ -49,11 +49,11 @@ const (
 
 // Attr is one key/value annotation on a span.
 type Attr struct {
-	Key   string
-	Kind  AttrKind
-	Int   int64
-	Float float64
-	Str   string
+	Key   string   `json:"k"`
+	Kind  AttrKind `json:"t"`
+	Int   int64    `json:"i,omitempty"`
+	Float float64  `json:"f,omitempty"`
+	Str   string   `json:"s,omitempty"`
 }
 
 // SpanRecord is one recorded span. Times are nanoseconds since the
@@ -62,20 +62,27 @@ type Attr struct {
 type SpanRecord struct {
 	// Name identifies the phase ("partition/coarsen", "eval/simulate", ...).
 	// Phase aggregation (PhaseTotals, Agg) groups by this name.
-	Name string
+	Name string `json:"name"`
 	// Parent is the index of the parent span in the recorder's buffer, or
 	// -1 for root spans.
-	Parent int32
+	Parent int32 `json:"parent"`
 	// Start and End are nanoseconds since the recorder epoch. An unfinished
 	// span has End < Start; exporters clamp it to Start.
-	Start, End int64
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
 	// HeapStart and HeapEnd are live-heap bytes at the span boundaries,
 	// recorded only when the recorder has TrackMemory enabled (both zero
 	// otherwise). Their difference is the span's net heap growth — negative
 	// when a GC ran inside the span.
-	HeapStart, HeapEnd int64
+	HeapStart int64 `json:"heap_start,omitempty"`
+	HeapEnd   int64 `json:"heap_end,omitempty"`
+	// Node names the fleet member that recorded the span. Locally recorded
+	// spans leave it empty; Graft stamps it on spans adopted from a peer's
+	// snapshot, which is what lets one stitched trace carry per-node process
+	// lanes.
+	Node string `json:"node,omitempty"`
 	// Attrs are the span's annotations, in the order they were set.
-	Attrs []Attr
+	Attrs []Attr `json:"attrs,omitempty"`
 }
 
 // Duration returns the span's length, zero for unfinished spans.
@@ -122,6 +129,16 @@ func (r *Recorder) Enabled() bool { return r != nil }
 
 // now is the recorder's clock: nanoseconds since its creation.
 func (r *Recorder) now() int64 { return int64(time.Since(r.t0)) }
+
+// NowNs reads the recorder's clock (nanoseconds since its epoch); 0 on a nil
+// recorder. Cross-node stitching timestamps RPC send/receive with it so
+// grafted peer spans can be shifted onto this recorder's timeline.
+func (r *Recorder) NowNs() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.now()
+}
 
 // Span is a lightweight handle to an open (or finished) span. The zero Span
 // is valid and inert: all methods are no-ops, so code instruments

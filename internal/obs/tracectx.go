@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TraceContext is the compact cross-node trace context carried on every
+// cluster hop (forward, subtree fan-out, cache probe) in the
+// X-Tempartd-Trace header, next to X-Request-Id. It names the trace, the
+// parent span on the originating node, and whether the originator is
+// actually recording — the sampling decision is made once, at the head of
+// the request, and peers obey it.
+type TraceContext struct {
+	// ID identifies the whole distributed trace; tempartd uses the
+	// originating exchange's request id.
+	ID string
+	// Span is the parent span's index in the originator's recorder, or -1
+	// when the originator has no open span.
+	Span int64
+	// Sampled is the head-sampling bit: peers attach a recorder (and ship
+	// their span snapshot back) only when it is set.
+	Sampled bool
+}
+
+// Valid reports whether the context names a trace at all.
+func (tc TraceContext) Valid() bool { return tc.ID != "" }
+
+// Header renders the wire form: "v1;<id>;<span>;<0|1>". Semicolons in the id
+// are replaced so the field count stays fixed.
+func (tc TraceContext) Header() string {
+	if !tc.Valid() {
+		return ""
+	}
+	sampled := 0
+	if tc.Sampled {
+		sampled = 1
+	}
+	return fmt.Sprintf("v1;%s;%d;%d", strings.ReplaceAll(tc.ID, ";", "_"), tc.Span, sampled)
+}
+
+// ParseTraceContext decodes a Header() value; ok is false for an empty or
+// malformed header (the request then simply has no trace context — never an
+// error, tracing must not fail requests).
+func ParseTraceContext(s string) (TraceContext, bool) {
+	if s == "" {
+		return TraceContext{}, false
+	}
+	parts := strings.Split(s, ";")
+	if len(parts) != 4 || parts[0] != "v1" || parts[1] == "" {
+		return TraceContext{}, false
+	}
+	span, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return TraceContext{}, false
+	}
+	return TraceContext{ID: parts[1], Span: span, Sampled: parts[3] == "1"}, true
+}
+
+// ClockOffset estimates the shift (in this recorder's clock) that places a
+// peer's span snapshot onto the local timeline. Peer spans are nanosecond
+// offsets from the peer recorder's own epoch; the coordinator knows only
+// when it sent the RPC and when the reply arrived (local clock). NTP-style,
+// the midpoint of the peer's recorded activity is aligned with the midpoint
+// of the local [send, recv] window — symmetric network delay is cancelled,
+// asymmetric delay bounded by the RTT. Zero when the snapshot is empty.
+func ClockOffset(sendNs, recvNs int64, remote []SpanRecord) int64 {
+	if len(remote) == 0 {
+		return 0
+	}
+	minStart := remote[0].Start
+	maxEnd := remote[0].End
+	for i := range remote {
+		sp := &remote[i]
+		if sp.Start < minStart {
+			minStart = sp.Start
+		}
+		end := sp.End
+		if end < sp.Start {
+			end = sp.Start // unfinished span: clamp, same as exporters
+		}
+		if end > maxEnd {
+			maxEnd = end
+		}
+	}
+	if maxEnd < minStart {
+		maxEnd = minStart
+	}
+	return (sendNs+recvNs)/2 - (minStart+maxEnd)/2
+}
+
+// Graft adopts a peer's span snapshot into this recorder: every span is
+// appended with its times shifted by offsetNs (see ClockOffset), its Node
+// stamped with node (unless the peer already stamped a deeper origin), and
+// its parent index remapped — remote roots become children of under, remote
+// internal edges are preserved. Malformed parent indices (a truncated
+// snapshot from a peer that died mid-request) degrade to roots, so the
+// grafted tree is always valid. It returns the number of spans adopted.
+// Safe on a nil recorder (no-op); under must belong to this recorder or be
+// the zero Span (remote roots then stay roots).
+func (r *Recorder) Graft(under Span, node string, remote []SpanRecord, offsetNs int64) int {
+	if r == nil || len(remote) == 0 {
+		return 0
+	}
+	parentIdx := int32(-1)
+	if under.r == r {
+		parentIdx = under.idx
+	}
+	r.mu.Lock()
+	base := int32(len(r.spans))
+	for i := range remote {
+		sp := remote[i] // copy; Attrs stay shared (read-only by contract)
+		sp.Start += offsetNs
+		sp.End += offsetNs
+		if sp.Node == "" {
+			sp.Node = node
+		}
+		// A remote parent must point at an earlier span of the same
+		// snapshot; anything else (root, or a reference past a truncation
+		// point) hangs off the graft point.
+		if sp.Parent >= 0 && int(sp.Parent) < i {
+			sp.Parent += base
+		} else {
+			sp.Parent = parentIdx
+		}
+		r.spans = append(r.spans, sp)
+	}
+	r.mu.Unlock()
+	return len(remote)
+}

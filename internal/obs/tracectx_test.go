@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceContextHeaderRoundTrip(t *testing.T) {
+	cases := []TraceContext{
+		{ID: "n1-req-0000002a", Span: 3, Sampled: true},
+		{ID: "req-00000001", Span: -1, Sampled: false},
+		{ID: "x", Span: 0, Sampled: true},
+	}
+	for _, tc := range cases {
+		got, ok := ParseTraceContext(tc.Header())
+		if !ok {
+			t.Fatalf("ParseTraceContext(%q) not ok", tc.Header())
+		}
+		if got != tc {
+			t.Errorf("round trip %+v -> %q -> %+v", tc, tc.Header(), got)
+		}
+	}
+}
+
+func TestTraceContextHeaderSanitizesSemicolons(t *testing.T) {
+	tc := TraceContext{ID: "evil;id", Span: 1, Sampled: true}
+	h := tc.Header()
+	if strings.Count(h, ";") != 3 {
+		t.Fatalf("Header() = %q, want exactly 3 field separators", h)
+	}
+	got, ok := ParseTraceContext(h)
+	if !ok || got.Span != 1 || !got.Sampled {
+		t.Fatalf("sanitized header %q did not parse: %+v ok=%v", h, got, ok)
+	}
+}
+
+func TestParseTraceContextMalformed(t *testing.T) {
+	for _, s := range []string{
+		"",                // absent header
+		"v1;id;3",         // too few fields
+		"v1;id;3;1;extra", // too many fields
+		"v2;id;3;1",       // unknown version
+		"v1;;3;1",         // empty trace id
+		"v1;id;notnum;1",  // non-numeric span
+		"garbage",         // no structure at all
+		";;;",             // empty fields
+	} {
+		if got, ok := ParseTraceContext(s); ok {
+			t.Errorf("ParseTraceContext(%q) ok, got %+v; want rejection", s, got)
+		}
+	}
+}
+
+func TestTraceContextZeroValueInvalid(t *testing.T) {
+	var tc TraceContext
+	if tc.Valid() {
+		t.Fatal("zero TraceContext reports Valid")
+	}
+	if tc.Header() != "" {
+		t.Fatalf("zero TraceContext Header() = %q, want empty", tc.Header())
+	}
+}
+
+func TestClockOffset(t *testing.T) {
+	// Peer activity spans [1000, 3000] on its own clock; the local send/recv
+	// window is [100000, 104000]. The midpoints (2000 remote, 102000 local)
+	// must align.
+	remote := []SpanRecord{
+		{Name: "a", Parent: -1, Start: 1000, End: 3000},
+		{Name: "b", Parent: 0, Start: 1500, End: 2500},
+	}
+	if got := ClockOffset(100000, 104000, remote); got != 100000 {
+		t.Fatalf("ClockOffset = %d, want 100000", got)
+	}
+	if got := ClockOffset(100, 200, nil); got != 0 {
+		t.Fatalf("ClockOffset(empty) = %d, want 0", got)
+	}
+	// Unfinished span (End < Start) clamps to Start rather than skewing the
+	// midpoint backwards.
+	unfinished := []SpanRecord{{Name: "u", Parent: -1, Start: 5000, End: 4999}}
+	if got := ClockOffset(0, 0, unfinished); got != -5000 {
+		t.Fatalf("ClockOffset(unfinished) = %d, want -5000", got)
+	}
+}
+
+func TestGraftRemapsParentsAndStampsNodes(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.Start("local-root")
+	remote := []SpanRecord{
+		{Name: "peer-root", Parent: -1, Start: 10, End: 90},
+		{Name: "peer-child", Parent: 0, Start: 20, End: 40},
+		{Name: "peer-grandchild", Parent: 1, Start: 25, End: 35},
+		{Name: "already-stamped", Parent: 0, Start: 50, End: 60, Node: "n9"},
+	}
+	n := rec.Graft(root, "n2", remote, 1000)
+	root.End()
+	if n != 4 {
+		t.Fatalf("Graft adopted %d spans, want 4", n)
+	}
+	spans := rec.Snapshot()
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(spans))
+	}
+	// Index 0 is local-root; grafted spans follow at base=1.
+	peerRoot, child, grand, stamped := spans[1], spans[2], spans[3], spans[4]
+	if peerRoot.Parent != 0 {
+		t.Errorf("peer root Parent = %d, want 0 (graft point)", peerRoot.Parent)
+	}
+	if child.Parent != 1 || grand.Parent != 2 {
+		t.Errorf("internal edges: child.Parent=%d grand.Parent=%d, want 1,2", child.Parent, grand.Parent)
+	}
+	if stamped.Parent != 1 {
+		t.Errorf("stamped.Parent = %d, want 1", stamped.Parent)
+	}
+	if peerRoot.Start != 1010 || peerRoot.End != 1090 {
+		t.Errorf("times not shifted: [%d,%d], want [1010,1090]", peerRoot.Start, peerRoot.End)
+	}
+	for _, sp := range []SpanRecord{peerRoot, child, grand} {
+		if sp.Node != "n2" {
+			t.Errorf("span %q Node = %q, want n2", sp.Name, sp.Node)
+		}
+	}
+	if stamped.Node != "n9" {
+		t.Errorf("pre-stamped span overwritten: Node = %q, want n9", stamped.Node)
+	}
+}
+
+// TestGraftTruncatedSnapshot is the peer-dies-mid-subtree case: the snapshot
+// references parents past the truncation point (or forward), and the grafted
+// tree must still be valid — every Parent index in range and pointing at an
+// earlier span.
+func TestGraftTruncatedSnapshot(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.Start("local-root")
+	truncated := []SpanRecord{
+		{Name: "kept", Parent: -1, Start: 0, End: 10},
+		{Name: "orphan", Parent: 7, Start: 1, End: 9},  // parent beyond snapshot
+		{Name: "forward", Parent: 2, Start: 2, End: 8}, // self/forward reference
+	}
+	rec.Graft(root, "n3", truncated, 0)
+	root.End()
+	spans := rec.Snapshot()
+	for i, sp := range spans {
+		if sp.Parent >= int32(i) {
+			t.Errorf("span %d %q Parent=%d not earlier than itself", i, sp.Name, sp.Parent)
+		}
+		if sp.Parent >= 0 && int(sp.Parent) >= len(spans) {
+			t.Errorf("span %d %q Parent=%d out of range", i, sp.Name, sp.Parent)
+		}
+	}
+	// Orphans degrade to children of the graft point, not dropped spans.
+	if spans[2].Parent != 0 || spans[3].Parent != 0 {
+		t.Errorf("orphans should hang off graft point: parents %d, %d", spans[2].Parent, spans[3].Parent)
+	}
+}
+
+func TestGraftNilAndZeroSpan(t *testing.T) {
+	var nilRec *Recorder
+	if n := nilRec.Graft(Span{}, "n1", []SpanRecord{{Name: "x", Parent: -1}}, 0); n != 0 {
+		t.Fatalf("nil recorder Graft = %d, want 0", n)
+	}
+	// Zero graft point: remote roots stay roots.
+	rec := NewRecorder()
+	rec.Graft(Span{}, "n1", []SpanRecord{{Name: "r", Parent: -1, Start: 1, End: 2}}, 0)
+	spans := rec.Snapshot()
+	if len(spans) != 1 || spans[0].Parent != -1 {
+		t.Fatalf("graft under zero Span: got %+v, want one root", spans)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"tempart/internal/cluster"
 	"tempart/internal/mesh"
+	"tempart/internal/obs"
 	"tempart/internal/partition"
 	"tempart/internal/store"
 )
@@ -60,13 +61,17 @@ func (s *Server) clusterRoute(w http.ResponseWriter, r *http.Request, req jobReq
 	}
 	owner := cl.Owner([32]byte(key))
 	requestID := w.Header().Get("X-Request-Id")
+	traceHeader := ""
+	if tc := req.base().trace; tc.Valid() {
+		traceHeader = tc.Header()
+	}
 
 	if r.Header.Get(cluster.HeaderForwarded) != "" {
 		// Hop guard: this request was already forwarded once, so it is never
 		// forwarded again — but the sender disagreed with us about ownership
 		// (membership skew), so before computing a key we don't own, probe
 		// the member we think owns it.
-		if payload, ok, err := cl.ProbeCache(r.Context(), owner, resultStoreKey(key), requestID); err == nil && ok {
+		if payload, ok, err := cl.ProbeCache(r.Context(), owner, resultStoreKey(key), requestID, traceHeader); err == nil && ok {
 			s.cache.put(key, payload)
 			w.Header().Set("X-Tempartd-Cache", "peer")
 			w.Header().Set("Content-Type", "application/json")
@@ -77,7 +82,7 @@ func (s *Server) clusterRoute(w http.ResponseWriter, r *http.Request, req jobReq
 		return 0, false
 	}
 
-	res, err := cl.Forward(r.Context(), owner, r.URL.Path, r.URL.RawQuery, r.Header.Get("Content-Type"), requestID, rawBody)
+	res, err := cl.Forward(r.Context(), owner, r.URL.Path, r.URL.RawQuery, r.Header.Get("Content-Type"), requestID, traceHeader, rawBody)
 	if err != nil {
 		// Owner unreachable: degraded but correct — compute locally.
 		return 0, false
@@ -107,7 +112,7 @@ func (s *Server) clusterRoute(w http.ResponseWriter, r *http.Request, req jobReq
 // caller then computes locally, so this is a pure fast-path.
 func (s *Server) fanoutDecompose(ctx context.Context, r *PartitionRequest, m *mesh.Mesh, opt partition.Options) *partition.Result {
 	cl := s.cluster
-	if cl == nil || r.debugTrace || r.K < 2 {
+	if cl == nil || r.K < 2 {
 		return nil
 	}
 	// Only the deterministic single-trial recursive-bisection path splits
@@ -134,6 +139,10 @@ func (s *Server) fanoutDecompose(ctx context.Context, r *PartitionRequest, m *me
 		Options:   opt,
 		K:         r.K,
 		RequestID: r.requestID,
+		// Traced fan-outs (debug or sampled) ship the trace context on every
+		// subtree RPC; peers run sampled subtrees with a recorder and the
+		// coordinator grafts their span snapshots under its fan-out span.
+		Trace: r.trace,
 	}
 	if r.Uploaded != nil {
 		fr.Mesh = cluster.MeshRef{TMSH: r.meshRaw}
@@ -273,8 +282,20 @@ func (r *subtreeRequest) execute(ctx context.Context, s *Server) ([]byte, time.D
 	}
 	part := make([]int32, n)
 	task := partition.SubtreeTask{Vertices: verts, FirstPart: r.wire.FirstPart, K: r.wire.K, Seed: r.wire.Seed}
+	// On a sampled trace the job carries a recorder; a root span brackets the
+	// subtree work so the coordinator's stitched trace shows this node's
+	// contribution even if the pipeline below records nothing.
+	span := obs.StartSpan(ctx, "server/subtree")
+	if span.Active() {
+		span.SetInt("first_part", int64(r.wire.FirstPart))
+		span.SetInt("k", int64(r.wire.K))
+		span.SetInt("vertices", int64(len(verts)))
+		ctx = obs.ContextWithSpan(ctx, span)
+	}
 	start := time.Now()
-	if err := partition.PartitionSubtree(ctx, g, task, opt, part); err != nil {
+	err = partition.PartitionSubtree(ctx, g, task, opt, part)
+	span.End()
+	if err != nil {
 		return nil, 0, &requestError{code: http.StatusInternalServerError, msg: err.Error()}
 	}
 	elapsed := time.Since(start)
@@ -282,10 +303,17 @@ func (r *subtreeRequest) execute(ctx context.Context, s *Server) ([]byte, time.D
 	for i, v := range verts {
 		vals[i] = part[v]
 	}
-	payload, err := json.Marshal(&cluster.SubtreeReply{
+	reply := &cluster.SubtreeReply{
 		NodeID: s.cfg.NodeID,
 		Parts:  cluster.PackInt32s(vals),
-	})
+	}
+	if rec := obs.FromContext(ctx); rec.Enabled() {
+		// Ship the span snapshot home for stitching. This payload is private
+		// (never cached or persisted — see serveJob's sampled-subtree path),
+		// so the spans poison nothing.
+		reply.Spans = rec.Snapshot()
+	}
+	payload, err := json.Marshal(reply)
 	if err != nil {
 		return nil, 0, &requestError{code: http.StatusInternalServerError, msg: err.Error()}
 	}

@@ -156,6 +156,12 @@ func (s *Server) resultManifest(j *job) *obs.Manifest {
 	m := obs.NewManifest("tempartd")
 	m.Node = s.cfg.NodeID
 	m.Inputs["job"] = j.id
+	if base.requestID != "" {
+		// The request id that created the job, so one client exchange can be
+		// chased through access logs, traces and provenance on every node it
+		// touched.
+		m.Inputs["request_id"] = base.requestID
+	}
 	switch v := j.req.(type) {
 	case *subtreeRequest:
 		m.Inputs["kind"] = kindSubtree

@@ -142,6 +142,11 @@ func (s *Server) acquireJob(req jobRequest) (*job, error) {
 	if private {
 		j.rec = obs.NewRecorder()
 		j.noCache = true
+	} else if req.base().sampled {
+		// Head-sampled job: record spans for the flight recorder, but keep
+		// the payload canonical and cacheable — the debug block is gated on
+		// debugTrace, not on the recorder, so sampled bytes match unsampled.
+		j.rec = obs.NewRecorder()
 	}
 	select {
 	case s.queue <- j:
@@ -241,6 +246,7 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.setState(jobRunning)
+	s.metrics.observeAdmissionWait(time.Since(j.created).Seconds())
 	s.journalState(j, store.JobRunning, "")
 
 	if s.cfg.execGate != nil {
@@ -256,8 +262,9 @@ func (s *Server) runJob(j *job) {
 	}
 	payload, elapsed, rerr := j.req.execute(ctx, s)
 	// Whatever the traced pipeline recorded feeds the aggregate series on
-	// /metrics, success or not.
+	// /metrics and the flight-recorder ring, success or not.
 	s.obsAgg.Drain(j.rec)
+	s.recordFlight(j)
 	if rerr != nil {
 		fail(rerr.code, rerr.msg)
 		return
@@ -277,6 +284,32 @@ func (s *Server) runJob(j *job) {
 	j.status = http.StatusOK
 	j.setState(jobDone)
 	finish()
+}
+
+// recordFlight files a completed traced job's span tree into the flight
+// recorder ring, where /v1/traces/* serves it. Untraced jobs (no recorder)
+// cost one nil check.
+func (s *Server) recordFlight(j *job) {
+	if j.rec == nil || s.flight == nil {
+		return
+	}
+	base := j.req.base()
+	kind := kindPartition
+	switch j.req.(type) {
+	case *subtreeRequest:
+		kind = kindSubtree
+	case *RepartitionRequest:
+		kind = kindRepartition
+	}
+	s.flight.Record(obs.FlightEntry{
+		RequestID: base.requestID,
+		TraceID:   base.trace.ID,
+		Kind:      kind,
+		Start:     j.created,
+		Duration:  time.Since(j.created),
+		Spans:     j.rec.Snapshot(),
+		Counters:  j.rec.Counters(),
+	})
 }
 
 // base implements jobRequest.
@@ -342,6 +375,13 @@ func (r *PartitionRequest) execute(ctx context.Context, s *Server) ([]byte, time
 			return nil, 0, rerr
 		}
 	}
+	// The debug block is gated on the explicit ?debug=trace flag, NOT on the
+	// recorder: head-sampled jobs run with a recorder too, and their payload
+	// must stay byte-identical to (and cacheable as) the untraced result.
+	var dbg *DebugInfo
+	if r.debugTrace {
+		dbg = debugInfo(obs.FromContext(ctx))
+	}
 	payload, err := json.Marshal(&PartitionResponse{
 		Mesh: MeshInfo{
 			Name:     m.Name,
@@ -358,7 +398,7 @@ func (r *PartitionRequest) execute(ctx context.Context, s *Server) ([]byte, time
 		PartHash:     partHash,
 		Part:         result.Part,
 		Eval:         evalRes,
-		Debug:        debugInfo(obs.FromContext(ctx)),
+		Debug:        dbg,
 	})
 	if err != nil {
 		return nil, 0, &requestError{code: http.StatusInternalServerError, msg: err.Error()}

@@ -64,6 +64,12 @@ type serverMetrics struct {
 	parentHits      int64
 	parentMisses    int64
 
+	// HTTP-surface observability: wall-clock latency per endpoint label
+	// (whole exchange, handler + serialization) and how long admitted jobs
+	// waited in the queue before a worker picked them up.
+	httpLatencies map[string]*histogram
+	admissionWait *histogram
+
 	cacheHits     int64
 	cacheMisses   int64
 	queueRejected int64
@@ -83,6 +89,8 @@ func newServerMetrics() *serverMetrics {
 		repartRuns:      map[string]int64{},
 		repartLatencies: map[string]*histogram{},
 		migrationBytes:  newHistogram(migrationBuckets),
+		httpLatencies:   map[string]*histogram{},
+		admissionWait:   newHistogram(latencyBuckets),
 	}
 }
 
@@ -130,6 +138,26 @@ func (m *serverMetrics) countParentLookup(hit bool) {
 	} else {
 		m.parentMisses++
 	}
+	m.mu.Unlock()
+}
+
+// observeHTTP records one instrumented exchange's wall-clock latency under
+// its endpoint label.
+func (m *serverMetrics) observeHTTP(endpoint string, seconds float64) {
+	m.mu.Lock()
+	h := m.httpLatencies[endpoint]
+	if h == nil {
+		h = newHistogram(latencyBuckets)
+		m.httpLatencies[endpoint] = h
+	}
+	h.observe(seconds)
+	m.mu.Unlock()
+}
+
+// observeAdmissionWait records how long a job sat queued before running.
+func (m *serverMetrics) observeAdmissionWait(seconds float64) {
+	m.mu.Lock()
+	m.admissionWait.observe(seconds)
 	m.mu.Unlock()
 }
 
@@ -249,6 +277,24 @@ func (m *serverMetrics) render(w io.Writer, g gauges) {
 	writeHist("tempartd_repart_latency_seconds",
 		"Repartition execution latency by resolved mode (compare incremental modes against scratch).",
 		"mode", m.repartLatencies)
+
+	writeHist("tempartd_http_request_duration_seconds",
+		"Wall-clock latency of instrumented HTTP exchanges by endpoint.",
+		"endpoint", m.httpLatencies)
+
+	fmt.Fprintf(w, "# HELP tempartd_admission_wait_seconds Time admitted jobs spent queued before a worker picked them up.\n")
+	fmt.Fprintf(w, "# TYPE tempartd_admission_wait_seconds histogram\n")
+	{
+		h := m.admissionWait
+		var cum int64
+		for i, ub := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "tempartd_admission_wait_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+		}
+		fmt.Fprintf(w, "tempartd_admission_wait_seconds_bucket{le=\"+Inf\"} %d\n", cum+h.inf)
+		fmt.Fprintf(w, "tempartd_admission_wait_seconds_sum %g\n", h.sum)
+		fmt.Fprintf(w, "tempartd_admission_wait_seconds_count %d\n", h.total)
+	}
 
 	fmt.Fprintf(w, "# HELP tempartd_repart_migration_bytes Serialized bytes moved between domains per repartition.\n")
 	fmt.Fprintf(w, "# TYPE tempartd_repart_migration_bytes histogram\n")

@@ -244,6 +244,12 @@ func (r *RepartitionRequest) execute(ctx context.Context, s *Server) ([]byte, ti
 			return nil, 0, rerr
 		}
 	}
+	// Gated on the explicit flag, not the recorder: sampled repartitions keep
+	// the canonical cacheable payload (see PartitionRequest.execute).
+	var dbg *DebugInfo
+	if r.debugTrace {
+		dbg = debugInfo(obs.FromContext(ctx))
+	}
 	payload, err := json.Marshal(&RepartitionResponse{
 		Mesh: MeshInfo{
 			Name:     m.Name,
@@ -262,7 +268,7 @@ func (r *RepartitionRequest) execute(ctx context.Context, s *Server) ([]byte, ti
 		PartHash:     partHash,
 		Part:         res.Part,
 		Eval:         evalRes,
-		Debug:        debugInfo(obs.FromContext(ctx)),
+		Debug:        dbg,
 	})
 	if err != nil {
 		return nil, 0, &requestError{code: http.StatusInternalServerError, msg: err.Error()}

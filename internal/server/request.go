@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"tempart/internal/mesh"
+	"tempart/internal/obs"
 	"tempart/internal/partition"
 )
 
@@ -80,6 +81,15 @@ type PartitionRequest struct {
 	// behalf (forward, subtree fan-out, cache probe). For singleflighted
 	// jobs it is the creating exchange's id.
 	requestID string
+	// trace is the request's distributed-trace context: inherited from an
+	// incoming X-Tempartd-Trace header (peer hops), synthesized for
+	// ?debug=trace requests, or head-sampled by the flight recorder. It rides
+	// every peer hop next to requestID.
+	trace obs.TraceContext
+	// sampled marks a job that runs with a span recorder but keeps its
+	// canonical cacheable payload (no debug block): the recorded tree feeds
+	// the flight recorder, never the response bytes.
+	sampled bool
 }
 
 // requestError carries the HTTP status a decode/validation failure maps to.

@@ -78,6 +78,16 @@ type Config struct {
 	// request id). Nil disables access logging entirely.
 	AccessLog *slog.Logger
 
+	// TraceSampleRate is the flight recorder's head-sampling rate in [0, 1]:
+	// the fraction of fresh (non-debug, non-peer-hop) jobs that run with a
+	// span recorder and land in the /v1/traces ring. 0 (the default) keeps
+	// only explicit ?debug=trace requests; sampling never changes response
+	// bytes.
+	TraceSampleRate float64
+	// TraceRingSize is how many completed request traces the flight recorder
+	// retains (plus the slowest seen, pinned). Default 64.
+	TraceRingSize int
+
 	// NodeID names this daemon in a fleet: it stamps run manifests, subtree
 	// replies and (via store.Options.NodeID) provenance entries. Empty for a
 	// single-node daemon.
@@ -158,6 +168,10 @@ type Server struct {
 	// obsAgg accumulates per-phase seconds and pipeline counters drained from
 	// the recorders of ?debug=trace jobs; rendered on /metrics.
 	obsAgg *obs.Agg
+	// flight is the always-on ring of recently completed request span trees
+	// (?debug=trace jobs, head-sampled jobs, sampled subtree RPCs), served at
+	// /v1/traces/*.
+	flight *obs.FlightRecorder
 	// store is the optional durability tier (Config.Store); nil means the
 	// daemon is purely in-memory, exactly as before.
 	store *store.Store
@@ -191,6 +205,7 @@ func New(cfg Config) *Server {
 		metrics: newServerMetrics(),
 		eval:    eval.New(eval.Options{Parallelism: cfg.MaxParallelism}),
 		obsAgg:  obs.NewAgg("tempartd_pipeline"),
+		flight:  obs.NewFlightRecorder(cfg.TraceRingSize, cfg.TraceSampleRate),
 		store:   cfg.Store,
 		cluster: cfg.Cluster,
 		queue:   make(chan *job, cfg.QueueDepth),
@@ -217,6 +232,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobGet))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobCancel))
 	mux.HandleFunc("GET /v1/meshes", s.instrument("/v1/meshes", s.handleMeshes))
+	mux.HandleFunc("GET /v1/traces/recent", s.instrument("/v1/traces", s.handleTracesRecent))
+	mux.HandleFunc("GET /v1/traces/{request_id}", s.instrument("/v1/traces", s.handleTraceGet))
 	mux.HandleFunc("GET /buildinfo", s.instrument("/buildinfo", s.handleBuildinfo))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -277,20 +294,30 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-Id")
 		if id == "" {
-			id = fmt.Sprintf("req-%08x", s.reqSeq.Add(1))
+			// A node-id prefix keeps server-generated ids unique across a
+			// fleet, so stitched traces and cross-node provenance never
+			// collide on "req-00000001" from two members.
+			if s.cfg.NodeID != "" {
+				id = fmt.Sprintf("%s-req-%08x", s.cfg.NodeID, s.reqSeq.Add(1))
+			} else {
+				id = fmt.Sprintf("req-%08x", s.reqSeq.Add(1))
+			}
 		}
 		w.Header().Set("X-Request-Id", id)
 		start := time.Now()
 		code := h(w, r)
+		elapsed := time.Since(start)
 		s.metrics.countRequest(endpoint, r.Method, code)
+		s.metrics.observeHTTP(endpoint, elapsed.Seconds())
 		if s.cfg.AccessLog != nil {
 			s.cfg.AccessLog.Info("request",
 				"id", id,
+				"node", s.cfg.NodeID,
 				"method", r.Method,
 				"path", r.URL.Path,
 				"endpoint", endpoint,
 				"status", code,
-				"duration_ms", time.Since(start).Milliseconds(),
+				"duration_ms", elapsed.Milliseconds(),
 				"remote", r.RemoteAddr,
 			)
 		}
@@ -376,10 +403,26 @@ func writeDecodeError(w http.ResponseWriter, err error) int {
 func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, req jobRequest, rawBody []byte) int {
 	// The request id rides into the job (and from there across every peer
 	// hop a cluster member makes on the job's behalf).
-	req.base().requestID = w.Header().Get("X-Request-Id")
+	base := req.base()
+	base.requestID = w.Header().Get("X-Request-Id")
+	// Adopt the incoming trace context, if any: a peer hop (forward, subtree
+	// fan-out, cache probe) carries the head node's sampling decision, and
+	// this node obeys it rather than re-rolling its own.
+	if tc, ok := obs.ParseTraceContext(r.Header.Get(cluster.HeaderTrace)); ok {
+		base.trace = tc
+	}
+	_, isSubtree := req.(*subtreeRequest)
+	if isSubtree && base.trace.Sampled {
+		// A sampled subtree RPC runs privately with a recorder so its reply
+		// can ship the span snapshot back to the coordinator. The reply then
+		// embeds per-run spans, so — exactly like ?debug=trace — it must
+		// never enter the shared cache or the durable store.
+		base.debugTrace = true
+	}
 	if r.URL.Query().Get("debug") == "trace" {
-		req.base().debugTrace = true
-	} else {
+		base.debugTrace = true
+	}
+	if !base.debugTrace {
 		// Content-addressed cache first: a hit costs one map lookup.
 		key := req.key()
 		if payload, ok := s.cache.get(key); ok {
@@ -411,6 +454,16 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, req jobRequest
 	if code, handled := s.clusterRoute(w, r, req, rawBody); handled {
 		return code
 	}
+
+	// Trace-context head: a job about to run locally with no inherited
+	// context either starts a sampled trace (flight-recorder head sampling —
+	// deterministic stride, no RNG, so response bytes never depend on it) or,
+	// for ?debug=trace, always gets one so a fan-out stitches spans back.
+	// Subtree RPCs never self-sample: they obey their coordinator's bit.
+	if !base.trace.Valid() && !isSubtree && (base.debugTrace || s.flight.SampleHead()) {
+		base.trace = obs.TraceContext{ID: base.requestID, Sampled: true}
+	}
+	base.sampled = base.trace.Sampled
 
 	j, err := s.acquireJob(req)
 	switch {
@@ -620,6 +673,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.cluster.RenderMetrics(w)
 	}
 	s.obsAgg.RenderProm(w)
+	obs.RenderRuntimeMetrics(w)
 }
 
 // String identifies the server in logs.

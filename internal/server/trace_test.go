@@ -1,0 +1,334 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"tempart/internal/cluster"
+	"tempart/internal/obs"
+)
+
+// getJSON fetches a URL and decodes the JSON body into out.
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.Unmarshal(b, out); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v\n%s", url, err, b)
+		}
+	}
+	return resp
+}
+
+// TestClusterStitchedTrace is the tentpole acceptance pin: a traced fan-out
+// on a 3-node fleet produces ONE trace — coordinator spans plus grafted,
+// node-stamped subtree spans from at least two distinct peers — retrievable
+// from the coordinator's flight recorder, while the partition bytes stay
+// identical to an untraced single-node run.
+func TestClusterStitchedTrace(t *testing.T) {
+	f := newFleet(t, 3, nil, nil)
+	solo := soloServer(t)
+	body := fleetReq(f.seedsOwnedBy(0, 1)[0], 0)
+
+	_, wantBody := postJSON(t, solo.URL, body)
+	var want PartitionResponse
+	if err := json.Unmarshal(wantBody, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(f.tss[0].URL+"/v1/partition?debug=trace", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced fan-out: status %d, body %s", resp.StatusCode, got)
+	}
+	reqID := resp.Header.Get("X-Request-Id")
+	if reqID == "" {
+		t.Fatal("no X-Request-Id on traced response")
+	}
+	if !strings.HasPrefix(reqID, "n1-") {
+		t.Errorf("request id %q not stamped with coordinator node id", reqID)
+	}
+
+	// Partition bytes are identical to the untraced single-node run (the
+	// traced response additionally carries a debug block, so compare the
+	// partition vector, not the whole body).
+	var pr PartitionResponse
+	if err := json.Unmarshal(got, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Part) != len(want.Part) {
+		t.Fatalf("traced part length %d != untraced %d", len(pr.Part), len(want.Part))
+	}
+	for i := range pr.Part {
+		if pr.Part[i] != want.Part[i] {
+			t.Fatalf("traced partition diverges from untraced at cell %d", i)
+		}
+	}
+	if pr.Debug == nil {
+		t.Fatal("?debug=trace response missing debug block")
+	}
+
+	// The coordinator's flight recorder retains the stitched trace.
+	var detail struct {
+		RequestID string           `json:"request_id"`
+		Kind      string           `json:"kind"`
+		Nodes     []string         `json:"nodes"`
+		Spans     []obs.SpanRecord `json:"spans"`
+	}
+	getJSON(t, f.tss[0].URL+"/v1/traces/"+reqID+"?format=spans", &detail)
+	if detail.RequestID != reqID || detail.Kind != "partition" {
+		t.Fatalf("trace detail = %+v", detail)
+	}
+	remote := map[string]bool{}
+	for i, sp := range detail.Spans {
+		if sp.Parent >= int32(i) {
+			t.Errorf("span %d %q Parent=%d not earlier than itself", i, sp.Name, sp.Parent)
+		}
+		if sp.Node != "" {
+			remote[sp.Node] = true
+		}
+	}
+	if len(remote) < 2 {
+		t.Fatalf("stitched trace has subtree spans from %d peers (%v), want >= 2 distinct node ids", len(remote), remote)
+	}
+	if len(detail.Nodes) < 3 {
+		t.Errorf("nodes = %v, want coordinator + 2 peers", detail.Nodes)
+	}
+	hasSubtree := false
+	for _, sp := range detail.Spans {
+		if sp.Name == "server/subtree" && sp.Node != "" {
+			hasSubtree = true
+			break
+		}
+	}
+	if !hasSubtree {
+		t.Error("no grafted server/subtree span in stitched trace")
+	}
+
+	// Default format is Chrome trace-event JSON with one process lane per
+	// contributing node.
+	resp2, err := http.Get(f.tss[0].URL + "/v1/traces/" + reqID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chrome, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	var events []map[string]any
+	if err := json.Unmarshal(chrome, &events); err != nil {
+		t.Fatalf("chrome export invalid JSON: %v", err)
+	}
+	procs := map[string]bool{}
+	for _, e := range events {
+		if e["name"] == "process_name" {
+			if args, ok := e["args"].(map[string]any); ok {
+				procs[fmt.Sprint(args["name"])] = true
+			}
+		}
+	}
+	if !procs["n1"] || len(procs) < 3 {
+		t.Errorf("chrome trace process lanes = %v, want n1 + 2 peers", procs)
+	}
+}
+
+// TestSampledFanoutByteIdentical pins the no-observer-effect contract for
+// head sampling: with -trace-sample 1 every fleet request runs traced (and
+// its subtree RPCs go private on the peers), yet the response bytes are
+// exactly what an unsampled single-node daemon returns.
+func TestSampledFanoutByteIdentical(t *testing.T) {
+	f := newFleet(t, 3, nil, func(i int, c *Config) {
+		c.TraceSampleRate = 1
+		c.TraceRingSize = 8
+	})
+	solo := soloServer(t)
+	body := fleetReq(f.seedsOwnedBy(0, 1)[0], 0)
+
+	_, want := postJSON(t, solo.URL, body)
+	resp, got := postJSON(t, f.tss[0].URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sampled fan-out: status %d, body %s", resp.StatusCode, got)
+	}
+	if string(got) != string(want) {
+		t.Fatal("sampled response bytes differ from unsampled single-node response")
+	}
+
+	// The sampled job landed in the coordinator's flight ring, stitched.
+	reqID := resp.Header.Get("X-Request-Id")
+	var detail struct {
+		Nodes []string         `json:"nodes"`
+		Spans []obs.SpanRecord `json:"spans"`
+	}
+	getJSON(t, f.tss[0].URL+"/v1/traces/"+reqID+"?format=spans", &detail)
+	if len(detail.Spans) == 0 || len(detail.Nodes) < 2 {
+		t.Fatalf("sampled trace not retained/stitched: %d spans, nodes %v", len(detail.Spans), detail.Nodes)
+	}
+}
+
+// TestTraceHopGuardNoDoubleGraft: a request re-entering a member with the
+// hop-guard header AND a sampled trace context (as after a forward) executes
+// locally with tracing, and the retained span tree is well-formed — no
+// duplicated grafts, every parent earlier than its span.
+func TestTraceHopGuardNoDoubleGraft(t *testing.T) {
+	f := newFleet(t, 3, nil, nil)
+	body := fleetReq(f.seedsOwnedBy(0, 1)[0], 0)
+
+	req, err := http.NewRequest(http.MethodPost, f.tss[0].URL+"/v1/partition", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.HeaderForwarded, "test")
+	tc := obs.TraceContext{ID: "upstream-trace-01", Span: -1, Sampled: true}
+	req.Header.Set(cluster.HeaderTrace, tc.Header())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hop-guarded traced request: status %d", resp.StatusCode)
+	}
+	reqID := resp.Header.Get("X-Request-Id")
+
+	var detail struct {
+		TraceID string           `json:"trace_id"`
+		Spans   []obs.SpanRecord `json:"spans"`
+	}
+	getJSON(t, f.tss[0].URL+"/v1/traces/"+reqID+"?format=spans", &detail)
+	if detail.TraceID != "upstream-trace-01" {
+		t.Fatalf("trace id = %q, want inherited upstream-trace-01", detail.TraceID)
+	}
+	type key struct {
+		name  string
+		start int64
+		node  string
+	}
+	seen := map[key]int{}
+	for i, sp := range detail.Spans {
+		if sp.Parent >= int32(i) {
+			t.Errorf("span %d %q Parent=%d not earlier than itself", i, sp.Name, sp.Parent)
+		}
+		if sp.Node != "" {
+			seen[key{sp.Name, sp.Start, sp.Node}]++
+		}
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Errorf("remote span grafted %d times: %+v", n, k)
+		}
+	}
+}
+
+// TestTracesEndpoints exercises the flight-recorder HTTP surface on a solo
+// daemon: recent listing, per-request fetch in both formats, and the 404.
+func TestTracesEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, NodeID: "solo1", TraceRingSize: 4})
+
+	// Untraced request: not retained.
+	resp, _ := postJSON(t, ts.URL, smallReq(1))
+	plainID := resp.Header.Get("X-Request-Id")
+	if !strings.HasPrefix(plainID, "solo1-req-") {
+		t.Errorf("request id %q not node-stamped", plainID)
+	}
+
+	// Traced request: retained.
+	tr, err := http.Post(ts.URL+"/v1/partition?debug=trace", "application/json", strings.NewReader(smallReq(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, tr.Body)
+	tr.Body.Close()
+	tracedID := tr.Header.Get("X-Request-Id")
+
+	var recent struct {
+		NodeID   string `json:"node_id"`
+		Retained int    `json:"retained"`
+		Traces   []struct {
+			RequestID string   `json:"request_id"`
+			Kind      string   `json:"kind"`
+			Spans     int      `json:"spans"`
+			Nodes     []string `json:"nodes"`
+		} `json:"traces"`
+	}
+	getJSON(t, ts.URL+"/v1/traces/recent", &recent)
+	if recent.NodeID != "solo1" || recent.Retained != 1 || len(recent.Traces) != 1 {
+		t.Fatalf("recent = %+v, want exactly the traced request", recent)
+	}
+	tr0 := recent.Traces[0]
+	if tr0.RequestID != tracedID || tr0.Kind != "partition" || tr0.Spans == 0 {
+		t.Fatalf("recent[0] = %+v", tr0)
+	}
+	if len(tr0.Nodes) != 1 || tr0.Nodes[0] != "solo1" {
+		t.Fatalf("recent[0].Nodes = %v, want [solo1]", tr0.Nodes)
+	}
+
+	var detail struct {
+		RequestID string           `json:"request_id"`
+		NodeID    string           `json:"node_id"`
+		Spans     []obs.SpanRecord `json:"spans"`
+	}
+	getJSON(t, ts.URL+"/v1/traces/"+tracedID+"?format=spans", &detail)
+	if detail.RequestID != tracedID || detail.NodeID != "solo1" || len(detail.Spans) == 0 {
+		t.Fatalf("detail = %+v", detail)
+	}
+
+	var events []map[string]any
+	getJSON(t, ts.URL+"/v1/traces/"+tracedID, &events)
+	if len(events) == 0 {
+		t.Fatal("default chrome format returned no events")
+	}
+
+	if resp := getJSON(t, ts.URL+"/v1/traces/"+plainID, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("untraced request id: status %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/traces/no-such-id", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRuntimeAndLatencyMetricsExposition is the golden exposition check for
+// the new telemetry families: runtime/metrics-backed gauges and histograms
+// plus the per-endpoint HTTP latency and admission-wait series.
+func TestRuntimeAndLatencyMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	postJSON(t, ts.URL, smallReq(1))
+
+	m := fetchMetrics(t, ts.URL)
+	for _, family := range []string{
+		"tempartd_runtime_heap_bytes ",
+		"tempartd_runtime_goroutines ",
+		"tempartd_runtime_gc_cycles_total ",
+		"tempartd_runtime_gc_pause_seconds_bucket{",
+		"tempartd_runtime_sched_latency_seconds_bucket{",
+		"tempartd_http_request_duration_seconds_bucket{endpoint=\"/v1/partition\"",
+		"tempartd_http_request_duration_seconds_count{endpoint=\"/v1/partition\"}",
+		"tempartd_admission_wait_seconds_bucket{",
+		"tempartd_admission_wait_seconds_count ",
+	} {
+		if !strings.Contains(m, family) {
+			t.Errorf("metrics missing family %q", family)
+		}
+	}
+	if v := metricValue(t, m, `tempartd_http_request_duration_seconds_count{endpoint="/v1/partition"}`); v != "1" {
+		t.Errorf("http duration count = %q, want 1", v)
+	}
+	if v := metricValue(t, m, "tempartd_admission_wait_seconds_count"); v == "" || v == "0" {
+		t.Errorf("admission wait count = %q, want >= 1", v)
+	}
+}

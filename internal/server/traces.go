@@ -1,0 +1,114 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"tempart/internal/obs"
+)
+
+// This file serves the flight recorder: the always-on ring of recently
+// completed request span trees (?debug=trace jobs, head-sampled jobs,
+// sampled subtree RPCs, plus the slowest request seen, pinned).
+//
+//	GET /v1/traces/recent         newest-first summaries of retained traces
+//	GET /v1/traces/{request_id}   one trace; ?format=chrome (default) emits
+//	                              Chrome trace-event JSON for Perfetto,
+//	                              ?format=spans the raw span records
+//
+// A stitched fan-out trace (coordinator spans + grafted peer snapshots)
+// renders in Perfetto with one process lane per fleet member.
+
+// traceSummary is one /v1/traces/recent row.
+type traceSummary struct {
+	RequestID  string `json:"request_id"`
+	TraceID    string `json:"trace_id,omitempty"`
+	Kind       string `json:"kind"`
+	Start      string `json:"start"`
+	DurationMS int64  `json:"duration_ms"`
+	Spans      int    `json:"spans"`
+	// Nodes lists every fleet member that contributed spans: this node first,
+	// then the distinct node stamps of grafted peer snapshots.
+	Nodes []string `json:"nodes"`
+}
+
+// nodeSet collects the distinct node ids appearing in a span tree; self names
+// the recording node (locally recorded spans carry an empty Node stamp).
+func nodeSet(spans []obs.SpanRecord, self string) []string {
+	if self == "" {
+		self = "local"
+	}
+	nodes := []string{self}
+	seen := map[string]bool{self: true}
+	for i := range spans {
+		if n := spans[i].Node; n != "" && !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
+}
+
+func (s *Server) handleTracesRecent(w http.ResponseWriter, r *http.Request) int {
+	entries := s.flight.Recent()
+	out := make([]traceSummary, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, traceSummary{
+			RequestID:  e.RequestID,
+			TraceID:    e.TraceID,
+			Kind:       e.Kind,
+			Start:      e.Start.UTC().Format(time.RFC3339Nano),
+			DurationMS: e.Duration.Milliseconds(),
+			Spans:      len(e.Spans),
+			Nodes:      nodeSet(e.Spans, s.cfg.NodeID),
+		})
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"node_id":     s.cfg.NodeID,
+		"retained":    s.flight.Len(),
+		"sample_rate": s.cfg.TraceSampleRate,
+		"traces":      out,
+	})
+}
+
+// traceDetail is the ?format=spans representation of one retained trace.
+type traceDetail struct {
+	RequestID  string           `json:"request_id"`
+	TraceID    string           `json:"trace_id,omitempty"`
+	Kind       string           `json:"kind"`
+	NodeID     string           `json:"node_id"`
+	Start      string           `json:"start"`
+	DurationMS int64            `json:"duration_ms"`
+	Nodes      []string         `json:"nodes"`
+	Spans      []obs.SpanRecord `json:"spans"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+}
+
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) int {
+	id := r.PathValue("request_id")
+	e, ok := s.flight.Get(id)
+	if !ok {
+		return writeError(w, http.StatusNotFound, "no retained trace for that request id (evicted, unsampled, or unknown)")
+	}
+	if r.URL.Query().Get("format") == "spans" {
+		return writeJSON(w, http.StatusOK, traceDetail{
+			RequestID:  e.RequestID,
+			TraceID:    e.TraceID,
+			Kind:       e.Kind,
+			NodeID:     s.cfg.NodeID,
+			Start:      e.Start.UTC().Format(time.RFC3339Nano),
+			DurationMS: e.Duration.Milliseconds(),
+			Nodes:      nodeSet(e.Spans, s.cfg.NodeID),
+			Spans:      e.Spans,
+			Counters:   e.Counters,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	local := s.cfg.NodeID
+	if local == "" {
+		local = "local"
+	}
+	_ = obs.WriteSpansChrome(w, e.Spans, local)
+	return http.StatusOK
+}

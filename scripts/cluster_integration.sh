@@ -59,6 +59,31 @@ done
 curl -sf "http://$BASE:$P1/v1/cluster/status" | grep -q '"n3"'
 curl -sf "http://$BASE:$P1/metrics" | grep -q '^tempartd_cluster_peers 3'
 
+# Stitched distributed trace: a traced fan-out on n1 must retain ONE trace
+# whose grafted subtree spans carry node stamps from >= 2 distinct fleet
+# members, and the partition vector must match the untraced single-node run.
+curl -sfD "$WORK/trace-headers" "http://$BASE:$P1/v1/partition?debug=trace" \
+  -H 'Content-Type: application/json' -d "$REQ1" > "$WORK/traced1.json"
+TRACE_ID=$(tr -d '\r' < "$WORK/trace-headers" | awk 'tolower($1)=="x-request-id:"{print $2}')
+test -n "$TRACE_ID"
+curl -sf "http://$BASE:$P1/v1/traces/$TRACE_ID?format=spans" > "$WORK/trace-spans.json"
+python3 - "$WORK/trace-spans.json" "$WORK/traced1.json" "$WORK/solo1.json" <<'PY'
+import json, sys
+detail = json.load(open(sys.argv[1]))
+nodes = {s.get("node") for s in detail["spans"] if s.get("node")}
+assert len(nodes) >= 2, f"stitched trace has subtree spans from {nodes}, want >= 2 node ids"
+assert len(detail["nodes"]) >= 3, f"trace node set {detail['nodes']}, want coordinator + 2 peers"
+for i, s in enumerate(detail["spans"]):
+    assert s["parent"] < i, f"span {i} has parent {s['parent']} — graft produced an invalid tree"
+traced = json.load(open(sys.argv[2]))
+solo = json.load(open(sys.argv[3]))
+assert traced["part"] == solo["part"], "traced partition diverges from untraced single-node run"
+print(f"stitched trace OK: {len(detail['spans'])} spans from nodes {sorted(detail['nodes'])}")
+PY
+# The same trace renders as Chrome trace-event JSON with per-node lanes.
+curl -sf "http://$BASE:$P1/v1/traces/$TRACE_ID" | grep -q '"process_name"'
+curl -sf "http://$BASE:$P1/v1/traces/recent" | grep -q "\"$TRACE_ID\""
+
 # Kill a member outright (no drain, no goodbye) and keep serving.
 kill -9 "$N3"
 post $P0 "$REQ2" "$WORK/solo2.json"
